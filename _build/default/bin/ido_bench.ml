@@ -1,0 +1,183 @@
+(* Command-line driver: regenerate any of the paper's tables/figures,
+   run a single throughput or crash-recovery experiment, or dump a
+   workload's (instrumented) IR. *)
+
+open Cmdliner
+open Ido_runtime
+open Ido_harness
+
+let scale_arg =
+  let scale_conv = Arg.enum [ ("quick", Exp.Quick); ("full", Exp.Full) ] in
+  Arg.(value & opt scale_conv Exp.Quick & info [ "scale" ] ~doc:"quick or full")
+
+let scheme_arg =
+  let scheme_conv = Arg.enum (List.map (fun s -> (Scheme.name s, s)) Scheme.all) in
+  Arg.(
+    value
+    & opt scheme_conv Scheme.Ido
+    & info [ "scheme" ] ~doc:"Failure-atomicity scheme")
+
+let workload_arg =
+  Arg.(
+    value
+    & opt (enum (List.map (fun n -> (n, n)) Ido_workloads.Workload.names)) "stack"
+    & info [ "workload" ] ~doc:"Benchmark program")
+
+let threads_arg =
+  Arg.(value & opt int 4 & info [ "threads" ] ~doc:"Worker threads")
+
+let ops_arg =
+  Arg.(value & opt int 4000 & info [ "ops" ] ~doc:"Total operations")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed")
+
+let figure_cmd name doc render =
+  let run scale =
+    print_string (render scale);
+    print_newline ()
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ scale_arg)
+
+let run_cmd =
+  let doc = "One throughput run: workload x scheme x threads." in
+  let run scheme workload threads ops seed =
+    let program = Ido_workloads.Workload.named workload in
+    let r = Exp.throughput ~seed ~scheme ~threads ~total_ops:ops program in
+    Printf.printf
+      "%s on %s, %d threads: %.3f Mops/s (%d ops in %.3f ms simulated; %.1f fences/op, %.1f clwb/op)\n"
+      (Scheme.name scheme) workload threads r.Exp.mops r.Exp.ops
+      (float_of_int r.Exp.sim_ns /. 1e6)
+      (float_of_int r.Exp.fences /. float_of_int (max 1 r.Exp.ops))
+      (float_of_int r.Exp.clwbs /. float_of_int (max 1 r.Exp.ops))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(const run $ scheme_arg $ workload_arg $ threads_arg $ ops_arg $ seed_arg)
+
+let crash_cmd =
+  let doc = "Crash injection + recovery + integrity check." in
+  let crash_at =
+    Arg.(value & opt int 100_000 & info [ "at" ] ~doc:"Crash time (simulated ns)")
+  in
+  let run scheme workload threads crash_at seed =
+    let program = Ido_workloads.Workload.named workload in
+    let r =
+      Exp.crash_recover_check ~seed ~scheme ~threads ~ops_per_thread:100_000
+        ~crash_at program
+    in
+    Printf.printf
+      "%s on %s: crashed at %.3f ms; recovery took %.3f ms simulated\n\
+       (resumed=%d rolled_back=%d undone=%d replayed=%d pages=%d records=%d)\n\
+       post-recovery integrity check: %s (count=%d)\n"
+      (Scheme.name scheme) workload
+      (float_of_int r.Exp.crashed_at /. 1e6)
+      (float_of_int r.Exp.recovery.Ido_vm.Recover.simulated_time /. 1e6)
+      r.Exp.recovery.Ido_vm.Recover.fases_resumed
+      r.Exp.recovery.Ido_vm.Recover.fases_rolled_back
+      r.Exp.recovery.Ido_vm.Recover.writes_undone
+      r.Exp.recovery.Ido_vm.Recover.txns_replayed
+      r.Exp.recovery.Ido_vm.Recover.pages_restored
+      r.Exp.recovery.Ido_vm.Recover.records_scanned
+      (if r.Exp.check_ok then "PASS" else "FAIL")
+      r.Exp.check_count
+  in
+  Cmd.v
+    (Cmd.info "crash" ~doc)
+    Term.(const run $ scheme_arg $ workload_arg $ threads_arg $ crash_at $ seed_arg)
+
+let trace_cmd =
+  let doc = "Trace execution: one line per instruction (first N steps)." in
+  let steps_arg =
+    Arg.(value & opt int 400 & info [ "steps" ] ~doc:"Instructions to trace")
+  in
+  let run scheme workload steps seed =
+    let program = Ido_workloads.Workload.named workload in
+    let m = Ido_vm.Vm.create { (Ido_vm.Vm.config scheme) with seed } program in
+    let _ = Ido_vm.Vm.spawn m ~fname:"init" ~args:[] in
+    ignore (Ido_vm.Vm.run m);
+    Ido_vm.Vm.flush_all m;
+    ignore (Ido_vm.Vm.spawn m ~fname:"worker" ~args:[ 10L ]);
+    ignore (Ido_vm.Vm.spawn m ~fname:"worker" ~args:[ 10L ]);
+    Ido_vm.Vm.set_tracer m (Some print_endline);
+    ignore (Ido_vm.Vm.run ~max_steps:steps m)
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(const run $ scheme_arg $ workload_arg $ steps_arg $ seed_arg)
+
+let regions_cmd =
+  let doc = "Static region-plan summary for every function of a workload." in
+  let run workload =
+    let program = Ido_workloads.Workload.named workload in
+    List.iter
+      (fun (name, f) ->
+        let cfg = Ido_analysis.Cfg.build f in
+        match Ido_analysis.Fase.compute cfg with
+        | Error e -> Printf.printf "%-14s invalid: %s
+" name e
+        | Ok fase ->
+            if Ido_analysis.Fase.has_fase fase then begin
+              let plan = Ido_instrument.Instrument.region_plan f in
+              let required =
+                List.length
+                  (List.filter
+                     (fun (c : Ido_analysis.Regions.cut) -> c.required)
+                     plan.Ido_analysis.Regions.cuts)
+              in
+              Printf.printf
+                "%-14s %2d regions (%d required, %d elidable), %d WAR pairs, %d hitting-set cuts
+"
+                name
+                (List.length plan.Ido_analysis.Regions.cuts)
+                required
+                (List.length plan.Ido_analysis.Regions.cuts - required)
+                plan.Ido_analysis.Regions.n_war_pairs
+                plan.Ido_analysis.Regions.n_hitting
+            end
+            else Printf.printf "%-14s no FASEs
+" name)
+      program.Ido_ir.Ir.funcs
+  in
+  Cmd.v (Cmd.info "regions" ~doc) Term.(const run $ workload_arg)
+
+let dump_cmd =
+  let doc = "Print a workload's IR after instrumentation." in
+  let run scheme workload =
+    let program = Ido_workloads.Workload.named workload in
+    let instrumented = Ido_instrument.Instrument.instrument scheme program in
+    Format.printf "%a@." Ido_ir.Ir.pp_program instrumented
+  in
+  Cmd.v (Cmd.info "dump" ~doc) Term.(const run $ scheme_arg $ workload_arg)
+
+let all_cmd =
+  let doc = "Regenerate every table and figure." in
+  let run scale =
+    List.iter
+      (fun (_, panel) ->
+        print_string panel;
+        print_newline ())
+      (Figures.all scale)
+  in
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ scale_arg)
+
+let () =
+  let cmds =
+    [
+      figure_cmd "fig5" "Memcached-like throughput (Fig. 5)" Figures.fig5;
+      figure_cmd "fig6" "Redis-like throughput (Fig. 6)" Figures.fig6;
+      figure_cmd "fig7" "Microbenchmark scalability (Fig. 7)" Figures.fig7;
+      figure_cmd "fig8" "Region characteristics (Fig. 8)" Figures.fig8;
+      figure_cmd "table1" "Recovery time ratios (Table I)" Figures.table1;
+      figure_cmd "fig9" "NVM latency sensitivity (Fig. 9)" Figures.fig9;
+      figure_cmd "table2" "System properties (Table II)" (fun _ -> Figures.table2 ());
+      figure_cmd "ablation" "Design-choice and machine-model ablations" Figures.ablation;
+      run_cmd;
+      crash_cmd;
+      trace_cmd;
+      regions_cmd;
+      dump_cmd;
+      all_cmd;
+    ]
+  in
+  let info = Cmd.info "ido_bench" ~doc:"iDO reproduction experiment driver" in
+  exit (Cmd.eval (Cmd.group info cmds))

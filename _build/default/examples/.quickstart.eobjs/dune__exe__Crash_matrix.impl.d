@@ -1,0 +1,1 @@
+examples/crash_matrix.ml: Ido_runtime Ido_vm Ido_workloads List Printf Scheme

@@ -1,0 +1,1 @@
+examples/persistent_kv.ml: Builder Ido_ir Ido_runtime Ido_vm Ido_workloads Int64 Ir List Printf Scheme

@@ -1,0 +1,1 @@
+examples/persistent_kv.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Builder Ido_ir Ido_nvm Ido_region Ido_runtime Ido_util Ido_vm Ido_workloads Int64 Ir List Printf Scheme

@@ -1,0 +1,1 @@
+examples/region_tour.ml: Alias Antidep Cfg Fase Format Ido_analysis Ido_harness Ido_instrument Ido_ir Ido_runtime Ido_util Ido_workloads Ir List Liveness Regions Scheme

@@ -1,0 +1,1 @@
+examples/region_tour.mli:

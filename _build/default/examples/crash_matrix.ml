@@ -1,0 +1,67 @@
+(* Crash-consistency demonstration across every scheme and workload.
+
+   For each (workload, scheme) pair: run concurrent workers, power-fail
+   at a random instant, recover, and run the workload's integrity check
+   on the recovered heap.  Prints one row per workload — this is the
+   correctness experiment backing the performance numbers, and shows
+   the uninstrumented baseline failing where every real scheme holds.
+
+     dune exec examples/crash_matrix.exe *)
+
+open Ido_runtime
+module Vm = Ido_vm.Vm
+
+let seeds = [ 1; 2; 3; 4; 5 ]
+
+let verdict ~workload ~scheme =
+  let ok = ref 0 in
+  List.iter
+    (fun seed ->
+      let prog = Ido_workloads.Workload.named workload in
+      let cfg = { (Vm.config scheme) with seed; cache_lines = 32 } in
+      let m = Vm.create cfg prog in
+      let _ = Vm.spawn m ~fname:"init" ~args:[] in
+      (match Vm.run m with `Idle -> () | _ -> failwith "init stuck");
+      Vm.flush_all m;
+      let threads = if workload = "objstore" then 1 else 4 in
+      for _ = 1 to threads do
+        ignore (Vm.spawn m ~fname:"worker" ~args:[ 400L ])
+      done;
+      (match Vm.run ~until:(Vm.clock m + 30_000 + (seed * 9_001)) m with
+      | `Until | `Idle -> ()
+      | _ -> failwith "run stuck");
+      Vm.crash m;
+      ignore (Vm.recover m);
+      let t = Vm.spawn m ~fname:"check" ~args:[] in
+      match Vm.run m with
+      | `Idle when List.length (Vm.observations t) = 1 -> incr ok
+      | _ | (exception Vm.Vm_error _) -> ())
+    seeds;
+  Printf.sprintf "%d/%d" !ok (List.length seeds)
+
+let () =
+  let schemes = Scheme.all in
+  Printf.printf "Post-crash integrity checks passed (out of %d random crash points):\n\n"
+    (List.length seeds);
+  Printf.printf "%-10s" "";
+  List.iter (fun s -> Printf.printf "%11s" (Scheme.name s)) schemes;
+  print_newline ();
+  List.iter
+    (fun workload ->
+      Printf.printf "%-10s" workload;
+      List.iter
+        (fun scheme ->
+          (* NVML is a library: it only protects programmer-delineated
+             durable regions (objstore), not lock-inferred FASEs. *)
+          if scheme = Scheme.Nvml && workload <> "objstore" then
+            Printf.printf "%11s" "n/a"
+          else Printf.printf "%11s" (verdict ~workload ~scheme))
+        schemes;
+      print_newline ())
+    Ido_workloads.Workload.names;
+  Printf.printf
+    "\n(origin is the crash-vulnerable baseline: with a small cache, eviction\n\
+     order tears its structures.  nvml protects only programmer-delineated\n\
+     durable regions, hence n/a on the lock-based structures.  Every\n\
+     applicable scheme must be %d/%d.)\n"
+    (List.length seeds) (List.length seeds)

@@ -1,0 +1,71 @@
+(* A persistent key-value store that survives power failure.
+
+   Uses the Memcached-like workload's API (kv_set / kv_get) as a
+   library: populate a store, power-fail it mid-burst, recover under
+   each scheme, and verify every previously acknowledged write is
+   still readable — the paper's durability property (Sec. II-B).
+
+     dune exec examples/persistent_kv.exe *)
+
+open Ido_ir
+open Ido_runtime
+module Vm = Ido_vm.Vm
+
+(* A driver that sets keys 0..n-1 to value 1000+k, observing an ack per
+   completed write (outside the FASE, as the model requires). *)
+let writer n =
+  let b, _ = Builder.create ~name:"writer" ~nparams:1 in
+  let desc = Ido_workloads.Wcommon.get_root b 0 in
+  Ido_workloads.Wcommon.for_loop b (Ir.Imm (Int64.of_int n)) (fun k ->
+      let v = Builder.bin b Ir.Add (Ir.Reg k) (Ir.Imm 1000L) in
+      Builder.call_void b "kv_set" [ Ir.Reg desc; Ir.Reg k; Ir.Reg v ];
+      Ido_workloads.Wcommon.observe b (Ir.Reg k));
+  Builder.ret b None;
+  Builder.finish b
+
+let reader n =
+  let b, _ = Builder.create ~name:"reader" ~nparams:1 in
+  let desc = Ido_workloads.Wcommon.get_root b 0 in
+  Ido_workloads.Wcommon.for_loop b (Ir.Imm (Int64.of_int n)) (fun k ->
+      let v = Builder.call b "kv_get" [ Ir.Reg desc; Ir.Reg k ] in
+      Ido_workloads.Wcommon.observe b (Ir.Reg v));
+  Builder.ret b None;
+  Builder.finish b
+
+let n_keys = 64
+
+let program () =
+  let base = Ido_workloads.Kvcache.program ~insert_pct:50 () in
+  { Ir.funcs = base.Ir.funcs @ [ ("writer", writer n_keys); ("reader", reader n_keys) ] }
+
+let demo scheme =
+  let m = Vm.create { (Vm.config scheme) with cache_lines = 16 } (program ()) in
+  let _ = Vm.spawn m ~fname:"init" ~args:[] in
+  ignore (Vm.run m);
+  Vm.flush_all m;
+  (* Write a burst and crash somewhere in the middle of it. *)
+  let w = Vm.spawn m ~fname:"writer" ~args:[ 0L ] in
+  ignore (Vm.run ~until:(Vm.clock m + 45_000) m);
+  let acked = List.length (Vm.observations w) in
+  Vm.crash m;
+  ignore (Vm.recover m);
+  (* Read everything back. *)
+  let r = Vm.spawn m ~fname:"reader" ~args:[ 0L ] in
+  (match Vm.run m with `Idle -> () | _ -> failwith "reader stuck");
+  let values = Vm.observations r in
+  let durable_acked =
+    List.filteri (fun k _ -> k < acked) values
+    |> List.for_all (fun v -> v <> -1L)
+  in
+  let readable = List.length (List.filter (fun v -> v <> -1L) values) in
+  Printf.printf
+    "%-10s  acknowledged %2d writes before the crash; %2d keys readable after\n\
+    \            recovery; every acknowledged write durable: %b\n"
+    (Scheme.name scheme) acked readable durable_acked
+
+let () =
+  Printf.printf
+    "Persistent KV store: write keys, power-fail mid-burst, recover, read back.\n\
+     (Writes are acknowledged only after their FASE completes, so every\n\
+     acknowledged write must survive — the durability guarantee of Sec. II-B.)\n\n";
+  List.iter demo Scheme.[ Ido; Justdo; Atlas; Mnemosyne; Nvthreads ]

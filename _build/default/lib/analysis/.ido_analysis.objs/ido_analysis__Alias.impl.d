@@ -1,0 +1,1 @@
+lib/analysis/alias.ml: Array Cfg Hashtbl Ido_ir Int64 Ir List Reaching

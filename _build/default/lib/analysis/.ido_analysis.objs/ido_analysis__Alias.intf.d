@@ -1,0 +1,1 @@
+lib/analysis/alias.mli: Ido_ir Ir

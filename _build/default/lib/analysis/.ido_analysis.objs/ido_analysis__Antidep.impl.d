@@ -1,0 +1,1 @@
+lib/analysis/antidep.ml: Alias Cfg Fase Ido_ir Ir List

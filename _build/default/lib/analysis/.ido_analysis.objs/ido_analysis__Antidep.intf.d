@@ -1,0 +1,1 @@
+lib/analysis/antidep.mli: Alias Cfg Fase Ido_ir Ir

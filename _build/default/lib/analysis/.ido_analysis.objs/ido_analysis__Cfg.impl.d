@@ -1,0 +1,1 @@
+lib/analysis/cfg.ml: Array Ido_ir Ir List Queue

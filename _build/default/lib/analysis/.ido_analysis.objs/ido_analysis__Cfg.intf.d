@@ -1,0 +1,1 @@
+lib/analysis/cfg.mli: Ido_ir Ir

@@ -1,0 +1,1 @@
+lib/analysis/fase.ml: Array Cfg Ido_ir Ir List Printf

@@ -1,0 +1,1 @@
+lib/analysis/fase.mli: Cfg Ido_ir Ir

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Cfg Ido_ir Ir List Regset

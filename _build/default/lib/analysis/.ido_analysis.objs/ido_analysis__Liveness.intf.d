@@ -1,0 +1,1 @@
+lib/analysis/liveness.mli: Cfg Ido_ir Ir Regset

@@ -1,0 +1,1 @@
+lib/analysis/reaching.ml: Array Cfg Hashtbl Ido_ir Ir List Option Set

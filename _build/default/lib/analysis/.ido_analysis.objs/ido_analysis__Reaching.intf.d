@@ -1,0 +1,1 @@
+lib/analysis/reaching.mli: Cfg Ido_ir Ir

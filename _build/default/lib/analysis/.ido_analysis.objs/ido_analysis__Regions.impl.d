@@ -1,0 +1,1 @@
+lib/analysis/regions.ml: Antidep Array Cfg Fase Hashtbl Ido_ir Ir List Liveness Option Printf Regset Set

@@ -1,0 +1,1 @@
+lib/analysis/regions.mli: Alias Cfg Fase Ido_ir Ir Liveness

@@ -1,0 +1,1 @@
+lib/analysis/regset.ml: Format Int List Set String

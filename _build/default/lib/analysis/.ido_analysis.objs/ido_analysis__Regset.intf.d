@@ -1,0 +1,1 @@
+lib/analysis/regset.mli: Format Set

@@ -1,0 +1,1 @@
+lib/analysis/validate.ml: Array Cfg Fase Hashtbl Ido_ir Ir List Printf String

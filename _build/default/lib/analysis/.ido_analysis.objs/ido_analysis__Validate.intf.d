@@ -1,0 +1,1 @@
+lib/analysis/validate.mli: Ido_ir Ir

@@ -1,0 +1,39 @@
+open Ido_ir
+
+type pair = { load : Ir.pos; store : Ir.pos; same_block : bool }
+
+let tracked_space = function
+  | Ir.Persistent | Ir.Stack -> true
+  | Ir.Transient -> false
+
+let compute cfg fase alias =
+  let f = Cfg.func cfg in
+  let loads = ref [] and stores = ref [] in
+  ignore
+    (Ir.fold_instrs
+       (fun () pos instr ->
+         if Fase.in_fase fase pos then
+           match instr with
+           | Load { space; _ } when tracked_space space ->
+               loads := pos :: !loads
+           | Store { space; _ } when tracked_space space ->
+               stores := pos :: !stores
+           | Intrinsic { intr = Root_get; _ } -> loads := pos :: !loads
+           | Intrinsic { intr = Root_set; _ } -> stores := pos :: !stores
+           | _ -> ())
+       () f);
+  let pairs = ref [] in
+  List.iter
+    (fun (l : Ir.pos) ->
+      List.iter
+        (fun (s : Ir.pos) ->
+          if Alias.may_alias alias l s then begin
+            let forward_same_block = l.blk = s.blk && l.idx < s.idx in
+            if forward_same_block then
+              pairs := { load = l; store = s; same_block = true } :: !pairs
+            else if Cfg.path_exists cfg l s then
+              pairs := { load = l; store = s; same_block = false } :: !pairs
+          end)
+        !stores)
+    !loads;
+  List.rev !pairs

@@ -1,0 +1,23 @@
+(** Memory antidependence (write-after-read) detection inside FASEs.
+
+    A region is idempotent only if no input is overwritten before the
+    region ends (Sec. II-C); equivalently, every may-alias
+    (load, later store) pair inside a FASE must be separated by a
+    region boundary.  This module enumerates those pairs; {!Regions}
+    turns them into cuts. *)
+
+open Ido_ir
+
+type pair = {
+  load : Ir.pos;
+  store : Ir.pos;
+  same_block : bool;  (** forward pair within one basic block *)
+}
+
+val compute : Cfg.t -> Fase.t -> Alias.t -> pair list
+(** All WAR pairs [(load, store)] on persistent or stack memory where
+    both ends execute inside a FASE and a control-flow path leads from
+    the load to the store.  [same_block] is set when the pair is a
+    forward pair within one block (handled by interval covering);
+    cross-block and cyclic pairs are handled by block-entry / loop
+    header cuts. *)

@@ -1,0 +1,145 @@
+open Ido_ir
+
+type state = { depth : int; durable : bool }
+
+type t = {
+  (* per block: state before each instruction index; length #instrs+1 *)
+  at : state array array;
+  func : Ir.func;
+  any_fase : bool;
+}
+
+let transfer fname (p : Ir.pos) st (instr : Ir.instr) =
+  match instr with
+  | Lock _ ->
+      if st.durable then
+        Error
+          (Printf.sprintf "%s: lock inside durable region at (%d,%d)" fname
+             p.blk p.idx)
+      else Ok { st with depth = st.depth + 1 }
+  | Unlock _ ->
+      if st.depth <= 0 then
+        Error
+          (Printf.sprintf "%s: unlock with no lock held at (%d,%d)" fname p.blk
+             p.idx)
+      else Ok { st with depth = st.depth - 1 }
+  | Durable_begin ->
+      if st.durable then
+        Error (Printf.sprintf "%s: nested durable region at (%d,%d)" fname p.blk p.idx)
+      else if st.depth > 0 then
+        Error
+          (Printf.sprintf "%s: durable region inside FASE at (%d,%d)" fname
+             p.blk p.idx)
+      else Ok { st with durable = true }
+  | Durable_end ->
+      if not st.durable then
+        Error
+          (Printf.sprintf "%s: durable_end without durable_begin at (%d,%d)"
+             fname p.blk p.idx)
+      else Ok { st with durable = false }
+  | _ -> Ok st
+
+let compute cfg =
+  let f = Cfg.func cfg in
+  let n = Array.length f.blocks in
+  let entry_state = Array.make n None in
+  let at =
+    Array.init n (fun b ->
+        Array.make (Array.length f.blocks.(b).instrs + 1) { depth = 0; durable = false })
+  in
+  entry_state.(0) <- Some { depth = 0; durable = false };
+  let error = ref None in
+  let set_error e = if !error = None then error := Some e in
+  (* Forward propagation in RPO; depths are consistent iff one pass
+     suffices (acyclic joins agree; back edges re-checked below). *)
+  let process b =
+    match entry_state.(b) with
+    | None -> ()
+    | Some st0 ->
+        let blk = f.blocks.(b) in
+        let st = ref st0 in
+        at.(b).(0) <- st0;
+        Array.iteri
+          (fun i instr ->
+            (match transfer f.name { blk = b; idx = i } !st instr with
+            | Ok st' -> st := st'
+            | Error e -> set_error e);
+            at.(b).(i + 1) <- !st)
+          blk.instrs;
+        (match blk.term with
+        | Ret _ when !st.depth > 0 ->
+            set_error
+              (Printf.sprintf "%s: return with lock held (FASE must be confined to one function)"
+                 f.name)
+        | Ret _ when !st.durable ->
+            set_error (Printf.sprintf "%s: return inside durable region" f.name)
+        | _ -> ());
+        List.iter
+          (fun s ->
+            match entry_state.(s) with
+            | None -> entry_state.(s) <- Some !st
+            | Some prev ->
+                if prev <> !st then
+                  set_error
+                    (Printf.sprintf
+                       "%s: inconsistent lock depth at join block %d (%d vs %d)"
+                       f.name s prev.depth !st.depth))
+          (Cfg.succs cfg b)
+  in
+  List.iter process (Cfg.reverse_postorder cfg);
+  (* Re-check back edges: the state flowing along them must match. *)
+  List.iter
+    (fun (src, dst) ->
+      let exit_state = at.(src).(Array.length f.blocks.(src).instrs) in
+      match entry_state.(dst) with
+      | Some st when st <> exit_state ->
+          set_error
+            (Printf.sprintf "%s: inconsistent lock depth around loop at block %d"
+               f.name dst)
+      | _ -> ())
+    (Cfg.back_edges cfg);
+  match !error with
+  | Some e -> Error e
+  | None ->
+      let any_fase =
+        Array.exists
+          (fun states ->
+            Array.exists (fun st -> st.depth > 0 || st.durable) states)
+          at
+      in
+      Ok { at; func = f; any_fase }
+
+let compute_exn cfg =
+  match compute cfg with Ok t -> t | Error e -> failwith e
+
+let state_before t (p : Ir.pos) = t.at.(p.blk).(p.idx)
+
+let depth_before t p = (state_before t p).depth
+let durable_before t p = (state_before t p).durable
+
+let instr_at t (p : Ir.pos) =
+  let blk = t.func.blocks.(p.blk) in
+  if p.idx < Array.length blk.instrs then Some blk.instrs.(p.idx) else None
+
+let in_fase t p =
+  let st = state_before t p in
+  st.depth > 0 || st.durable
+
+let covers t p =
+  in_fase t p
+  ||
+  match instr_at t p with
+  | Some (Lock _) | Some Durable_begin -> true
+  | _ -> false
+
+let outermost_acquire t p =
+  match instr_at t p with
+  | Some (Lock _) -> (state_before t p).depth = 0 && not (state_before t p).durable
+  | _ -> false
+
+let outermost_release t p =
+  match instr_at t p with
+  | Some (Unlock _) -> (state_before t p).depth = 1
+  | _ -> false
+
+let has_fase t = t.any_fase

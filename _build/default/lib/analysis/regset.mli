@@ -1,0 +1,6 @@
+(** Sets of virtual registers (thin wrapper over [Set.Make(Int)]). *)
+
+include Set.S with type elt = int
+
+val of_regs : int list -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,117 @@
+open Ido_ir
+
+let check_func ?(allow_hooks = false) (f : Ir.func) =
+  let errs = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errs := (f.name ^ ": " ^ s) :: !errs) fmt in
+  let nb = Array.length f.blocks in
+  if nb = 0 then err "no blocks";
+  let check_reg r = if r < 0 || r >= f.nregs then err "register r%d out of range" r in
+  List.iter check_reg f.params;
+  Array.iteri
+    (fun b (blk : Ir.block) ->
+      Array.iteri
+        (fun i instr ->
+          List.iter check_reg (Ir.instr_defs instr);
+          List.iter check_reg (Ir.instr_uses instr);
+          match instr with
+          | Hook _ when not allow_hooks -> err "unexpected hook at (%d,%d)" b i
+          | Alloca _ when b <> 0 -> err "alloca outside entry block at (%d,%d)" b i
+          | _ -> ())
+        blk.instrs;
+      List.iter check_reg (Ir.term_uses blk.term);
+      List.iter
+        (fun s -> if s < 0 || s >= nb then err "branch target .%d out of range" s)
+        (Ir.successors blk.term))
+    f.blocks;
+  if !errs <> [] then Error (List.rev !errs)
+  else begin
+    (* Structural checks passed; run the dataflow-based checks. *)
+    let cfg = Cfg.build f in
+    (match Fase.compute cfg with
+    | Error e -> errs := e :: !errs
+    | Ok fase ->
+        (try
+           ignore
+             (Ir.fold_instrs
+                (fun () (pos : Ir.pos) instr ->
+                  let inside = Fase.in_fase fase pos in
+                  match instr with
+                  | Call _ when inside ->
+                      err "call inside FASE at (%d,%d) (FASEs are single-function)"
+                        pos.blk pos.idx
+                  | Intrinsic { intr = Rand; _ } when inside ->
+                      err "non-idempotent rand inside FASE at (%d,%d)" pos.blk pos.idx
+                  | Intrinsic { intr = Observe; _ } when inside ->
+                      err "non-idempotent observe inside FASE at (%d,%d)" pos.blk
+                        pos.idx
+                  | Intrinsic { intr = Nv_free; _ } when inside ->
+                      err "nv_free inside FASE would double-free on resumption at (%d,%d)"
+                        pos.blk pos.idx
+                  | Load { space = Transient; _ } when inside ->
+                      err "transient load inside FASE at (%d,%d)" pos.blk pos.idx
+                  | Store { space = Transient; _ } when inside ->
+                      err "transient store inside FASE at (%d,%d)" pos.blk pos.idx
+                  | Alloca _ when inside ->
+                      err "alloca inside FASE at (%d,%d)" pos.blk pos.idx
+                  | _ -> ())
+                () f)
+         with Failure e -> errs := e :: !errs));
+    (* Reducibility, reported via Regions.check on a lock-free fase. *)
+    (try
+       let rpo_index = Array.make nb max_int in
+       List.iteri (fun i b -> rpo_index.(b) <- i) (Cfg.reverse_postorder cfg);
+       Array.iteri
+         (fun src (blk : Ir.block) ->
+           if Cfg.reachable cfg src then
+             List.iter
+               (fun dst ->
+                 if rpo_index.(dst) <= rpo_index.(src)
+                    && not (Cfg.dominates cfg dst src)
+                 then err "irreducible control flow (edge %d -> %d)" src dst)
+               (Ir.successors blk.term))
+         f.blocks
+     with Failure e -> errs := e :: !errs);
+    if !errs = [] then Ok () else Error (List.rev !errs)
+  end
+
+let check_program ?allow_hooks (p : Ir.program) =
+  let errs = ref [] in
+  let names = Hashtbl.create 8 in
+  List.iter
+    (fun (name, (f : Ir.func)) ->
+      if Hashtbl.mem names name then
+        errs := Printf.sprintf "duplicate function %s" name :: !errs;
+      Hashtbl.replace names name (List.length f.params);
+      if name <> f.name then
+        errs := Printf.sprintf "function %s registered under name %s" f.name name :: !errs)
+    p.funcs;
+  List.iter
+    (fun (_, f) ->
+      (match check_func ?allow_hooks f with
+      | Ok () -> ()
+      | Error es -> errs := List.rev_append es !errs);
+      ignore
+        (Ir.fold_instrs
+           (fun () _ instr ->
+             match instr with
+             | Call { func; args; _ } -> (
+                 match Hashtbl.find_opt names func with
+                 | None ->
+                     errs :=
+                       Printf.sprintf "%s: call to unknown function %s" f.name func
+                       :: !errs
+                 | Some arity ->
+                     if List.length args <> arity then
+                       errs :=
+                         Printf.sprintf "%s: call to %s with %d args (expects %d)"
+                           f.name func (List.length args) arity
+                         :: !errs)
+             | _ -> ())
+           () f))
+    p.funcs;
+  if !errs = [] then Ok () else Error (List.rev !errs)
+
+let check_program_exn ?allow_hooks p =
+  match check_program ?allow_hooks p with
+  | Ok () -> ()
+  | Error es -> failwith (String.concat "\n" es)

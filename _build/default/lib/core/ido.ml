@@ -1,0 +1,65 @@
+(** iDO: compiler-directed failure atomicity for nonvolatile memory.
+
+    The public face of the library — one alias per subsystem, in
+    pipeline order.  A downstream user writes a lock-based program with
+    {!Builder}, validates it with {!Validate}, and hands it to
+    {!Vm.create}, which runs the scheme's compiler passes
+    ({!Instrument} over the analyses in {!Cfg}/{!Liveness}/{!Alias}/
+    {!Regions}) and executes the result on the simulated NVM machine.
+    {!Vm.crash} and {!Vm.recover} exercise the failure model;
+    {!Figures} regenerates the paper's evaluation.
+
+    See README.md for a guided tour and DESIGN.md for the system
+    inventory. *)
+
+(** {1 Foundations} *)
+
+module Rng = Ido_util.Rng
+module Zipf = Ido_util.Zipf
+module Stats = Ido_util.Stats
+module Cdf = Ido_util.Cdf
+module Timebase = Ido_util.Timebase
+module Render = Ido_util.Render
+
+(** {1 The simulated machine substrate} *)
+
+module Latency = Ido_nvm.Latency
+module Pmem = Ido_nvm.Pmem
+module Vmem = Ido_nvm.Vmem
+module Region = Ido_region.Region
+
+(** {1 The compiler} *)
+
+module Ir = Ido_ir.Ir
+module Builder = Ido_ir.Builder
+module Cfg = Ido_analysis.Cfg
+module Liveness = Ido_analysis.Liveness
+module Alias = Ido_analysis.Alias
+module Antidep = Ido_analysis.Antidep
+module Regions = Ido_analysis.Regions
+module Fase = Ido_analysis.Fase
+module Validate = Ido_analysis.Validate
+module Instrument = Ido_instrument.Instrument
+
+(** {1 The runtimes} *)
+
+module Scheme = Ido_runtime.Scheme
+module Pwriter = Ido_runtime.Pwriter
+module Ido_log = Ido_runtime.Ido_log
+module Justdo_log = Ido_runtime.Justdo_log
+module Undo_log = Ido_runtime.Undo_log
+module Redo_log = Ido_runtime.Redo_log
+module Page_log = Ido_runtime.Page_log
+module Atlas_recovery = Ido_runtime.Atlas_recovery
+
+(** {1 Execution and recovery} *)
+
+module Vm = Ido_vm.Vm
+module Recover = Ido_vm.Recover
+module Image = Ido_vm.Image
+
+(** {1 Benchmarks and experiments} *)
+
+module Workload = Ido_workloads.Workload
+module Exp = Ido_harness.Exp
+module Figures = Ido_harness.Figures

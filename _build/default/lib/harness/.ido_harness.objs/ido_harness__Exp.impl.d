@@ -1,0 +1,1 @@
+lib/harness/exp.ml: Ido_nvm Ido_runtime Ido_util Ido_vm Int64 Option Pmem Scheme Timebase

@@ -1,0 +1,1 @@
+lib/harness/exp.mli: Cdf Ido_ir Ido_nvm Ido_runtime Ido_util Ido_vm Ir Scheme Timebase

@@ -1,0 +1,1 @@
+lib/harness/figures.ml: Cdf Exp Hmap Ido_nvm Ido_runtime Ido_util Ido_vm Ido_workloads Int64 Kvcache Latency List Objstore Olist Printf Queue Render Scheme Stack String Timebase

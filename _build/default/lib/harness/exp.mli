@@ -1,0 +1,69 @@
+(** Shared experiment machinery: throughput runs, crash–recover–check
+    runs, and the scale presets that size every figure. *)
+
+open Ido_util
+open Ido_ir
+open Ido_runtime
+
+(** How large to run the experiments.  [Quick] regenerates every
+    figure's shape in a few minutes of host time; [Full] uses more
+    operations and thread counts closer to the paper's 64-thread
+    machine. *)
+type scale = Quick | Full
+
+val thread_counts : scale -> int list
+(** Worker counts for the scalability sweeps. *)
+
+val micro_total_ops : scale -> int
+(** Total operations (divided among workers) per microbenchmark run. *)
+
+val app_total_ops : scale -> int
+
+type run = {
+  scheme : Scheme.t;
+  mops : float;  (** throughput, millions of operations per second *)
+  sim_ns : Timebase.ns;  (** simulated duration of the run *)
+  ops : int;
+  fences : int;
+  clwbs : int;
+}
+
+val throughput :
+  ?seed:int ->
+  ?latency:Ido_nvm.Latency.t ->
+  ?collect_region_stats:bool ->
+  scheme:Scheme.t ->
+  threads:int ->
+  total_ops:int ->
+  Ir.program ->
+  run
+(** Initialise, make the setup durable, run [threads] workers sharing
+    [total_ops] operations to completion, and report throughput. *)
+
+type crash_report = {
+  crashed_at : Timebase.ns;
+  recovery : Ido_vm.Recover.stats;
+  check_ok : bool;
+  check_count : int;  (** the count observed by the [check] function *)
+  undo_records : int;  (** UNDO records accumulated before the crash *)
+}
+
+val crash_recover_check :
+  ?seed:int ->
+  scheme:Scheme.t ->
+  threads:int ->
+  ops_per_thread:int ->
+  crash_at:Timebase.ns ->
+  Ir.program ->
+  crash_report
+(** Run workers, power-fail at [crash_at] (simulated), recover, then
+    run the workload's [check] function on the recovered heap. *)
+
+val region_stats :
+  ?seed:int ->
+  threads:int ->
+  total_ops:int ->
+  Ir.program ->
+  Cdf.t * Cdf.t
+(** Run under iDO and return the Fig. 8 distributions:
+    (stores per dynamic region, live-in registers per region). *)

@@ -1,0 +1,1 @@
+lib/instrument/instrument.ml: Alias Array Cfg Fase Hashtbl Ido_analysis Ido_ir Ido_runtime Ir List Liveness Regions Scheme

@@ -1,0 +1,1 @@
+lib/instrument/instrument.mli: Ido_analysis Ido_ir Ido_runtime Ir Scheme

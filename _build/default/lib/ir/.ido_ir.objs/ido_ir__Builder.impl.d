@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Array Ir List Printf

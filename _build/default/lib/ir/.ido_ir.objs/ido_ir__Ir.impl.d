@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Format List Printf String

@@ -1,0 +1,170 @@
+open Ir
+
+type blabel = int
+
+type proto_block = {
+  p_label : string;
+  mutable p_instrs : instr list;  (* reversed *)
+  mutable p_term : terminator option;
+}
+
+type t = {
+  fname : string;
+  params : reg list;
+  mutable next_reg : int;
+  mutable blocks : proto_block array;
+  mutable nblocks : int;
+  mutable cursor : int;  (* insertion block *)
+}
+
+let add_block t label =
+  let pb = { p_label = label; p_instrs = []; p_term = None } in
+  if t.nblocks = Array.length t.blocks then begin
+    let a = Array.make (2 * t.nblocks) pb in
+    Array.blit t.blocks 0 a 0 t.nblocks;
+    t.blocks <- a
+  end;
+  t.blocks.(t.nblocks) <- pb;
+  t.nblocks <- t.nblocks + 1;
+  t.nblocks - 1
+
+let create ~name ~nparams =
+  let params = List.init nparams (fun i -> i) in
+  let t =
+    {
+      fname = name;
+      params;
+      next_reg = nparams;
+      blocks = Array.make 8 { p_label = ""; p_instrs = []; p_term = None };
+      nblocks = 0;
+      cursor = 0;
+    }
+  in
+  let entry = add_block t "entry" in
+  t.cursor <- entry;
+  (t, params)
+
+let fresh t =
+  let r = t.next_reg in
+  t.next_reg <- r + 1;
+  r
+
+let block t label = add_block t label
+
+let current t = t.blocks.(t.cursor)
+
+let switch_to t b =
+  if b < 0 || b >= t.nblocks then invalid_arg "Builder.switch_to";
+  (match t.blocks.(b).p_term with
+  | Some _ -> invalid_arg "Builder.switch_to: block already terminated"
+  | None -> ());
+  t.cursor <- b
+
+let emit t i =
+  let pb = current t in
+  (match pb.p_term with
+  | Some _ -> invalid_arg "Builder: emitting into a terminated block"
+  | None -> ());
+  pb.p_instrs <- i :: pb.p_instrs
+
+let terminate t term =
+  let pb = current t in
+  match pb.p_term with
+  | Some _ -> invalid_arg "Builder: block already terminated"
+  | None -> pb.p_term <- Some term
+
+let bin t op a b =
+  let d = fresh t in
+  emit t (Bin (d, op, a, b));
+  d
+
+let mov t a =
+  let d = fresh t in
+  emit t (Mov (d, a));
+  d
+
+let assign t r a = emit t (Mov (r, a))
+
+let assign_bin t r op a b = emit t (Bin (r, op, a, b))
+
+let load t space base off =
+  let d = fresh t in
+  emit t (Load { dst = d; space; base; off });
+  d
+
+let store t space base off src = emit t (Store { space; base; off; src })
+
+let alloca t n =
+  let d = fresh t in
+  emit t (Alloca (d, n));
+  d
+
+let lock t a = emit t (Lock a)
+let unlock t a = emit t (Unlock a)
+let durable_begin t = emit t Durable_begin
+let durable_end t = emit t Durable_end
+
+let call t func args =
+  let d = fresh t in
+  emit t (Call { dst = Some d; func; args });
+  d
+
+let call_void t func args = emit t (Call { dst = None; func; args })
+
+let intr t intr_ args =
+  let d = fresh t in
+  emit t (Intrinsic { dst = Some d; intr = intr_; args });
+  d
+
+let intr_void t intr_ args =
+  emit t (Intrinsic { dst = None; intr = intr_; args })
+
+let br t b = terminate t (Br b)
+let cbr t c a b = terminate t (Cbr (c, a, b))
+let ret t o = terminate t (Ret o)
+
+let terminated t = (current t).p_term <> None
+
+let if_ t cond ~then_ ~else_ =
+  let bt = block t "then" in
+  let bf = block t "else" in
+  let bj = block t "join" in
+  cbr t cond bt bf;
+  switch_to t bt;
+  then_ ();
+  if not (terminated t) then br t bj;
+  switch_to t bf;
+  else_ ();
+  if not (terminated t) then br t bj;
+  switch_to t bj
+
+let while_ t ~cond ~body =
+  let bh = block t "while_head" in
+  let bb = block t "while_body" in
+  let bx = block t "while_exit" in
+  br t bh;
+  switch_to t bh;
+  let c = cond () in
+  cbr t c bb bx;
+  switch_to t bb;
+  body ();
+  if not (terminated t) then br t bh;
+  switch_to t bx
+
+let finish t =
+  let blocks =
+    Array.init t.nblocks (fun i ->
+        let pb = t.blocks.(i) in
+        match pb.p_term with
+        | None ->
+            failwith
+              (Printf.sprintf "Builder.finish: block %s of %s not terminated"
+                 pb.p_label t.fname)
+        | Some term ->
+            {
+              label = pb.p_label;
+              instrs = Array.of_list (List.rev pb.p_instrs);
+              term;
+            })
+  in
+  { name = t.fname; params = t.params; blocks; nregs = t.next_reg }

@@ -1,0 +1,1 @@
+lib/nvm/latency.ml: Ido_util Timebase

@@ -1,0 +1,1 @@
+lib/nvm/latency.mli: Ido_util Timebase

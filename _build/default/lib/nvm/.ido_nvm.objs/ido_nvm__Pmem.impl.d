@@ -1,0 +1,1 @@
+lib/nvm/pmem.ml: Array Hashtbl Ido_util List Printf Rng Stdlib

@@ -1,0 +1,1 @@
+lib/nvm/pmem.mli: Ido_util Rng

@@ -1,0 +1,1 @@
+lib/nvm/vmem.ml: Array Stdlib

@@ -1,0 +1,40 @@
+open Ido_util
+
+type t = {
+  alu : Timebase.ns;
+  mem : Timebase.ns;
+  branch : Timebase.ns;
+  clwb_issue : Timebase.ns;
+  fence_base : Timebase.ns;
+  persist_wait : Timebase.ns;
+  line_drain : Timebase.ns;
+  nvm_extra : Timebase.ns;
+  lock_op : Timebase.ns;
+  alloc : Timebase.ns;
+  call : Timebase.ns;
+  nv_caches : bool;
+}
+
+let default =
+  {
+    alu = 1;
+    mem = 3;
+    branch = 1;
+    clwb_issue = 8;
+    fence_base = 15;
+    persist_wait = 100;
+    line_drain = 12;
+    nvm_extra = 0;
+    lock_op = 15;
+    alloc = 60;
+    call = 5;
+    nv_caches = false;
+  }
+
+let with_nvm_extra t extra = { t with nvm_extra = extra }
+
+let nv_cache_machine = { default with nv_caches = true }
+
+let fence_cost t ~pending =
+  if t.nv_caches || pending <= 0 then t.fence_base
+  else t.fence_base + t.persist_wait + ((pending - 1) * t.line_drain)

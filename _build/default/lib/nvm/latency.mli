@@ -1,0 +1,51 @@
+(** Hardware timing model.
+
+    The paper evaluates on a 64-thread AMD Opteron where persistence is
+    emulated with [clflush]+[sfence] over DRAM, plus (Sec. V-E) a
+    configurable delay after each flush to model slower NVM.  This
+    record gathers every timing knob of our simulated machine; all
+    values are in nanoseconds. *)
+
+open Ido_util
+
+type t = {
+  alu : Timebase.ns;  (** register-to-register instruction *)
+  mem : Timebase.ns;  (** cache-hit load/store *)
+  branch : Timebase.ns;  (** taken/untaken branch *)
+  clwb_issue : Timebase.ns;  (** issuing a line write-back *)
+  fence_base : Timebase.ns;  (** [sfence] with nothing pending *)
+  persist_wait : Timebase.ns;
+      (** round trip to the (ADR) memory controller, paid once per
+          fence that has pending write-backs *)
+  line_drain : Timebase.ns;
+      (** additional overlapped drain cost per pending line beyond the
+          first *)
+  nvm_extra : Timebase.ns;
+      (** extra delay charged inline after each write-back to NVM —
+          the Fig. 9 sensitivity knob, applied exactly as the paper
+          applies it (a spin after each clflush); 0 on the ADR
+          baseline machine *)
+  lock_op : Timebase.ns;  (** uncontended lock acquire or release *)
+  alloc : Timebase.ns;  (** one [nv_malloc]/[nv_free] *)
+  call : Timebase.ns;  (** call/return overhead *)
+  nv_caches : bool;
+      (** the hypothetical machine JUSTDO was designed for (Sec. I):
+          caches are nonvolatile, so write-backs are free, fences cost
+          only their ordering overhead, and cached data survives a
+          crash *)
+}
+
+val default : t
+(** The baseline machine of Sections V-A..V-D: volatile caches,
+    flush+fence persistence. *)
+
+val nv_cache_machine : t
+(** [default] with nonvolatile caches — the ablation machine on which
+    the paper argues iDO should still beat prior systems. *)
+
+val with_nvm_extra : t -> Timebase.ns -> t
+(** The Fig. 9 machine: [default] plus an extra per-flush delay. *)
+
+val fence_cost : t -> pending:int -> Timebase.ns
+(** Cost of a persist fence that must drain [pending] outstanding line
+    write-backs. *)

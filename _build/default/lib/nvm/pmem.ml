@@ -1,0 +1,148 @@
+open Ido_util
+
+type addr = int
+
+let words_per_line = 8
+
+type counters = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable clwbs : int;
+  mutable fences : int;
+  mutable evictions : int;
+}
+
+type t = {
+  nvm : int64 array;  (* the persistence domain *)
+  overlay : (int, int64 array) Hashtbl.t;  (* dirty lines: line -> 8 words *)
+  cache_lines : int;
+  rng : Rng.t;
+  counters : counters;
+  mutable pending : int;
+}
+
+let create ?(cache_lines = 1024) ~rng size =
+  if size <= 0 then invalid_arg "Pmem.create: size must be positive";
+  {
+    nvm = Array.make size 0L;
+    overlay = Hashtbl.create 4096;
+    cache_lines;
+    rng;
+    counters = { loads = 0; stores = 0; clwbs = 0; fences = 0; evictions = 0 };
+    pending = 0;
+  }
+
+let size t = Array.length t.nvm
+let counters t = t.counters
+
+let check t addr =
+  if addr < 0 || addr >= Array.length t.nvm then
+    invalid_arg (Printf.sprintf "Pmem: address %d out of bounds" addr)
+
+let line_of addr = addr / words_per_line
+let offset_of addr = addr mod words_per_line
+
+let load t addr =
+  check t addr;
+  t.counters.loads <- t.counters.loads + 1;
+  match Hashtbl.find_opt t.overlay (line_of addr) with
+  | Some words -> words.(offset_of addr)
+  | None -> t.nvm.(addr)
+
+(* Copy a dirty line into the persistence domain and drop it from the
+   overlay. *)
+let write_back t line words =
+  let base = line * words_per_line in
+  let limit = Stdlib.min words_per_line (Array.length t.nvm - base) in
+  Array.blit words 0 t.nvm base limit;
+  Hashtbl.remove t.overlay line
+
+let evict_random t =
+  (* Pick a pseudo-random dirty line: hash-order walk with a random
+     skip.  This is the "arbitrary write-back order" of the paper. *)
+  let n = Hashtbl.length t.overlay in
+  if n > 0 then begin
+    let skip = Rng.int t.rng n in
+    let picked = ref None in
+    let i = ref 0 in
+    (try
+       Hashtbl.iter
+         (fun line words ->
+           if !i = skip then begin
+             picked := Some (line, words);
+             raise Exit
+           end;
+           incr i)
+         t.overlay
+     with Exit -> ());
+    match !picked with
+    | Some (line, words) ->
+        write_back t line words;
+        t.counters.evictions <- t.counters.evictions + 1
+    | None -> ()
+  end
+
+let dirty_line t addr =
+  let line = line_of addr in
+  match Hashtbl.find_opt t.overlay line with
+  | Some words -> words
+  | None ->
+      if Hashtbl.length t.overlay >= t.cache_lines then evict_random t;
+      let base = line * words_per_line in
+      let words = Array.make words_per_line 0L in
+      let limit = Stdlib.min words_per_line (Array.length t.nvm - base) in
+      Array.blit t.nvm base words 0 limit;
+      Hashtbl.add t.overlay line words;
+      words
+
+let store t addr v =
+  check t addr;
+  t.counters.stores <- t.counters.stores + 1;
+  let words = dirty_line t addr in
+  words.(offset_of addr) <- v
+
+let poke t addr v =
+  check t addr;
+  t.nvm.(addr) <- v;
+  match Hashtbl.find_opt t.overlay (line_of addr) with
+  | Some words -> words.(offset_of addr) <- v
+  | None -> ()
+
+let clwb t addr =
+  check t addr;
+  t.counters.clwbs <- t.counters.clwbs + 1;
+  (match Hashtbl.find_opt t.overlay (line_of addr) with
+  | Some words ->
+      write_back t (line_of addr) words;
+      t.pending <- t.pending + 1
+  | None -> ())
+
+let fence t =
+  t.counters.fences <- t.counters.fences + 1;
+  let pending = t.pending in
+  t.pending <- 0;
+  pending
+
+let pending_flushes t = t.pending
+let drain_pending t = t.pending <- 0
+
+let persisted t addr =
+  check t addr;
+  t.nvm.(addr)
+
+let is_dirty t addr =
+  check t addr;
+  Hashtbl.mem t.overlay (line_of addr)
+
+let dirty_lines t = Hashtbl.length t.overlay
+
+let crash t =
+  Hashtbl.reset t.overlay;
+  t.pending <- 0
+
+let snapshot_persistent t = Array.copy t.nvm
+
+let flush_all t =
+  let lines = Hashtbl.fold (fun line words acc -> (line, words) :: acc) t.overlay [] in
+  List.iter (fun (line, words) -> write_back t line words) lines;
+  t.pending <- 0

@@ -1,0 +1,91 @@
+(** Simulated byte-addressable nonvolatile memory behind a volatile
+    write-back cache.
+
+    The memory is an array of 8-byte words (one [int64] per word, so
+    writes are atomic at 8-byte granularity, matching the paper's
+    assumption in Sec. II-A).  Stores land in a volatile cache-line
+    overlay (8 words = 64 bytes per line); they reach the persistence
+    domain only when the line is explicitly written back ([clwb]) or
+    evicted.  Eviction order is pseudo-random — the "caches can write
+    data back in arbitrary order" hazard of Sec. I.
+
+    A {e crash} discards the overlay: the post-crash contents are
+    exactly the words that had persisted. *)
+
+open Ido_util
+
+type addr = int
+(** Word address into persistent memory. *)
+
+type t
+
+val words_per_line : int
+(** 8 words = 64-byte cache lines. *)
+
+type counters = {
+  mutable loads : int;
+  mutable stores : int;
+  mutable clwbs : int;
+  mutable fences : int;
+  mutable evictions : int;
+}
+
+val create : ?cache_lines:int -> rng:Rng.t -> int -> t
+(** [create ~rng size] makes a persistent memory of [size] words,
+    zero-initialised and fully persisted.  [cache_lines] bounds the
+    number of distinct {e dirty} lines held in the volatile overlay
+    before pseudo-random eviction begins (default 1024). *)
+
+val size : t -> int
+val counters : t -> counters
+
+val load : t -> addr -> int64
+(** Read through the overlay (newest value, persisted or not). *)
+
+val store : t -> addr -> int64 -> unit
+(** Write into the volatile overlay; may trigger an eviction. *)
+
+val poke : t -> addr -> int64 -> unit
+(** Write directly into the persistence domain, bypassing the cache
+    (still updating any cached copy).  For initialising freshly
+    allocated blocks and for simulator-side metadata; not part of the
+    simulated machine's store path. *)
+
+val clwb : t -> addr -> unit
+(** Initiate write-back of the line containing [addr].  The line's
+    current contents enter the persistence domain; the waiting cost is
+    charged by the next fence (see {!drain_pending}). *)
+
+val fence : t -> int
+(** Persist fence: returns the number of write-backs initiated since
+    the previous fence (for cost accounting) and resets the pending
+    count.  After [fence], every preceding [clwb] is durable. *)
+
+val pending_flushes : t -> int
+(** Write-backs issued since the last fence. *)
+
+val drain_pending : t -> unit
+(** Forget pending write-backs without counting a fence (used when a
+    crash lands between clwb and fence — the write-backs are already
+    durable in this model; see DESIGN.md). *)
+
+val persisted : t -> addr -> int64
+(** The value currently in the persistence domain (what a crash would
+    leave behind), ignoring any newer un-flushed store. *)
+
+val is_dirty : t -> addr -> bool
+(** True when the word's line holds an un-persisted update. *)
+
+val dirty_lines : t -> int
+(** Number of dirty lines currently in the overlay. *)
+
+val crash : t -> unit
+(** Power failure: drop the overlay in place.  Subsequent loads see
+    only persisted values.  Counters are preserved. *)
+
+val snapshot_persistent : t -> int64 array
+(** Copy of the persistence domain (for offline inspection in tests). *)
+
+val flush_all : t -> unit
+(** Write back every dirty line and fence (test/setup helper: makes
+    the whole memory durable without charging anything). *)

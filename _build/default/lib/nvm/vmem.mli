@@ -1,0 +1,20 @@
+(** Transient (volatile DRAM) memory.
+
+    A growable array of 8-byte words.  Its entire contents vanish at a
+    crash — the simulator simply discards the structure.  Used for the
+    hybrid machine's DRAM portion (Fig. 1) and for transient mutexes
+    under indirect locking (Sec. III-B). *)
+
+type addr = int
+type t
+
+val create : ?initial:int -> unit -> t
+val load : t -> addr -> int64
+val store : t -> addr -> int64 -> unit
+(** Grows the memory on demand; addresses must be non-negative. *)
+
+val alloc : t -> int -> addr
+(** Bump-allocate [n] fresh zeroed words and return their base. *)
+
+val size : t -> int
+(** Current high-water mark of allocated words. *)

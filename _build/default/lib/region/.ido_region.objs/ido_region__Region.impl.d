@@ -1,0 +1,1 @@
+lib/region/region.ml: Ido_nvm Int64 Pmem

@@ -1,0 +1,1 @@
+lib/region/region.mli: Ido_nvm Pmem

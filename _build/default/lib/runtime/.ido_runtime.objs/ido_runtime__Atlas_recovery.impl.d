@@ -1,0 +1,1 @@
+lib/runtime/atlas_recovery.ml: Array Ido_nvm Ido_util Int64 Latency List Lognode Pwriter Undo_log

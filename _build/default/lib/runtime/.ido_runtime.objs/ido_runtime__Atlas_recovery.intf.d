@@ -1,0 +1,1 @@
+lib/runtime/atlas_recovery.mli: Ido_region Ido_util Pwriter Region

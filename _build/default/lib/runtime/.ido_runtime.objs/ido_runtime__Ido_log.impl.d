@@ -1,0 +1,1 @@
+lib/runtime/ido_log.ml: Array Ido_nvm Int64 List Lognode Pmem Pwriter

@@ -1,0 +1,1 @@
+lib/runtime/justdo_log.ml: Array Ido_log Ido_nvm Int64 List Lognode Pmem Pwriter

@@ -1,0 +1,1 @@
+lib/runtime/lognode.ml: Ido_nvm Ido_region Int64 Latency Pmem Pwriter Region

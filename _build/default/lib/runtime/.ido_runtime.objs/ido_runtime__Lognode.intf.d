@@ -1,0 +1,1 @@
+lib/runtime/lognode.mli: Ido_nvm Ido_region Pmem Pwriter Region

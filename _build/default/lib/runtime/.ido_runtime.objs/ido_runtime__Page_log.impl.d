@@ -1,0 +1,1 @@
+lib/runtime/page_log.ml: Ido_nvm Int64 List Lognode Pmem Pwriter

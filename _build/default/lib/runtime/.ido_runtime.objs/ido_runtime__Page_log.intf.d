@@ -1,0 +1,1 @@
+lib/runtime/page_log.mli: Ido_nvm Ido_region Pmem Pwriter Region

@@ -1,0 +1,1 @@
+lib/runtime/pwriter.ml: Ido_nvm Latency List Pmem

@@ -1,0 +1,1 @@
+lib/runtime/pwriter.mli: Ido_nvm Ido_util Latency Pmem Timebase

@@ -1,0 +1,1 @@
+lib/runtime/scheme.ml: Format List String

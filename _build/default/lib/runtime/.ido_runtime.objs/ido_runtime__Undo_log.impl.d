@@ -1,0 +1,1 @@
+lib/runtime/undo_log.ml: Ido_nvm Int64 List Lognode Pmem Printf Pwriter

@@ -1,0 +1,27 @@
+(** Atlas post-crash recovery.
+
+    Traverses every thread's UNDO log, reconstructs the FASEs and the
+    happens-before order among them from the lock acquire/release
+    records, computes the set of FASEs that must be discarded — every
+    FASE interrupted by the crash, plus, transitively, every FASE that
+    acquired a lock {e after} a discarded FASE released it (it may have
+    observed uncommitted state) — and rolls their stores back in
+    reverse global order (Sec. V-D describes this log traversal; its
+    cost is what Table I measures against iDO's constant-time
+    restart). *)
+
+open Ido_region
+
+type stats = {
+  nodes : int;  (** per-thread logs traversed *)
+  records_scanned : int;
+  fases_found : int;
+  fases_rolled_back : int;
+  writes_undone : int;
+  cost : Ido_util.Timebase.ns;  (** simulated time spent in recovery *)
+}
+
+val recover : Pwriter.t -> Region.t -> stats
+(** Scan, roll back, persist the restored values, truncate the logs.
+    After [recover] the persistent heap reflects only FASEs that
+    survive the happens-before analysis. *)

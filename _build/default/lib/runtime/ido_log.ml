@@ -1,0 +1,119 @@
+open Ido_nvm
+
+let lock_slots = 16
+
+(* Payload layout, relative to the node address. *)
+let off_pc = 3
+let off_bitmap = 4
+let off_locks = 5
+let off_nregs = off_locks + lock_slots
+let off_intrf = off_nregs + 1
+
+let create w region ~tid ~nregs =
+  let node =
+    Lognode.push w region ~kind:Lognode.kind_ido ~tid
+      ~payload_words:(1 + 1 + lock_slots + 1 + nregs + 2)
+  in
+  Pwriter.store w (node + off_nregs) (Int64.of_int nregs);
+  Pwriter.clwb w (node + off_nregs);
+  Pwriter.fence w;
+  node
+
+(* recovery_pc and lock_array entries carry a boundary epoch in their
+   high bits (one atomic 8-byte word each).  Recovery re-acquires only
+   locks stamped with an epoch older than the pc's: locks taken after
+   the last persisted boundary protect a region that performed no
+   stores (else the boundary would have persisted), so resumption can
+   safely re-acquire them in program order — preserving lock-ordering
+   disciplines such as hand-over-hand. *)
+let epoch_mask = 0xFFFFF
+let pack ~epoch v = Int64.logor (Int64.shift_left (Int64.of_int (epoch land epoch_mask)) 40) (Int64.of_int v)
+let unpack w = (Int64.to_int (Int64.logand w 0xFF_FFFF_FFFFL),
+                Int64.to_int (Int64.shift_right_logical w 40))
+
+let set_recovery_pc w node ~epoch pc =
+  Pwriter.store w (node + off_pc) (if pc = 0 then 0L else pack ~epoch pc);
+  Pwriter.clwb w (node + off_pc)
+
+let recovery_pc pm node = fst (unpack (Pmem.load pm (node + off_pc)))
+let recovery_epoch pm node = snd (unpack (Pmem.load pm (node + off_pc)))
+
+let write_out_regs ?(coalesce = true) w node regs =
+  List.iter (fun (r, v) -> Pwriter.store w (node + off_intrf + r) v) regs;
+  if coalesce then
+    Pwriter.clwb_lines w (List.map (fun (r, _) -> node + off_intrf + r) regs)
+  else
+    (* Ablation: one write-back per register, as a naive implementation
+       without Sec. IV-B's persist coalescing would issue. *)
+    List.iter (fun (r, _) -> Pwriter.clwb w (node + off_intrf + r)) regs
+
+let read_reg pm node r = Pmem.load pm (node + off_intrf + r)
+
+let read_all_regs pm node =
+  let nregs = Int64.to_int (Pmem.load pm (node + off_nregs)) in
+  Array.init nregs (fun r -> read_reg pm node r)
+
+let bitmap pm node = Pmem.load pm (node + off_bitmap)
+
+let record_acquire w node ~holder ~epoch =
+  let pm = Pwriter.pmem w in
+  let bits = bitmap pm node in
+  let rec free_slot i =
+    if i >= lock_slots then failwith "Ido_log: lock_array overflow"
+    else if Int64.logand bits (Int64.shift_left 1L i) = 0L then i
+    else free_slot (i + 1)
+  in
+  let slot = free_slot 0 in
+  Pwriter.store w (node + off_locks + slot) (pack ~epoch holder);
+  Pwriter.store w (node + off_bitmap)
+    (Int64.logor bits (Int64.shift_left 1L slot));
+  Pwriter.clwb_lines w [ node + off_locks + slot; node + off_bitmap ]
+
+(* Tolerates an absent record: a resumed region may re-execute the
+   release after the crash already cleared it (Sec. III-B's benign
+   windows). *)
+let record_release w node ~holder =
+  let pm = Pwriter.pmem w in
+  let bits = bitmap pm node in
+  let rec find i =
+    if i >= lock_slots then None
+    else if
+      Int64.logand bits (Int64.shift_left 1L i) <> 0L
+      && fst (unpack (Pmem.load pm (node + off_locks + i))) = holder
+    then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None -> ()
+  | Some slot ->
+      Pwriter.store w (node + off_locks + slot) 0L;
+      Pwriter.store w (node + off_bitmap)
+        (Int64.logand bits (Int64.lognot (Int64.shift_left 1L slot)));
+      Pwriter.clwb_lines w [ node + off_locks + slot; node + off_bitmap ]
+
+let held_locks pm node =
+  let bits = bitmap pm node in
+  let rec go i acc =
+    if i >= lock_slots then List.rev acc
+    else if Int64.logand bits (Int64.shift_left 1L i) <> 0L then
+      go (i + 1) (unpack (Pmem.load pm (node + off_locks + i)) :: acc)
+    else go (i + 1) acc
+  in
+  go 0 []
+
+(* Simulator-side stack metadata.  Real iDO keeps the stack pointer in
+   intRF; our interpreter frames carry base and sp separately, so they
+   are stashed after intRF, written back without charging cost. *)
+let sim_off pm node = off_intrf + Int64.to_int (Pmem.load pm (node + off_nregs))
+
+let set_sim_stack pm node ~base ~sp =
+  let o = node + sim_off pm node in
+  Pmem.store pm o (Int64.of_int base);
+  Pmem.store pm (o + 1) (Int64.of_int sp);
+  Pmem.clwb pm o;
+  Pmem.clwb pm (o + 1);
+  Pmem.drain_pending pm
+
+let sim_stack pm node =
+  let o = node + sim_off pm node in
+  (Int64.to_int (Pmem.load pm o), Int64.to_int (Pmem.load pm (o + 1)))

@@ -1,0 +1,127 @@
+open Ido_nvm
+
+let lock_slots = Ido_log.lock_slots
+
+let off_valid = 3
+let off_pc = 4
+let off_addr = 5
+let off_val = 6
+let off_bitmap = 7
+let off_intent = 8
+let off_locks = 9
+let off_nregs = off_locks + lock_slots
+let off_regs = off_nregs + 1
+
+let create w region ~tid ~nregs =
+  let node =
+    Lognode.push w region ~kind:Lognode.kind_justdo ~tid
+      ~payload_words:(6 + lock_slots + 1 + nregs + 2)
+  in
+  Pwriter.store w (node + off_nregs) (Int64.of_int nregs);
+  Pwriter.clwb w (node + off_nregs);
+  Pwriter.fence w;
+  node
+
+let log_store w node ~pc ~addr ~value =
+  Pwriter.store w (node + off_pc) (Int64.of_int pc);
+  Pwriter.store w (node + off_addr) (Int64.of_int addr);
+  Pwriter.store w (node + off_val) value;
+  Pwriter.store w (node + off_valid) 1L;
+  Pwriter.clwb_lines w [ node + off_valid; node + off_val ];
+  Pwriter.fence w
+
+let clear w node =
+  Pwriter.store w (node + off_valid) 0L;
+  Pwriter.clwb w (node + off_valid);
+  Pwriter.fence w
+
+let armed pm node = Pmem.load pm (node + off_valid) <> 0L
+
+let entry pm node =
+  ( Int64.to_int (Pmem.load pm (node + off_pc)),
+    Int64.to_int (Pmem.load pm (node + off_addr)),
+    Pmem.load pm (node + off_val) )
+
+let bitmap pm node = Pmem.load pm (node + off_bitmap)
+
+(* Two persist fences per lock operation: one for the intention log,
+   one for the ownership record — the JUSTDO protocol that Sec. III-B
+   improves upon. *)
+let record_acquire w node ~holder =
+  Pwriter.store w (node + off_intent) (Int64.of_int holder);
+  Pwriter.clwb w (node + off_intent);
+  Pwriter.fence w;
+  let pm = Pwriter.pmem w in
+  let bits = bitmap pm node in
+  let rec free_slot i =
+    if i >= lock_slots then failwith "Justdo_log: lock_array overflow"
+    else if Int64.logand bits (Int64.shift_left 1L i) = 0L then i
+    else free_slot (i + 1)
+  in
+  let slot = free_slot 0 in
+  Pwriter.store w (node + off_locks + slot) (Int64.of_int holder);
+  Pwriter.store w (node + off_bitmap)
+    (Int64.logor bits (Int64.shift_left 1L slot));
+  Pwriter.store w (node + off_intent) 0L;
+  Pwriter.clwb_lines w
+    [ node + off_locks + slot; node + off_bitmap; node + off_intent ];
+  Pwriter.fence w
+
+let record_release w node ~holder =
+  Pwriter.store w (node + off_intent) (Int64.of_int (-holder));
+  Pwriter.clwb w (node + off_intent);
+  Pwriter.fence w;
+  let pm = Pwriter.pmem w in
+  let bits = bitmap pm node in
+  let rec find i =
+    if i >= lock_slots then None
+    else if
+      Int64.logand bits (Int64.shift_left 1L i) <> 0L
+      && Pmem.load pm (node + off_locks + i) = Int64.of_int holder
+    then Some i
+    else find (i + 1)
+  in
+  (match find 0 with
+  | None -> Pwriter.store w (node + off_intent) 0L
+  | Some slot ->
+      Pwriter.store w (node + off_locks + slot) 0L;
+      Pwriter.store w (node + off_bitmap)
+        (Int64.logand bits (Int64.lognot (Int64.shift_left 1L slot)));
+      Pwriter.store w (node + off_intent) 0L);
+  Pwriter.clwb_lines w [ node + off_locks; node + off_bitmap; node + off_intent ];
+  Pwriter.fence w
+
+let held_locks pm node =
+  let bits = bitmap pm node in
+  let rec go i acc =
+    if i >= lock_slots then List.rev acc
+    else if Int64.logand bits (Int64.shift_left 1L i) <> 0L then
+      go (i + 1) (Int64.to_int (Pmem.load pm (node + off_locks + i)) :: acc)
+    else go (i + 1) acc
+  in
+  go 0 []
+
+let snapshot_regs pm node regs =
+  Array.iteri (fun r v -> Pmem.store pm (node + off_regs + r) v) regs;
+  (* Make the snapshot crash-proof without charging the writer: real
+     JUSTDO keeps this state memory-resident by construction. *)
+  Array.iteri (fun r _ -> Pmem.clwb pm (node + off_regs + r)) regs;
+  Pmem.drain_pending pm
+
+let read_all_regs pm node =
+  let nregs = Int64.to_int (Pmem.load pm (node + off_nregs)) in
+  Array.init nregs (fun r -> Pmem.load pm (node + off_regs + r))
+
+let sim_off pm node = off_regs + Int64.to_int (Pmem.load pm (node + off_nregs))
+
+let set_sim_stack pm node ~base ~sp =
+  let o = node + sim_off pm node in
+  Pmem.store pm o (Int64.of_int base);
+  Pmem.store pm (o + 1) (Int64.of_int sp);
+  Pmem.clwb pm o;
+  Pmem.clwb pm (o + 1);
+  Pmem.drain_pending pm
+
+let sim_stack pm node =
+  let o = node + sim_off pm node in
+  (Int64.to_int (Pmem.load pm o), Int64.to_int (Pmem.load pm (o + 1)))

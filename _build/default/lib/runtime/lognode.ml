@@ -1,0 +1,43 @@
+open Ido_nvm
+open Ido_region
+
+let kind_ido = 1
+let kind_justdo = 2
+let kind_atlas = 3
+let kind_redo = 4
+let kind_nvml = 5
+let kind_page = 6
+
+let payload_base = 3
+
+let push w region ~kind ~tid ~payload_words =
+  let r = Region.alloc region (payload_base + payload_words) in
+  let pm = Pwriter.pmem w in
+  let head = Region.log_head region in
+  Pwriter.store w r head;
+  Pwriter.store w (r + 1) (Int64.of_int tid);
+  Pwriter.store w (r + 2) (Int64.of_int kind);
+  Pwriter.clwb w r;
+  Pwriter.fence w;
+  (* Region.set_log_head persists through the raw pmem; charge the
+     writer for the equivalent store + flush + fence. *)
+  Region.set_log_head region (Int64.of_int r);
+  Pwriter.add_cost w
+    ((Pwriter.latency w).Latency.mem
+    + (Pwriter.latency w).Latency.clwb_issue
+    + Latency.fence_cost (Pwriter.latency w) ~pending:1);
+  ignore pm;
+  r
+
+let next pm addr = Int64.to_int (Pmem.load pm addr)
+let tid pm addr = Int64.to_int (Pmem.load pm (addr + 1))
+let kind pm addr = Int64.to_int (Pmem.load pm (addr + 2))
+
+let iter pm region f =
+  let rec go a = if a <> 0 then begin f a; go (next pm a) end in
+  go (Int64.to_int (Region.log_head region))
+
+let find pm region ~tid:t =
+  let found = ref None in
+  iter pm region (fun a -> if !found = None && tid pm a = t then found := Some a);
+  !found

@@ -1,0 +1,36 @@
+(** Persistent per-thread log nodes.
+
+    Every scheme keeps one log structure per thread, allocated from
+    the persistent region and linked into a global list whose head is
+    in the region header, exactly as in Fig. 3.  All nodes share a
+    3-word prefix [next; tid; kind]; the payload after it is
+    scheme-specific. *)
+
+open Ido_nvm
+open Ido_region
+
+val kind_ido : int
+val kind_justdo : int
+val kind_atlas : int
+val kind_redo : int
+val kind_nvml : int
+val kind_page : int
+
+val push : Pwriter.t -> Region.t -> kind:int -> tid:int -> payload_words:int -> Pmem.addr
+(** Allocate a node, initialise the prefix, persist it, and link it as
+    the new list head (persisted).  Returns the node address; the
+    payload starts at [addr + payload_base]. *)
+
+val payload_base : int
+(** Offset of the payload within a node (3). *)
+
+val next : Pmem.t -> Pmem.addr -> Pmem.addr
+(** 0 terminates the list. *)
+
+val tid : Pmem.t -> Pmem.addr -> int
+val kind : Pmem.t -> Pmem.addr -> int
+
+val iter : Pmem.t -> Region.t -> (Pmem.addr -> unit) -> unit
+(** Visit every node currently linked from the region's log head. *)
+
+val find : Pmem.t -> Region.t -> tid:int -> Pmem.addr option

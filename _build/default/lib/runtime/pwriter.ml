@@ -1,0 +1,56 @@
+open Ido_nvm
+
+type t = {
+  pm : Pmem.t;
+  lat : Latency.t;
+  mutable cost : int;
+  mutable pending : int;
+}
+
+let create pm lat = { pm; lat; cost = 0; pending = 0 }
+
+let pmem t = t.pm
+let latency t = t.lat
+
+let load t a =
+  t.cost <- t.cost + t.lat.Latency.mem;
+  Pmem.load t.pm a
+
+let store t a v =
+  t.cost <- t.cost + t.lat.Latency.mem;
+  Pmem.store t.pm a v
+
+let clwb t a =
+  (* nvm_extra is the Fig. 9 knob: an inline delay after each
+     write-back, as the paper inserts it.  On an NV-cache machine the
+     write-back is free — cached data is already persistent. *)
+  if not t.lat.Latency.nv_caches then begin
+    t.cost <- t.cost + t.lat.Latency.clwb_issue + t.lat.Latency.nvm_extra;
+    t.pending <- t.pending + 1
+  end;
+  Pmem.clwb t.pm a
+
+let clwb_lines t addrs =
+  let lines =
+    List.sort_uniq compare (List.map (fun a -> a / Pmem.words_per_line) addrs)
+  in
+  List.iter (fun line -> clwb t (line * Pmem.words_per_line)) lines
+
+let fence t =
+  ignore (Pmem.fence t.pm);
+  t.cost <- t.cost + Latency.fence_cost t.lat ~pending:t.pending;
+  t.pending <- 0
+
+let persist_store t a v =
+  store t a v;
+  clwb t a;
+  fence t
+
+let add_cost t c = t.cost <- t.cost + c
+
+let take_cost t =
+  let c = t.cost in
+  t.cost <- 0;
+  c
+
+let pending t = t.pending

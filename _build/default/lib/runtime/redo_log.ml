@@ -1,0 +1,81 @@
+open Ido_nvm
+
+type status = Idle | Filling | Committed
+
+let status_code = function Idle -> 0 | Filling -> 1 | Committed -> 2
+
+let status_of_code = function
+  | 0 -> Idle
+  | 1 -> Filling
+  | 2 -> Committed
+  | c -> failwith (Printf.sprintf "Redo_log: bad status %d" c)
+
+let off_cap = 3
+let off_status = 4
+let off_count = 5
+let off_commits = 6
+let off_buf = 7
+
+let create w region ~tid ~cap_entries =
+  let node =
+    Lognode.push w region ~kind:Lognode.kind_redo ~tid
+      ~payload_words:(4 + (2 * cap_entries))
+  in
+  Pwriter.store w (node + off_cap) (Int64.of_int cap_entries);
+  Pwriter.clwb w (node + off_cap);
+  Pwriter.fence w;
+  node
+
+let count pm node = Int64.to_int (Pmem.load pm (node + off_count))
+
+let begin_txn w node =
+  Pwriter.store w (node + off_count) 0L;
+  Pwriter.store w (node + off_status) 1L
+
+let append w node ~addr ~value =
+  let pm = Pwriter.pmem w in
+  let c = count pm node in
+  let cap = Int64.to_int (Pmem.load pm (node + off_cap)) in
+  if c >= cap then failwith "Redo_log: transaction write set overflow";
+  let base = node + off_buf + (2 * c) in
+  Pwriter.store w base (Int64.of_int addr);
+  Pwriter.store w (base + 1) value;
+  Pwriter.store w (node + off_count) (Int64.of_int (c + 1))
+
+let entry pm node i =
+  let base = node + off_buf + (2 * i) in
+  (Int64.to_int (Pmem.load pm base), Pmem.load pm (base + 1))
+
+let persist_entries w node =
+  let pm = Pwriter.pmem w in
+  let c = count pm node in
+  let addrs =
+    List.concat
+      (List.init c (fun i -> [ node + off_buf + (2 * i); node + off_buf + (2 * i) + 1 ]))
+  in
+  Pwriter.clwb_lines w ((node + off_count) :: addrs)
+
+let set_status w node st =
+  Pwriter.store w (node + off_status) (Int64.of_int (status_code st))
+
+let persist_status w node st =
+  set_status w node st;
+  if st = Committed then begin
+    let pm = Pwriter.pmem w in
+    Pwriter.store w (node + off_commits)
+      (Int64.add (Pmem.load pm (node + off_commits)) 1L)
+  end;
+  Pwriter.clwb w (node + off_status);
+  Pwriter.fence w
+
+let status pm node = status_of_code (Int64.to_int (Pmem.load pm (node + off_status)))
+
+let apply w node =
+  let pm = Pwriter.pmem w in
+  let c = count pm node in
+  for i = 0 to c - 1 do
+    let addr, value = entry pm node i in
+    Pwriter.store w addr value
+  done
+
+let total_commits pm node = Int64.to_int (Pmem.load pm (node + off_commits))

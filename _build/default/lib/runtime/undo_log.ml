@@ -1,0 +1,97 @@
+open Ido_nvm
+
+type tag = Fase_begin | Write | Acquire | Release | Fase_end
+
+let tag_code = function
+  | Fase_begin -> 1
+  | Write -> 2
+  | Acquire -> 3
+  | Release -> 4
+  | Fase_end -> 5
+
+let tag_of_code = function
+  | 1 -> Fase_begin
+  | 2 -> Write
+  | 3 -> Acquire
+  | 4 -> Release
+  | 5 -> Fase_end
+  | c -> failwith (Printf.sprintf "Undo_log: bad tag %d" c)
+
+type record = { tag : tag; a : int64; b : int64; seq : int }
+
+let record_words = 4
+
+let off_cap = 3
+let off_head = 4
+let off_total = 5
+let off_buf = 6
+
+let create w region ~kind ~tid ~cap_records =
+  let cap = cap_records * record_words in
+  let node = Lognode.push w region ~kind ~tid ~payload_words:(3 + cap) in
+  Pwriter.store w (node + off_cap) (Int64.of_int cap);
+  Pwriter.clwb w (node + off_cap);
+  Pwriter.fence w;
+  node
+
+let cap pm node = Int64.to_int (Pmem.load pm (node + off_cap))
+let head pm node = Int64.to_int (Pmem.load pm (node + off_head))
+let total pm node = Int64.to_int (Pmem.load pm (node + off_total))
+
+let append_unfenced w node tag ~a ~b ~seq =
+  let pm = Pwriter.pmem w in
+  let c = cap pm node in
+  let h = head pm node in
+  let base = node + off_buf + h in
+  Pwriter.store w base (Int64.of_int (tag_code tag));
+  Pwriter.store w (base + 1) a;
+  Pwriter.store w (base + 2) b;
+  Pwriter.store w (base + 3) (Int64.of_int seq);
+  Pwriter.store w (node + off_head) (Int64.of_int ((h + record_words) mod c));
+  Pwriter.store w (node + off_total) (Int64.of_int (total pm node + 1));
+  (* head and total usually share a line; when they straddle one, both
+     must reach the persistence domain or recovery sees a truncated
+     log. *)
+  Pwriter.clwb_lines w [ base; base + 3; node + off_head; node + off_total ]
+
+let append w node tag ~a ~b ~seq =
+  append_unfenced w node tag ~a ~b ~seq;
+  Pwriter.fence w
+
+let log_write w node ~addr ~old ~seq =
+  append w node Write ~a:(Int64.of_int addr) ~b:old ~seq
+
+let records pm node =
+  let c = cap pm node in
+  let h = head pm node in
+  let t = total pm node in
+  let nrec = min t (c / record_words) in
+  let start = if t * record_words <= c then 0 else h in
+  List.init nrec (fun i ->
+      let off = (start + (i * record_words)) mod c in
+      let base = node + off_buf + off in
+      {
+        tag = tag_of_code (Int64.to_int (Pmem.load pm base));
+        a = Pmem.load pm (base + 1);
+        b = Pmem.load pm (base + 2);
+        seq = Int64.to_int (Pmem.load pm (base + 3));
+      })
+
+let in_fase pm node =
+  (* The log ends inside a FASE iff the last begin has no matching
+     end.  Scan backward over the chronological record list. *)
+  let rec last_state st = function
+    | [] -> st
+    | r :: rest ->
+        let st =
+          match r.tag with Fase_begin -> true | Fase_end -> false | _ -> st
+        in
+        last_state st rest
+  in
+  last_state false (records pm node)
+
+let reset w node =
+  Pwriter.store w (node + off_head) 0L;
+  Pwriter.store w (node + off_total) 0L;
+  Pwriter.clwb w (node + off_head);
+  Pwriter.fence w

@@ -1,0 +1,47 @@
+(** UNDO logging with happens-before records — the Atlas runtime
+    (Chakrabarti et al., OOPSLA'14), also reused (without the lock
+    records) for NVML-style programmer-delineated regions.
+
+    Per thread, a persistent ring buffer of 4-word records
+    [tag; a; b; seq].  Before every persistent store inside a FASE the
+    old value is logged and persisted (one fence).  Lock acquires and
+    releases are logged and persisted too (one fence each) — that is
+    how Atlas tracks cross-FASE dependences.
+
+    {!Atlas_recovery} consumes these logs after a crash. *)
+
+open Ido_nvm
+open Ido_region
+
+type tag = Fase_begin | Write | Acquire | Release | Fase_end
+
+val tag_code : tag -> int
+
+type record = { tag : tag; a : int64; b : int64; seq : int }
+
+val create : Pwriter.t -> Region.t -> kind:int -> tid:int -> cap_records:int -> Pmem.addr
+(** [kind] is {!Lognode.kind_atlas} or {!Lognode.kind_nvml}. *)
+
+val append : Pwriter.t -> Pmem.addr -> tag -> a:int64 -> b:int64 -> seq:int -> unit
+(** Append and persist one record (stores, write-backs, one fence). *)
+
+val append_unfenced :
+  Pwriter.t -> Pmem.addr -> tag -> a:int64 -> b:int64 -> seq:int -> unit
+(** Append and write back without fencing: the record becomes durable
+    with the next fence (used for FASE begin/end markers). *)
+
+val log_write : Pwriter.t -> Pmem.addr -> addr:Pmem.addr -> old:int64 -> seq:int -> unit
+(** The per-store UNDO entry: 32 bytes, flushed, fenced — the cost
+    Atlas pays at {e every} store that iDO amortises per region. *)
+
+val total : Pmem.t -> Pmem.addr -> int
+(** Records ever appended (drives the recovery-time model). *)
+
+val records : Pmem.t -> Pmem.addr -> record list
+(** Chronological (oldest first) records still in the ring. *)
+
+val in_fase : Pmem.t -> Pmem.addr -> bool
+(** Does the log end inside an open FASE / durable region? *)
+
+val reset : Pwriter.t -> Pmem.addr -> unit
+(** Truncate after recovery or at a clean commit (NVML). *)

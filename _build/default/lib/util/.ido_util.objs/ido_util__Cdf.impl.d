@@ -1,0 +1,1 @@
+lib/util/cdf.ml: Array List Stdlib

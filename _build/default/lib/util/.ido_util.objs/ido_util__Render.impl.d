@@ -1,0 +1,1 @@
+lib/util/render.ml: Array Buffer Float List Printf Stdlib String

@@ -1,0 +1,1 @@
+lib/util/timebase.mli: Format

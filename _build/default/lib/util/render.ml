@@ -1,0 +1,89 @@
+let float_cell v =
+  if Float.is_nan v then "-"
+  else if Float.abs v >= 1000.0 then Printf.sprintf "%.0f" v
+  else if Float.abs v >= 100.0 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.3f" v
+
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else String.make (width - n) ' ' ^ s
+
+let render_grid ?title ~header rows =
+  let all = header :: rows in
+  let cols = List.length header in
+  List.iter
+    (fun r ->
+      if List.length r <> cols then invalid_arg "Render: ragged row")
+    rows;
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell ->
+          if String.length cell > widths.(i) then
+            widths.(i) <- String.length cell)
+        row)
+    all;
+  let buf = Buffer.create 256 in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun w ->
+        Buffer.add_string buf (String.make (w + 2) '-');
+        Buffer.add_char buf '+')
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  let line row =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i cell ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad widths.(i) cell);
+        Buffer.add_string buf " |")
+      row;
+    Buffer.add_char buf '\n'
+  in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  rule ();
+  line header;
+  rule ();
+  List.iter line rows;
+  rule ();
+  Buffer.contents buf
+
+let table ?title ~header rows = render_grid ?title ~header rows
+
+let series ?title ~x_label ~columns rows =
+  let header = x_label :: columns in
+  let body =
+    List.map (fun (x, ys) -> x :: List.map float_cell ys) rows
+  in
+  render_grid ?title ~header body
+
+let cdf_panel ?title ~names cdfs =
+  let max_v =
+    List.fold_left
+      (fun acc pts ->
+        List.fold_left (fun acc (v, _) -> Stdlib.max acc v) acc pts)
+      0 cdfs
+  in
+  let value_at pts v =
+    (* CDFs are monotone step functions: the fraction at v is the last
+       point with index <= v, or 0 before the first point. *)
+    let rec go last = function
+      | [] -> last
+      | (v', f) :: rest -> if v' <= v then go f rest else last
+    in
+    go 0.0 pts
+  in
+  let rows =
+    List.init (max_v + 1) (fun v ->
+        ( string_of_int v,
+          List.map (fun pts -> 100.0 *. value_at pts v) cdfs ))
+  in
+  series ?title ~x_label:"value" ~columns:names rows

@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generation.
+
+    All randomness in the simulator flows through this module so that
+    every experiment is reproducible from a single integer seed.  The
+    generator is SplitMix64 (Steele et al., OOPSLA 2014): tiny state,
+    full 64-bit output, and a cheap [split] that derives independent
+    streams — one per simulated thread. *)
+
+type t
+
+val create : int -> t
+(** [create seed] makes a fresh generator from [seed]. *)
+
+val split : t -> t
+(** [split t] derives a new generator whose stream is independent of
+    the remainder of [t]'s stream.  Both may be used afterwards. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state (same future stream). *)
+
+val next64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].  [bound] must be > 0. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)

@@ -1,0 +1,24 @@
+(** Online summary statistics (Welford) and simple aggregation. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** Record one observation. *)
+
+val count : t -> int
+val mean : t -> float
+(** Mean of the observations; 0 when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; 0 when fewer than two observations. *)
+
+val stddev : t -> float
+val min : t -> float
+(** Smallest observation; [infinity] when empty. *)
+
+val max : t -> float
+(** Largest observation; [neg_infinity] when empty. *)
+
+val sum : t -> float

@@ -1,0 +1,20 @@
+(** Simulated time.
+
+    Every clock in the simulator counts integer nanoseconds.  An OCaml
+    [int] holds 63 bits, i.e. ~292 simulated years — ample for the
+    50-second runs of Table I. *)
+
+type ns = int
+(** A duration or instant, in nanoseconds. *)
+
+val ns : int -> ns
+val us : int -> ns
+val ms : int -> ns
+val s : int -> ns
+
+val to_seconds : ns -> float
+val to_ms : ns -> float
+val to_us : ns -> float
+
+val pp : Format.formatter -> ns -> unit
+(** Human-readable rendering with an adaptive unit (ns/µs/ms/s). *)

@@ -1,0 +1,1 @@
+lib/vm/image.ml: Array Hashtbl Ido_ir Ir List Printf

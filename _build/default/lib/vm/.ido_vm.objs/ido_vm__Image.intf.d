@@ -1,0 +1,1 @@
+lib/vm/image.mli: Ido_ir Ir

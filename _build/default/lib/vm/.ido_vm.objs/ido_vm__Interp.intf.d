@@ -1,0 +1,1 @@
+lib/vm/interp.mli: Ido_ir Ido_util Ir State Timebase

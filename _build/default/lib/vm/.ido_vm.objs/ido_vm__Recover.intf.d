@@ -1,0 +1,1 @@
+lib/vm/recover.mli: Ido_runtime Ido_util Scheme State Timebase

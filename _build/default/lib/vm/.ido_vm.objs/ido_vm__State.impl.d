@@ -1,0 +1,1 @@
+lib/vm/state.ml: Cdf Hashtbl Ido_ir Ido_nvm Ido_region Ido_runtime Ido_util Image Ir Latency List Pmem Pwriter Queue Region Rng Scheme Stdlib Timebase Vmem

@@ -1,0 +1,1 @@
+lib/vm/vm.ml: Ido_nvm Ido_runtime Interp List Lognode Recover Scheme State Undo_log

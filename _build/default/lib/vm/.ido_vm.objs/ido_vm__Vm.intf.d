@@ -1,0 +1,1 @@
+lib/vm/vm.mli: Cdf Ido_ir Ido_nvm Ido_region Ido_runtime Ido_util Image Ir Recover Scheme State Timebase

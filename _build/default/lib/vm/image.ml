@@ -1,0 +1,64 @@
+open Ido_ir
+
+type t = {
+  program : Ir.program;
+  table : (string * Ir.pos) array;  (* pc - 1 -> position *)
+  index : (string, (Ir.pos, int) Hashtbl.t) Hashtbl.t;
+  funcs : (string, Ir.func) Hashtbl.t;
+  max_regs : int;
+}
+
+let build (program : Ir.program) =
+  let table = ref [] in
+  let index = Hashtbl.create 16 in
+  let funcs = Hashtbl.create 16 in
+  let count = ref 0 in
+  let max_regs = ref 0 in
+  List.iter
+    (fun (name, (f : Ir.func)) ->
+      Hashtbl.replace funcs name f;
+      if f.nregs > !max_regs then max_regs := f.nregs;
+      let fidx = Hashtbl.create 64 in
+      Hashtbl.replace index name fidx;
+      Array.iteri
+        (fun b (blk : Ir.block) ->
+          for i = 0 to Array.length blk.instrs do
+            let pos = { Ir.blk = b; idx = i } in
+            incr count;
+            Hashtbl.replace fidx pos !count;
+            table := (name, pos) :: !table
+          done)
+        f.blocks)
+    program.funcs;
+  {
+    program;
+    table = Array.of_list (List.rev !table);
+    index;
+    funcs;
+    max_regs = !max_regs;
+  }
+
+let program t = t.program
+
+let pc_of_pos t ~fname pos =
+  match Hashtbl.find_opt t.index fname with
+  | None -> invalid_arg ("Image.pc_of_pos: unknown function " ^ fname)
+  | Some fidx -> (
+      match Hashtbl.find_opt fidx pos with
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Image.pc_of_pos: bad position (%d,%d) in %s"
+               pos.blk pos.idx fname)
+      | Some pc -> pc)
+
+let pos_of_pc t pc =
+  if pc <= 0 || pc > Array.length t.table then
+    invalid_arg (Printf.sprintf "Image.pos_of_pc: bad pc %d" pc)
+  else t.table.(pc - 1)
+
+let func t name =
+  match Hashtbl.find_opt t.funcs name with
+  | Some f -> f
+  | None -> invalid_arg ("Image.func: unknown function " ^ name)
+
+let max_regs t = t.max_regs

@@ -1,0 +1,28 @@
+(** Dense program-counter encoding for an (instrumented) program.
+
+    A recovery PC must survive in one persistent word (Fig. 3); this
+    module numbers every instruction slot of every function densely,
+    with 0 reserved for "no recovery pending".  Slot
+    [index = Array.length instrs] denotes the block terminator. *)
+
+open Ido_ir
+
+type t
+
+val build : Ir.program -> t
+
+val program : t -> Ir.program
+
+val pc_of_pos : t -> fname:string -> Ir.pos -> int
+(** Dense id (≥ 1).
+    @raise Invalid_argument for an unknown function or position. *)
+
+val pos_of_pc : t -> int -> string * Ir.pos
+(** Inverse of {!pc_of_pos}.
+    @raise Invalid_argument for pc 0 or out of range. *)
+
+val func : t -> string -> Ir.func
+(** @raise Invalid_argument when absent. *)
+
+val max_regs : t -> int
+(** Largest [nregs] over all functions (sizes the intRF image). *)

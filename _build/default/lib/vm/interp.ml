@@ -1,0 +1,909 @@
+(* The simulated multiprocessor.
+
+   Each simulated thread carries its own nanosecond clock; the
+   scheduler always advances the runnable thread with the smallest
+   clock (bursting while it remains the earliest), so cross-thread
+   interactions — lock hand-offs, transaction commits — happen in a
+   single causally-consistent order.  Lock contention transfers clock
+   values from releaser to acquirer, which is what produces realistic
+   scaling curves.
+
+   Crash granularity is the instruction: a crash lands between
+   instruction slots, and the persistent image then contains exactly
+   the lines that were written back (or evicted) so far. *)
+
+open Ido_util
+open Ido_nvm
+open Ido_region
+open Ido_ir
+open Ido_runtime
+open State
+
+type run_outcome = [ `Idle | `Until | `Max_steps | `Deadlock ]
+
+let create (config : config) (program : Ir.program) =
+  Ido_analysis.Validate.check_program_exn program;
+  let instrumented = Ido_instrument.Instrument.instrument config.scheme program in
+  let image = Image.build instrumented in
+  let rng = Rng.create config.seed in
+  let pmem = Pmem.create ~cache_lines:config.cache_lines ~rng:(Rng.split rng) config.pmem_words in
+  let region = Region.create pmem in
+  Region.mark_running region;
+  {
+    config;
+    image;
+    pmem;
+    region;
+    vmem = Vmem.create ();
+    locks = Hashtbl.create 64;
+    rng;
+    threads = [];
+    next_tid = 0;
+    seq = 0;
+    commit_version = 0;
+    write_versions = Hashtbl.create 256;
+    commit_token_free_at = 0;
+    stores_per_region = Cdf.create ();
+    livein_per_region = Cdf.create ();
+    total_ops = 0;
+    crashed = false;
+    tracer = None;
+  }
+
+let stack_in_pmem (config : config) =
+  match config.scheme with
+  | Scheme.Ido | Scheme.Justdo -> true
+  | _ -> false
+
+let make_thread m ~tid ~fname ~args ~stack_base ~stack_in_pmem ~log_node
+    ~recovery_mode =
+  let func = Image.func m.image fname in
+  let regs = Array.make func.nregs 0L in
+  List.iteri
+    (fun i r -> regs.(r) <- (try List.nth args i with _ -> 0L))
+    func.params;
+  {
+    tid;
+    writer = Pwriter.create m.pmem m.config.latency;
+    rng = Rng.split m.rng;
+    clock = 0;
+    status = Runnable;
+    frames = [ { fname; func; blk = 0; idx = 0; regs; ret_to = None; saved_sp = 0 } ];
+    sp = 0;
+    stack_base;
+    stack_in_pmem;
+    log_node;
+    in_fase = false;
+    region_stores = 0;
+    region_lines = Hashtbl.create 16;
+    fase_lines = Hashtbl.create 16;
+    last_lock = 0;
+    pending_data_line = -1;
+    touched_pages = Hashtbl.create 8;
+    txn = None;
+    rewound = false;
+    first_boundary = false;
+    pending_out_regs = [];
+    epoch = 0;
+    ops = 0;
+    observations = [];
+    recovery_mode;
+    steps = 0;
+  }
+
+let spawn m ~fname ~args =
+  let tid = m.next_tid in
+  m.next_tid <- tid + 1;
+  let in_pmem = stack_in_pmem m.config in
+  let stack_base =
+    if in_pmem then Region.alloc m.region m.config.stack_words
+    else Vmem.alloc m.vmem m.config.stack_words
+  in
+  let w = Pwriter.create m.pmem m.config.latency in
+  let log_node =
+    match m.config.scheme with
+    | Scheme.Ido -> Ido_log.create w m.region ~tid ~nregs:(Image.max_regs m.image)
+    | Scheme.Justdo ->
+        Justdo_log.create w m.region ~tid ~nregs:(Image.max_regs m.image)
+    | Scheme.Atlas ->
+        Undo_log.create w m.region ~kind:Lognode.kind_atlas ~tid
+          ~cap_records:m.config.undo_cap
+    | Scheme.Nvml ->
+        Undo_log.create w m.region ~kind:Lognode.kind_nvml ~tid
+          ~cap_records:m.config.undo_cap
+    | Scheme.Mnemosyne ->
+        Redo_log.create w m.region ~tid ~cap_entries:m.config.redo_cap
+    | Scheme.Nvthreads ->
+        Page_log.create w m.region ~tid ~cap_pages:m.config.page_cap
+    | Scheme.Origin -> 0
+  in
+  ignore (Pwriter.take_cost w);
+  let t =
+    make_thread m ~tid ~fname ~args ~stack_base ~stack_in_pmem:in_pmem
+      ~log_node ~recovery_mode:false
+  in
+  (* A thread spawned now begins at the machine's current time, not at
+     zero — setup work precedes measurement. *)
+  t.clock <- max_clock m;
+  m.threads <- m.threads @ [ t ];
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Operand evaluation and addressing *)
+
+let eval (fr : frame) = function
+  | Ir.Reg r -> fr.regs.(r)
+  | Ir.Imm i -> i
+
+let eval_int fr op = Int64.to_int (eval fr op)
+
+exception Vm_error of string
+
+let vm_error fmt = Printf.ksprintf (fun s -> raise (Vm_error s)) fmt
+
+type where = In_pmem of int | In_vmem of int
+
+let resolve m (t : thread) fr (space : Ir.space) base off =
+  let a = eval_int fr base + off in
+  match space with
+  | Ir.Persistent ->
+      if a < 0 || a >= Pmem.size m.pmem then
+        vm_error "persistent address %d out of range" a;
+      In_pmem a
+  | Ir.Transient -> In_vmem a
+  | Ir.Stack ->
+      if a < t.stack_base || a >= t.stack_base + m.config.stack_words then
+        vm_error "stack address %d outside [%d,%d)" a t.stack_base
+          (t.stack_base + m.config.stack_words);
+      if t.stack_in_pmem then In_pmem a else In_vmem a
+
+let line_of a = a / Pmem.words_per_line
+
+let lat m = m.config.latency
+
+let cost (t : thread) c = Pwriter.add_cost t.writer c
+
+(* ------------------------------------------------------------------ *)
+(* Transactions (Mnemosyne) *)
+
+let abort_txn m (t : thread) (txn : txn) =
+  let fr = current_frame t in
+  Array.blit txn.snap_regs 0 fr.regs 0 (Array.length fr.regs);
+  fr.blk <- txn.snap_blk;
+  fr.idx <- txn.snap_idx;
+  t.txn <- Some txn;  (* keep only to carry the retry count *)
+  t.rewound <- true;
+  t.in_fase <- false;
+  (* Randomised backoff grows with retries to avoid livelock. *)
+  let backoff = Rng.int t.rng (50 * (txn.retries + 1)) in
+  cost t ((lat m).Latency.alu * 5);
+  cost t backoff
+
+let txn_load m (t : thread) txn a =
+  match Hashtbl.find_opt txn.writes a with
+  | Some v ->
+      cost t (lat m).Latency.alu;
+      v
+  | None ->
+      let v = Pwriter.load t.writer a in
+      (* Eager validation gives opacity: never compute on stale data. *)
+      (match Hashtbl.find_opt m.write_versions a with
+      | Some ver when ver > txn.start_version -> raise Exit
+      | _ -> ());
+      Hashtbl.replace txn.reads a ();
+      cost t (2 * (lat m).Latency.alu);
+      v
+
+let txn_store m (t : thread) txn a v =
+  Hashtbl.replace txn.writes a v;
+  Redo_log.append t.writer t.log_node ~addr:a ~value:v;
+  cost t (lat m).Latency.alu
+
+(* ------------------------------------------------------------------ *)
+(* Memory access *)
+
+(* NVThreads: inside a FASE, reads and writes of a copied page are
+   served from the thread's page copy; the master stays pristine until
+   commit. *)
+let page_copy_slot (t : thread) a =
+  let page = Page_log.page_of a in
+  match Hashtbl.find_opt t.touched_pages page with
+  | Some i -> Some (i, a mod Page_log.page_words)
+  | None -> None
+
+let do_load m (t : thread) where =
+  match where with
+  | In_pmem a when m.config.scheme = Scheme.Nvthreads && t.in_fase -> (
+      match page_copy_slot t a with
+      | Some (i, off) ->
+          Pwriter.load t.writer (Page_log.copy_word_addr t.log_node i ~off)
+      | None -> Pwriter.load t.writer a)
+  | In_pmem a -> (
+      match t.txn with
+      | Some txn -> (
+          try txn_load m t txn a
+          with Exit ->
+            abort_txn m t { txn with retries = txn.retries + 1 };
+            0L)
+      | None -> Pwriter.load t.writer a)
+  | In_vmem a ->
+      cost t (lat m).Latency.mem;
+      Vmem.load m.vmem a
+
+let track_store m (t : thread) a =
+  if t.in_fase then begin
+    let line = line_of a in
+    Hashtbl.replace t.region_lines line ();
+    Hashtbl.replace t.fase_lines line ();
+    t.region_stores <- t.region_stores + 1;
+    if m.config.scheme = Scheme.Justdo then t.pending_data_line <- line
+  end
+
+let do_store m (t : thread) where v =
+  match where with
+  | In_pmem a when m.config.scheme = Scheme.Nvthreads && t.in_fase -> (
+      match page_copy_slot t a with
+      | Some (i, off) ->
+          Pwriter.store t.writer (Page_log.copy_word_addr t.log_node i ~off) v;
+          Page_log.mark_dirty t.writer t.log_node i ~off;
+          t.region_stores <- t.region_stores + 1
+      | None ->
+          (* The Hpage_log hook precedes every in-FASE store, so the
+             copy must exist. *)
+          vm_error "nvthreads: store to uncopied page at %d" a)
+  | In_pmem a -> (
+      match t.txn with
+      | Some txn -> txn_store m t txn a v
+      | None ->
+          Pwriter.store t.writer a v;
+          track_store m t a)
+  | In_vmem a ->
+      cost t (lat m).Latency.mem;
+      Vmem.store m.vmem a v
+
+(* ------------------------------------------------------------------ *)
+(* Helpers for hooks that refer to a neighbouring instruction *)
+
+let upcoming m t fr pred =
+  let blk = fr.func.blocks.(fr.blk) in
+  let n = Array.length blk.instrs in
+  let rec go i =
+    if i >= n then vm_error "hook: expected instruction not found after (%d,%d)" fr.blk fr.idx
+    else match pred blk.instrs.(i) with Some x -> x | None -> go (i + 1)
+  in
+  ignore m;
+  ignore t;
+  go (fr.idx + 1)
+
+let upcoming_store m t fr =
+  upcoming m t fr (function
+    | Ir.Store { space; base; off; src } -> Some (space, base, off, src)
+    | _ -> None)
+
+let upcoming_unlock m t fr =
+  upcoming m t fr (function Ir.Unlock op -> Some op | _ -> None)
+
+let pc_here m (t : thread) fr =
+  ignore t;
+  Image.pc_of_pos m.image ~fname:fr.fname { Ir.blk = fr.blk; idx = fr.idx }
+
+let flush_tracked (t : thread) table =
+  let addrs = Hashtbl.fold (fun line () acc -> (line * Pmem.words_per_line) :: acc) table [] in
+  Pwriter.clwb_lines t.writer addrs;
+  Hashtbl.reset table
+
+(* ------------------------------------------------------------------ *)
+(* Scheme hooks *)
+
+(* Is the next hook in this block an outermost Hlock_release? *)
+let upcoming_release_is_outermost m (t : thread) (fr : frame) =
+  ignore m;
+  ignore t;
+  let blk = fr.func.blocks.(fr.blk) in
+  let n = Array.length blk.instrs in
+  let rec go i =
+    if i >= n then false
+    else
+      match blk.instrs.(i) with
+      | Ir.Hook (Ir.Hlock_release { outermost }) -> outermost
+      | _ -> go (i + 1)
+  in
+  go (fr.idx + 1)
+
+let record_region_stats m (t : thread) live_in_count =
+  Cdf.add m.stores_per_region t.region_stores;
+  if live_in_count >= 0 then Cdf.add m.livein_per_region live_in_count;
+  t.region_stores <- 0
+
+let exec_region_boundary m (t : thread) fr (rh : Ir.region_hook) =
+  let w = t.writer in
+  let node = t.log_node in
+  record_region_stats m t (List.length rh.live_in);
+  let clean = Hashtbl.length t.region_lines = 0 in
+  if
+    m.config.elide_clean_boundaries && rh.skippable && clean
+    && not t.first_boundary
+  then
+    (* Lock-induced boundary closing a clean region: elide the persist.
+       Resumption restarts from the previous persisted boundary and
+       re-executes the clean segment (reads and lock operations are
+       idempotent; re-acquired locks tolerate self-holds and stolen
+       releases).  The boundary's OutputSet is owed to the next
+       persisted boundary so intRF stays current. *)
+    t.pending_out_regs <- rh.out_regs @ t.pending_out_regs
+  else begin
+    (* Step 1 (Sec. III-A): persist OutputSet — the closed region's
+       output registers (all live-ins at the first boundary of the
+       FASE, which must seed intRF), the OutputSets owed by skipped
+       boundaries (filtered to registers still live here), and the
+       run-time-tracked memory lines. *)
+    let regs_to_log =
+      if t.first_boundary then List.sort_uniq compare (rh.live_in @ rh.out_regs)
+      else begin
+        let owed =
+          List.filter (fun r -> List.mem r rh.live_in) t.pending_out_regs
+        in
+        List.sort_uniq compare (owed @ rh.out_regs)
+      end
+    in
+    t.first_boundary <- false;
+    t.pending_out_regs <- [];
+    Ido_log.write_out_regs w node
+      ~coalesce:m.config.coalesce_registers
+      (List.map (fun r -> (r, fr.regs.(r))) regs_to_log);
+    flush_tracked t t.region_lines;
+    Pwriter.fence w;
+    (* Step 2: advance recovery_pc to this boundary.  When a release
+       record immediately follows, its fence carries the pc update
+       (and an outermost release supersedes it with pc := 0). *)
+    t.epoch <- t.epoch + 1;
+    if rh.at_release then begin
+      if not (upcoming_release_is_outermost m t fr) then
+        Ido_log.set_recovery_pc w node ~epoch:t.epoch (pc_here m t fr)
+      (* fence deferred to the release record *)
+    end
+    else begin
+      Ido_log.set_recovery_pc w node ~epoch:t.epoch (pc_here m t fr);
+      Pwriter.fence w
+    end
+  end
+
+let exec_fase_enter m (t : thread) _fr =
+  t.in_fase <- true;
+  t.region_stores <- 0;
+  Hashtbl.reset t.region_lines;
+  Hashtbl.reset t.fase_lines;
+  Hashtbl.reset t.touched_pages;
+  match m.config.scheme with
+  | Scheme.Ido ->
+      Ido_log.set_sim_stack m.pmem t.log_node ~base:t.stack_base ~sp:t.sp;
+      t.first_boundary <- true
+  | Scheme.Justdo ->
+      Justdo_log.set_sim_stack m.pmem t.log_node ~base:t.stack_base ~sp:t.sp;
+      t.pending_data_line <- -1
+  | Scheme.Atlas | Scheme.Nvml ->
+      (* Begin/end records need no fence of their own: they become
+         durable with the next fenced record (or the commit flush). *)
+      Undo_log.append_unfenced t.writer t.log_node Undo_log.Fase_begin ~a:0L
+        ~b:0L ~seq:(next_seq m)
+  | Scheme.Nvthreads -> Page_log.begin_fase t.writer t.log_node ~seq:(next_seq m)
+  | Scheme.Mnemosyne | Scheme.Origin -> ()
+
+let exec_fase_exit m (t : thread) _fr =
+  (match m.config.scheme with
+  | Scheme.Ido ->
+      record_region_stats m t (-1);
+      t.pending_out_regs <- [];
+      (* Lock-based FASEs: the outermost release already cleared and
+         fenced the recovery pc.  Durable regions reach here with the
+         pc still armed. *)
+      if Ido_log.recovery_pc m.pmem t.log_node <> 0 then begin
+        Ido_log.set_recovery_pc t.writer t.log_node ~epoch:t.epoch 0;
+        Pwriter.fence t.writer
+      end
+  | Scheme.Justdo ->
+      if t.pending_data_line >= 0 then begin
+        Pwriter.clwb t.writer (t.pending_data_line * Pmem.words_per_line);
+        Pwriter.fence t.writer
+      end;
+      t.pending_data_line <- -1;
+      Justdo_log.clear t.writer t.log_node
+  | Scheme.Atlas ->
+      Undo_log.append_unfenced t.writer t.log_node Undo_log.Fase_end ~a:0L
+        ~b:0L ~seq:(next_seq m);
+      (* Atlas's runtime bookkeeping (log-space management, consistent-
+         state helper) is a shared structure: FASE completion touches it
+         under a global token — the "runtime synchronization" that
+         saturates at high thread counts (Sec. V-B). *)
+      let hold = 200 in
+      let start = Stdlib.max t.clock m.commit_token_free_at in
+      m.commit_token_free_at <- start + hold;
+      cost t (start - t.clock + hold)
+  | Scheme.Nvml -> Undo_log.reset t.writer t.log_node
+  | Scheme.Nvthreads | Scheme.Mnemosyne | Scheme.Origin -> ());
+  t.in_fase <- false;
+  if t.recovery_mode then t.status <- Done
+
+let exec_lock_acquired m (t : thread) _fr =
+  let holder = t.last_lock in
+  match m.config.scheme with
+  | Scheme.Ido ->
+      (* Stores + write-back only: a later fence persists the record
+         (benign steal window, Sec. III-B).  Stamped with the current
+         epoch so recovery knows whether the acquisition precedes the
+         persisted boundary.  The ablation knob reverts to JUSTDO's
+         intention-log + ownership-log protocol: two fences. *)
+      Ido_log.record_acquire t.writer t.log_node ~holder ~epoch:t.epoch;
+      if not m.config.single_fence_locks then begin
+        Pwriter.fence t.writer;
+        Pwriter.add_cost t.writer
+          ((lat m).Latency.mem + (lat m).Latency.clwb_issue);
+        Pwriter.fence t.writer
+      end
+  | Scheme.Justdo -> Justdo_log.record_acquire t.writer t.log_node ~holder
+  | Scheme.Atlas ->
+      Undo_log.append t.writer t.log_node Undo_log.Acquire
+        ~a:(Int64.of_int holder) ~b:0L ~seq:(next_seq m)
+  | _ -> ()
+
+let exec_lock_release m (t : thread) fr ~outermost =
+  match m.config.scheme with
+  | Scheme.Ido ->
+      (* Clear the lock record; an outermost release also clears the
+         recovery pc (the FASE's outputs were fenced by the preceding
+         boundary, so after this fence the FASE is complete up to the
+         unlock, which a crash performs implicitly by discarding the
+         transient mutex).  One fence, durable before the unlock
+         executes — closing the double-claim window. *)
+      let op = upcoming_unlock m t fr in
+      Ido_log.record_release t.writer t.log_node ~holder:(eval_int fr op);
+      if outermost then
+        Ido_log.set_recovery_pc t.writer t.log_node ~epoch:t.epoch 0;
+      Pwriter.fence t.writer;
+      if not m.config.single_fence_locks then begin
+        Pwriter.add_cost t.writer
+          ((lat m).Latency.mem + (lat m).Latency.clwb_issue);
+        Pwriter.fence t.writer
+      end
+  | Scheme.Justdo ->
+      let op = upcoming_unlock m t fr in
+      Justdo_log.record_release t.writer t.log_node ~holder:(eval_int fr op)
+  | Scheme.Atlas ->
+      let op = upcoming_unlock m t fr in
+      Undo_log.append t.writer t.log_node Undo_log.Release
+        ~a:(eval fr op) ~b:0L ~seq:(next_seq m)
+  | _ -> ()
+
+let exec_justdo_store m (t : thread) fr =
+  let space, base, off, src = upcoming_store m t fr in
+  let a =
+    match resolve m t fr space base off with
+    | In_pmem a -> a
+    | In_vmem _ -> vm_error "justdo store hook on volatile location"
+  in
+  (* The previous store must be durable before its log entry is
+     overwritten: flush + fence (the second fence JUSTDO pays per
+     store on volatile-cache machines). *)
+  if t.pending_data_line >= 0 then begin
+    Pwriter.clwb t.writer (t.pending_data_line * Pmem.words_per_line);
+    Pwriter.fence t.writer;
+    t.pending_data_line <- -1
+  end;
+  let store_pc =
+    let blk = fr.func.blocks.(fr.blk) in
+    let n = Array.length blk.instrs in
+    let rec find i =
+      if i >= n then vm_error "justdo: store vanished"
+      else
+        match blk.instrs.(i) with
+        | Ir.Store _ -> i
+        | _ -> find (i + 1)
+    in
+    Image.pc_of_pos m.image ~fname:fr.fname { Ir.blk = fr.blk; idx = find (fr.idx + 1) }
+  in
+  Justdo_log.log_store t.writer t.log_node ~pc:store_pc ~addr:a
+    ~value:(eval fr src);
+  (* Simulator-side snapshot: memory-resident state in real JUSTDO. *)
+  Justdo_log.snapshot_regs m.pmem t.log_node fr.regs;
+  Justdo_log.set_sim_stack m.pmem t.log_node ~base:t.stack_base ~sp:t.sp
+
+let exec_undo_store m (t : thread) fr =
+  let space, base, off, _src = upcoming_store m t fr in
+  match resolve m t fr space base off with
+  | In_pmem a ->
+      let old = Pwriter.load t.writer a in
+      Undo_log.log_write t.writer t.log_node ~addr:a ~old ~seq:(next_seq m)
+  | In_vmem _ -> ()
+
+let exec_page_log m (t : thread) fr =
+  let space, base, off, _src = upcoming_store m t fr in
+  match resolve m t fr space base off with
+  | In_pmem a ->
+      let page = Page_log.page_of a in
+      if not (Hashtbl.mem t.touched_pages page) then begin
+        let i = Page_log.log_page t.writer t.log_node ~page in
+        Hashtbl.replace t.touched_pages page i
+      end
+  | In_vmem _ -> ()
+
+let exec_txn_begin m (t : thread) fr =
+  let blk = fr.blk and idx = fr.idx in
+  let retries = match t.txn with Some tx -> tx.retries | None -> 0 in
+  Redo_log.begin_txn t.writer t.log_node;
+  t.txn <-
+    Some
+      {
+        start_version = m.commit_version;
+        reads = Hashtbl.create 16;
+        writes = Hashtbl.create 16;
+        snap_regs = Array.copy fr.regs;
+        snap_blk = blk;
+        snap_idx = idx;
+        retries;
+      };
+  t.in_fase <- true;
+  cost t (3 * (lat m).Latency.alu)
+
+let exec_txn_commit m (t : thread) _fr =
+  match t.txn with
+  | None -> vm_error "txn_commit without transaction"
+  | Some txn ->
+      (* Validate the read set against commits since txn start. *)
+      let valid =
+        Hashtbl.fold
+          (fun a () acc ->
+            acc
+            &&
+            match Hashtbl.find_opt m.write_versions a with
+            | Some ver -> ver <= txn.start_version
+            | None -> true)
+          txn.reads true
+      in
+      cost t (Hashtbl.length txn.reads * (lat m).Latency.alu);
+      if not valid then begin
+        let txn = { txn with retries = txn.retries + 1 } in
+        abort_txn m t txn
+      end
+      else begin
+        (* Global commit serialization (the runtime synchronization the
+           paper blames for Mnemosyne's scaling ceiling).  The token is
+           held for the commit work only; waiting time must not feed
+           back into the token or delays compound. *)
+        let w = t.writer in
+        let pre = Pwriter.take_cost w in
+        let start = Stdlib.max (t.clock + pre) m.commit_token_free_at in
+        Redo_log.persist_entries w t.log_node;
+        Pwriter.fence w;
+        Redo_log.persist_status w t.log_node Redo_log.Committed;
+        Redo_log.apply w t.log_node;
+        (* Flush the applied data before truncating the redo log. *)
+        let lines =
+          Hashtbl.fold (fun a _ acc -> a :: acc) txn.writes []
+        in
+        Pwriter.clwb_lines w lines;
+        Pwriter.fence w;
+        Redo_log.persist_status w t.log_node Redo_log.Idle;
+        m.commit_version <- m.commit_version + 1;
+        Hashtbl.iter
+          (fun a _ -> Hashtbl.replace m.write_versions a m.commit_version)
+          txn.writes;
+        let work = Pwriter.take_cost w in
+        m.commit_token_free_at <- start + work;
+        (* Charge the thread: earlier step cost, token wait, work. *)
+        Pwriter.add_cost w (start - t.clock + work);
+        t.txn <- None;
+        t.in_fase <- false
+      end
+
+let exec_durable_commit m (t : thread) _fr =
+  match m.config.scheme with
+  | Scheme.Atlas | Scheme.Nvml ->
+      (* Flush the FASE's delayed data write-backs (Atlas defers them
+         to FASE end; Sec. V's description). *)
+      flush_tracked t t.fase_lines;
+      Pwriter.fence t.writer
+  | Scheme.Nvthreads ->
+      Page_log.commit t.writer t.log_node;
+      Hashtbl.reset t.touched_pages;
+      (* Non-final release: re-arm the page set for the rest of the
+         FASE. *)
+      if t.in_fase then
+        Page_log.begin_fase t.writer t.log_node ~seq:(next_seq m)
+  | _ -> ()
+
+let exec_hook m (t : thread) fr = function
+  | Ir.Hregion rh -> exec_region_boundary m t fr rh
+  | Ir.Hfase_enter -> exec_fase_enter m t fr
+  | Ir.Hfase_exit -> exec_fase_exit m t fr
+  | Ir.Hlock_acquired -> exec_lock_acquired m t fr
+  | Ir.Hlock_release { outermost } -> exec_lock_release m t fr ~outermost
+  | Ir.Hjustdo_store -> exec_justdo_store m t fr
+  | Ir.Hundo_store -> exec_undo_store m t fr
+  | Ir.Hredo_store -> cost t (lat m).Latency.alu
+  | Ir.Htxn_begin -> exec_txn_begin m t fr
+  | Ir.Htxn_commit -> exec_txn_commit m t fr
+  | Ir.Hpage_log -> exec_page_log m t fr
+  | Ir.Hdurable_commit -> exec_durable_commit m t fr
+
+(* ------------------------------------------------------------------ *)
+(* Instructions *)
+
+let binop_eval op a b =
+  let open Int64 in
+  let bool_ c = if c then 1L else 0L in
+  match (op : Ir.binop) with
+  | Add -> add a b
+  | Sub -> sub a b
+  | Mul -> mul a b
+  | Div -> if b = 0L then 0L else div a b
+  | Rem -> if b = 0L then 0L else rem a b
+  | And -> logand a b
+  | Or -> logor a b
+  | Xor -> logxor a b
+  | Shl -> shift_left a (to_int b land 63)
+  | Shr -> shift_right_logical a (to_int b land 63)
+  | Eq -> bool_ (a = b)
+  | Ne -> bool_ (a <> b)
+  | Lt -> bool_ (compare a b < 0)
+  | Le -> bool_ (compare a b <= 0)
+  | Gt -> bool_ (compare a b > 0)
+  | Ge -> bool_ (compare a b >= 0)
+
+let justdo_penalty m (t : thread) =
+  (* No register caching inside JUSTDO FASEs (Sec. I): every
+     instruction's operands and result live in NVM-resident stack
+     slots, costing extra memory traffic and one write-back's worth of
+     NVM exposure per instruction — which is also why JUSTDO is the
+     most sensitive scheme to NVM write latency (Fig. 9). *)
+  if m.config.scheme = Scheme.Justdo && t.in_fase then
+    cost t
+      ((2 * (lat m).Latency.mem) + (lat m).Latency.clwb_issue
+      + (lat m).Latency.nvm_extra)
+
+let exec_lock m (t : thread) fr op =
+  let id = eval_int fr op in
+  t.last_lock <- id;
+  let l = lock_of m id in
+  cost t (lat m).Latency.lock_op;
+  match l.holder with
+  | Some h when h = t.tid -> fr.idx <- fr.idx + 1 (* recovery re-acquire *)
+  | None ->
+      l.holder <- Some t.tid;
+      l.acquired_at <- t.clock;
+      fr.idx <- fr.idx + 1
+  | Some _ ->
+      Queue.add t.tid l.waiters;
+      t.status <- Blocked
+(* The blocked thread stays at the Lock instruction; the releaser hands
+   the lock over and re-runs it, which then takes the self-held fast
+   path above. *)
+
+let exec_unlock m (t : thread) fr op =
+  let id = eval_int fr op in
+  t.last_lock <- id;
+  let l = lock_of m id in
+  cost t (lat m).Latency.lock_op;
+  (match l.holder with
+  | Some h when h = t.tid ->
+      l.holder <- None;
+      if not (Queue.is_empty l.waiters) then begin
+        let w = Queue.pop l.waiters in
+        let wt = find_thread m w in
+        l.holder <- Some w;
+        l.acquired_at <- Stdlib.max wt.clock t.clock;
+        wt.clock <- Stdlib.max wt.clock t.clock;
+        wt.status <- Runnable
+      end
+  | None -> () (* recovery: fresh transient mutex, benign *)
+  | Some other ->
+      (* A resumed region may re-execute an unlock whose original
+         effect already let another thread (now also recovering) take
+         the lock.  Recovery mutexes are owner-checked: a non-owner
+         unlock is a no-op, preserving the new holder's exclusion. *)
+      if not t.recovery_mode then
+        vm_error "unlock of lock held by thread %d" other);
+  fr.idx <- fr.idx + 1
+
+let exec_intrinsic m (t : thread) fr dst intr args =
+  let arg i = List.nth args i in
+  (match (intr : Ir.intrinsic) with
+  | Rand ->
+      let bound = eval_int fr (arg 0) in
+      let v = if bound <= 0 then 0 else Rng.int t.rng bound in
+      Option.iter (fun d -> fr.regs.(d) <- Int64.of_int v) dst;
+      cost t (lat m).Latency.alu
+  | Thread_id ->
+      Option.iter (fun d -> fr.regs.(d) <- Int64.of_int t.tid) dst;
+      cost t (lat m).Latency.alu
+  | Nv_alloc ->
+      let n = eval_int fr (arg 0) in
+      let a = Region.alloc m.region n in
+      Option.iter (fun d -> fr.regs.(d) <- Int64.of_int a) dst;
+      cost t (lat m).Latency.alloc
+  | Nv_free ->
+      Region.free m.region (eval_int fr (arg 0));
+      cost t (lat m).Latency.alloc
+  | Work -> cost t (eval_int fr (arg 0))
+  | Observe ->
+      let v = eval fr (arg 0) in
+      t.observations <- v :: t.observations;
+      t.ops <- t.ops + 1;
+      m.total_ops <- m.total_ops + 1;
+      cost t (lat m).Latency.alu
+  | Root_get ->
+      let slot = eval_int fr (arg 0) in
+      Option.iter (fun d -> fr.regs.(d) <- Region.get_root m.region slot) dst;
+      cost t (lat m).Latency.mem
+  | Root_set ->
+      let slot = eval_int fr (arg 0) in
+      Region.set_root m.region slot (eval fr (arg 1));
+      cost t
+        ((lat m).Latency.mem + (lat m).Latency.clwb_issue
+        + Latency.fence_cost (lat m) ~pending:1)
+  | Assert_nz ->
+      if eval fr (arg 0) = 0L then vm_error "assertion failed (thread %d)" t.tid;
+      cost t (lat m).Latency.alu);
+  fr.idx <- fr.idx + 1
+
+let exec_call m (t : thread) fr dst fname args =
+  let callee = Image.func m.image fname in
+  let regs = Array.make callee.nregs 0L in
+  List.iteri
+    (fun i r -> regs.(r) <- (try eval fr (List.nth args i) with _ -> 0L))
+    callee.params;
+  cost t (lat m).Latency.call;
+  fr.idx <- fr.idx + 1;
+  t.frames <-
+    { fname; func = callee; blk = 0; idx = 0; regs; ret_to = dst; saved_sp = t.sp }
+    :: t.frames
+
+let exec_ret m (t : thread) fr value =
+  cost t (lat m).Latency.call;
+  match t.frames with
+  | [ _ ] -> t.status <- Done
+  | _ :: (caller :: _ as rest) ->
+      t.sp <- fr.saved_sp;
+      (match (fr.ret_to, value) with
+      | Some d, Some v -> caller.regs.(d) <- v
+      | Some d, None -> caller.regs.(d) <- 0L
+      | None, _ -> ());
+      t.frames <- rest
+  | [] -> vm_error "return with no frame"
+
+let exec_instr m (t : thread) fr instr =
+  match (instr : Ir.instr) with
+  | Bin (d, op, a, b) ->
+      fr.regs.(d) <- binop_eval op (eval fr a) (eval fr b);
+      cost t (lat m).Latency.alu;
+      justdo_penalty m t;
+      fr.idx <- fr.idx + 1
+  | Mov (d, a) ->
+      fr.regs.(d) <- eval fr a;
+      cost t (lat m).Latency.alu;
+      justdo_penalty m t;
+      fr.idx <- fr.idx + 1
+  | Load { dst; space; base; off } ->
+      let v = do_load m t (resolve m t fr space base off) in
+      if t.rewound then t.rewound <- false
+      else begin
+        fr.regs.(dst) <- v;
+        justdo_penalty m t;
+        fr.idx <- fr.idx + 1
+      end
+  | Store { space; base; off; src } ->
+      do_store m t (resolve m t fr space base off) (eval fr src);
+      justdo_penalty m t;
+      fr.idx <- fr.idx + 1
+  | Alloca (d, n) ->
+      fr.regs.(d) <- Int64.of_int (t.stack_base + t.sp);
+      t.sp <- t.sp + n;
+      if t.sp > m.config.stack_words then vm_error "stack overflow";
+      cost t (lat m).Latency.alu;
+      fr.idx <- fr.idx + 1
+  | Lock op -> exec_lock m t fr op
+  | Unlock op -> exec_unlock m t fr op
+  | Durable_begin | Durable_end ->
+      cost t (lat m).Latency.alu;
+      fr.idx <- fr.idx + 1
+  | Call { dst; func; args } -> exec_call m t fr dst func args
+  | Intrinsic { dst; intr; args } -> exec_intrinsic m t fr dst intr args
+  | Hook h ->
+      exec_hook m t fr h;
+      (* A failed commit rewinds the frame to the Htxn_begin slot;
+         advancing would skip it. *)
+      if t.rewound then t.rewound <- false else fr.idx <- fr.idx + 1
+
+let exec_term m (t : thread) fr term =
+  cost t (lat m).Latency.branch;
+  match (term : Ir.terminator) with
+  | Br b ->
+      fr.blk <- b;
+      fr.idx <- 0
+  | Cbr (c, bt, bf) ->
+      let b = if eval fr c <> 0L then bt else bf in
+      fr.blk <- b;
+      fr.idx <- 0
+  | Ret v -> exec_ret m t fr (Option.map (eval fr) v)
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler *)
+
+let step m (t : thread) =
+  let fr = current_frame t in
+  let blk = fr.func.blocks.(fr.blk) in
+  (match m.tracer with
+  | Some emit ->
+      let what =
+        if fr.idx < Array.length blk.instrs then
+          Format.asprintf "%a" Ir.pp_instr blk.instrs.(fr.idx)
+        else Format.asprintf "%a" Ir.pp_terminator blk.term
+      in
+      emit
+        (Printf.sprintf "t%d @%-9d %s.%d.%d%s  %s" t.tid t.clock fr.fname
+           fr.blk fr.idx
+           (if t.in_fase then " [FASE]" else "")
+           what)
+  | None -> ());
+  if fr.idx < Array.length blk.instrs then exec_instr m t fr blk.instrs.(fr.idx)
+  else exec_term m t fr blk.term;
+  t.steps <- t.steps + 1;
+  t.clock <- t.clock + Pwriter.take_cost t.writer
+
+let min_runnable m =
+  List.fold_left
+    (fun acc t ->
+      if t.status <> Runnable then acc
+      else
+        match acc with
+        | None -> Some t
+        | Some best -> if t.clock < best.clock then Some t else acc)
+    None m.threads
+
+let second_min_clock m (chosen : thread) =
+  List.fold_left
+    (fun acc t ->
+      if t.status = Runnable && t.tid <> chosen.tid && t.clock < acc then t.clock
+      else acc)
+    max_int m.threads
+
+let run ?until ?(max_steps = max_int) m : run_outcome =
+  let steps = ref 0 in
+  let rec loop () =
+    if !steps >= max_steps then `Max_steps
+    else
+      match min_runnable m with
+      | None ->
+          if List.exists (fun t -> t.status = Blocked) m.threads then `Deadlock
+          else `Idle
+      | Some t -> (
+          match until with
+          | Some u when t.clock >= u -> `Until
+          | _ ->
+              let horizon = second_min_clock m t in
+              let limit = match until with Some u -> Stdlib.min horizon u | None -> horizon in
+              (* Burst while this thread stays the earliest. *)
+              let continue_ = ref true in
+              while
+                !continue_ && t.status = Runnable && t.clock <= limit
+                && !steps < max_steps
+              do
+                step m t;
+                incr steps;
+                if t.status <> Runnable then continue_ := false
+              done;
+              loop ())
+  in
+  loop ()
+
+let crash m =
+  m.crashed <- true;
+  (* On an NV-cache machine the cache contents are themselves
+     persistent: a power failure loses nothing that was stored. *)
+  if m.config.latency.Latency.nv_caches then Pmem.flush_all m.pmem;
+  Pmem.crash m.pmem;
+  m.vmem <- Vmem.create ();
+  m.locks <- Hashtbl.create 64;
+  m.write_versions <- Hashtbl.create 64;
+  m.commit_token_free_at <- 0;
+  List.iter (fun t -> t.status <- Done) m.threads;
+  m.threads <- []

@@ -1,0 +1,31 @@
+(** The simulated multiprocessor: instruction execution, scheme hooks,
+    the causally-ordered scheduler, and crash injection.  Use through
+    the {!Vm} facade; {!Recover} reuses the scheduler to run resumed
+    FASEs to completion. *)
+
+open Ido_util
+open Ido_ir
+
+exception Vm_error of string
+(** Runtime fault in the simulated program (bad address, foreign
+    unlock, failed assertion, ...). *)
+
+type run_outcome = [ `Idle | `Until | `Max_steps | `Deadlock ]
+
+val create : State.config -> Ir.program -> State.t
+(** Validate the (hook-free) program, instrument it for the configured
+    scheme, and boot a machine with a freshly formatted persistent
+    region. *)
+
+val spawn : State.t -> fname:string -> args:int64 list -> State.thread
+(** Start a thread at [fname]; it begins at the machine's current
+    simulated time. *)
+
+val run : ?until:Timebase.ns -> ?max_steps:int -> State.t -> run_outcome
+(** Advance the simulation: always steps the earliest runnable thread,
+    so cross-thread interactions happen in one causal order. *)
+
+val crash : State.t -> unit
+(** Power failure: discard every volatile structure (cache overlay,
+    DRAM, transient mutexes, threads).  On an NV-cache machine the
+    cache contents are persistent and survive. *)

@@ -1,0 +1,152 @@
+(* Machine and thread state for the simulated multiprocessor.  This
+   module holds data only; execution lives in {!Interp} and recovery in
+   {!Recover}.  It is internal to [ido_vm]; the public face is {!Vm}. *)
+
+open Ido_util
+open Ido_nvm
+open Ido_region
+open Ido_ir
+open Ido_runtime
+
+type config = {
+  scheme : Scheme.t;
+  latency : Latency.t;
+  pmem_words : int;
+  cache_lines : int;
+  seed : int;
+  stack_words : int;  (* per-thread stack area *)
+  undo_cap : int;  (* UNDO records per thread (Atlas / NVML) *)
+  redo_cap : int;  (* REDO entries per transaction (Mnemosyne) *)
+  page_cap : int;  (* page images per FASE (NVThreads) *)
+  collect_region_stats : bool;
+  (* Ablation knobs (all on by default; see DESIGN.md ablations): *)
+  elide_clean_boundaries : bool;
+      (* skip lock-induced boundary persists while the region is clean *)
+  coalesce_registers : bool;
+      (* one write-back per intRF cache line instead of per register *)
+  single_fence_locks : bool;
+      (* iDO's indirect locking; off = JUSTDO-style two-fence lock ops *)
+}
+
+let default_config scheme =
+  {
+    scheme;
+    latency = Latency.default;
+    pmem_words = 1 lsl 23;
+    cache_lines = 4096;
+    seed = 42;
+    stack_words = 256;
+    undo_cap = 1 lsl 14;
+    redo_cap = 1 lsl 12;
+    page_cap = 64;
+    collect_region_stats = false;
+    elide_clean_boundaries = true;
+    coalesce_registers = true;
+    single_fence_locks = true;
+  }
+
+type lock_state = {
+  mutable holder : int option;  (* tid *)
+  mutable acquired_at : Timebase.ns;
+  waiters : int Queue.t;
+}
+
+let fresh_lock () = { holder = None; acquired_at = 0; waiters = Queue.create () }
+
+type txn = {
+  start_version : int;
+  reads : (int, unit) Hashtbl.t;
+  writes : (int, int64) Hashtbl.t;
+  snap_regs : int64 array;
+  snap_blk : int;
+  snap_idx : int;
+  mutable retries : int;
+}
+
+type thread_status = Runnable | Blocked | Done
+
+type frame = {
+  fname : string;
+  func : Ir.func;
+  mutable blk : int;
+  mutable idx : int;
+  regs : int64 array;
+  ret_to : int option;  (* destination register in the caller *)
+  saved_sp : int;
+}
+
+type thread = {
+  tid : int;
+  writer : Pwriter.t;
+  rng : Rng.t;
+  mutable clock : Timebase.ns;
+  mutable status : thread_status;
+  mutable frames : frame list;  (* innermost first *)
+  mutable sp : int;  (* next free word within the stack area *)
+  stack_base : int;  (* absolute base address of the stack area *)
+  stack_in_pmem : bool;
+  mutable log_node : int;  (* 0 = none *)
+  mutable in_fase : bool;
+  mutable region_stores : int;  (* dynamic stores in the open region *)
+  region_lines : (int, unit) Hashtbl.t;  (* dirty lines since boundary *)
+  fase_lines : (int, unit) Hashtbl.t;  (* dirty lines since FASE begin *)
+  mutable last_lock : int;  (* operand of the last Lock executed *)
+  mutable pending_data_line : int;  (* JUSTDO: line awaiting flush; -1 none *)
+  touched_pages : (int, int) Hashtbl.t;  (* NVThreads: page -> entry index *)
+  mutable txn : txn option;
+  mutable rewound : bool;  (* an abort just rewound the frame *)
+  mutable first_boundary : bool;  (* next Hregion seeds full live-in set *)
+  mutable pending_out_regs : int list;
+      (* out_regs of skipped boundaries, owed to the next persisted one *)
+  mutable epoch : int;  (* persisted-boundary counter (iDO stamps) *)
+  mutable ops : int;
+  mutable observations : int64 list;  (* newest first *)
+  mutable recovery_mode : bool;  (* run-to-FASE-end thread *)
+  mutable steps : int;
+}
+
+type t = {
+  config : config;
+  image : Image.t;
+  pmem : Pmem.t;
+  region : Region.t;
+  mutable vmem : Vmem.t;
+  mutable locks : (int, lock_state) Hashtbl.t;
+  rng : Rng.t;
+  mutable threads : thread list;  (* in spawn order *)
+  mutable next_tid : int;
+  mutable seq : int;  (* global sequence for happens-before records *)
+  mutable commit_version : int;  (* Mnemosyne global commit clock *)
+  mutable write_versions : (int, int) Hashtbl.t;
+  mutable commit_token_free_at : Timebase.ns;  (* STM commit serialization *)
+  stores_per_region : Cdf.t;
+  livein_per_region : Cdf.t;
+  mutable total_ops : int;
+  mutable crashed : bool;
+  mutable tracer : (string -> unit) option;
+      (* when set, receives one line per executed instruction *)
+}
+
+let next_seq m =
+  m.seq <- m.seq + 1;
+  m.seq
+
+let lock_of m id =
+  match Hashtbl.find_opt m.locks id with
+  | Some l -> l
+  | None ->
+      let l = fresh_lock () in
+      Hashtbl.replace m.locks id l;
+      l
+
+let find_thread m tid = List.find (fun t -> t.tid = tid) m.threads
+
+let current_frame t =
+  match t.frames with
+  | f :: _ -> f
+  | [] -> failwith "thread has no frame"
+
+let max_clock m =
+  List.fold_left (fun acc t -> Stdlib.max acc t.clock) 0 m.threads
+
+let runnable m = List.filter (fun t -> t.status = Runnable) m.threads

@@ -1,0 +1,58 @@
+open Ido_runtime
+
+type t = State.t
+
+type config = State.config = {
+  scheme : Scheme.t;
+  latency : Ido_nvm.Latency.t;
+  pmem_words : int;
+  cache_lines : int;
+  seed : int;
+  stack_words : int;
+  undo_cap : int;
+  redo_cap : int;
+  page_cap : int;
+  collect_region_stats : bool;
+  elide_clean_boundaries : bool;
+  coalesce_registers : bool;
+  single_fence_locks : bool;
+}
+
+let config = State.default_config
+
+type run_outcome = [ `Idle | `Until | `Max_steps | `Deadlock ]
+
+exception Vm_error = Interp.Vm_error
+
+let create = Interp.create
+
+type thread = State.thread
+
+let spawn = Interp.spawn
+let run = Interp.run
+let crash = Interp.crash
+let recover = Recover.recover
+
+let flush_all (m : t) = Ido_nvm.Pmem.flush_all m.State.pmem
+
+let clock = State.max_clock
+let total_ops (m : t) = m.State.total_ops
+let observations (t : thread) = List.rev t.State.observations
+let thread_clock (t : thread) = t.State.clock
+let thread_ops (t : thread) = t.State.ops
+let pmem (m : t) = m.State.pmem
+let region (m : t) = m.State.region
+let image (m : t) = m.State.image
+
+let region_stats (m : t) = (m.State.stores_per_region, m.State.livein_per_region)
+
+let set_tracer (m : t) f = m.State.tracer <- f
+
+let undo_records_total (m : t) =
+  let pm = m.State.pmem in
+  let total = ref 0 in
+  Lognode.iter pm m.State.region (fun node ->
+      let k = Lognode.kind pm node in
+      if k = Lognode.kind_atlas || k = Lognode.kind_nvml then
+        total := !total + Undo_log.total pm node);
+  !total

@@ -1,0 +1,108 @@
+(** Public face of the simulated machine.
+
+    Typical lifecycle:
+
+    {[
+      let m = Vm.create (Vm.config Scheme.Ido) program in
+      let _init = Vm.spawn m ~fname:"init" ~args:[] in
+      ignore (Vm.run m);
+      Vm.flush_all m;                       (* setup phase made durable *)
+      let _ = Vm.spawn m ~fname:"worker" ~args:[ 0L ] in
+      (match Vm.run ~until:(Timebase.ms 10) m with
+      | `Until -> Vm.crash m
+      | _ -> ());
+      let _stats = Vm.recover m in
+      ...
+    ]} *)
+
+open Ido_util
+open Ido_ir
+open Ido_runtime
+
+type t = State.t
+
+type config = State.config = {
+  scheme : Scheme.t;
+  latency : Ido_nvm.Latency.t;
+  pmem_words : int;
+  cache_lines : int;
+  seed : int;
+  stack_words : int;
+  undo_cap : int;
+  redo_cap : int;
+  page_cap : int;
+  collect_region_stats : bool;
+  elide_clean_boundaries : bool;
+      (** ablation: skip lock-induced boundary persists for clean
+          regions (on in real iDO) *)
+  coalesce_registers : bool;
+      (** ablation: persist coalescing of register logs (Sec. IV-B) *)
+  single_fence_locks : bool;
+      (** ablation: indirect locking (Sec. III-B); off reverts to
+          JUSTDO-style two-fence lock operations *)
+}
+
+val config : Scheme.t -> config
+(** Defaults sized for the benchmarks in this repository. *)
+
+type run_outcome = [ `Idle | `Until | `Max_steps | `Deadlock ]
+
+exception Vm_error of string
+
+val create : config -> Ir.program -> t
+(** Validate, instrument for the configured scheme, and boot a fresh
+    machine with a formatted persistent region. *)
+
+type thread = State.thread
+
+val spawn : t -> fname:string -> args:int64 list -> thread
+
+val run : ?until:Timebase.ns -> ?max_steps:int -> t -> run_outcome
+(** Advance simulated execution.  [`Idle]: every thread finished.
+    [`Until]: the earliest runnable thread reached the time bound
+    (crash injection point).  [`Deadlock]: runnable set empty while
+    threads remain blocked. *)
+
+val crash : t -> unit
+(** Power failure now: volatile state (cache overlay, DRAM, transient
+    locks, threads) is discarded; only persisted lines survive. *)
+
+val recover : t -> Recover.stats
+(** Scheme-appropriate recovery; afterwards the machine accepts fresh
+    [spawn]s against the recovered heap. *)
+
+val flush_all : t -> unit
+(** Test/setup helper: make all of persistent memory durable. *)
+
+(** {1 Introspection} *)
+
+val clock : t -> Timebase.ns
+(** Largest thread clock — the wall-clock length of the run so far. *)
+
+val total_ops : t -> int
+(** Observations recorded via the [Observe] intrinsic. *)
+
+val observations : thread -> int64 list
+(** Oldest first. *)
+
+val thread_clock : thread -> Timebase.ns
+val thread_ops : thread -> int
+
+val pmem : t -> Ido_nvm.Pmem.t
+val region : t -> Ido_region.Region.t
+val image : t -> Image.t
+
+val set_tracer : t -> (string -> unit) option -> unit
+(** Install (or remove) an execution tracer: one formatted line per
+    executed instruction — thread, simulated time, position, FASE
+    membership, instruction text.  Survives across crash/recovery, so
+    resumption can be watched. *)
+
+val region_stats : t -> Cdf.t * Cdf.t
+(** (stores per dynamic idempotent region, live-in registers per
+    region) — the Fig. 8 distributions; populated under the iDO
+    scheme. *)
+
+val undo_records_total : t -> int
+(** Total UNDO records ever appended across threads (drives the
+    Table I recovery-time model). *)

@@ -1,0 +1,1 @@
+lib/workloads/hmap.ml: Builder Ido_ir Int64 Ir List Olist Wcommon

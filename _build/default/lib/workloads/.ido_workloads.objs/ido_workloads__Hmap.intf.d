@@ -1,0 +1,1 @@
+lib/workloads/hmap.mli: Ido_ir Ir

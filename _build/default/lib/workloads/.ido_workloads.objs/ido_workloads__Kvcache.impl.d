@@ -1,0 +1,1 @@
+lib/workloads/kvcache.ml: Builder Ido_ir Int64 Ir List Wcommon

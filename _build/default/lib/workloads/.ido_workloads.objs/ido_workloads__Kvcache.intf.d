@@ -1,0 +1,1 @@
+lib/workloads/kvcache.mli: Ido_ir Ir

@@ -1,0 +1,1 @@
+lib/workloads/mlog.mli: Ido_ir Ir

@@ -1,0 +1,1 @@
+lib/workloads/objstore.ml: Builder Ido_ir Int64 Ir List Wcommon

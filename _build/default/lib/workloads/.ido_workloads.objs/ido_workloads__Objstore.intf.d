@@ -1,0 +1,1 @@
+lib/workloads/objstore.mli: Ido_ir Ir

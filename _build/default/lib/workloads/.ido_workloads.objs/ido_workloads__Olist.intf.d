@@ -1,0 +1,1 @@
+lib/workloads/olist.mli: Builder Ido_ir Ir

@@ -1,0 +1,1 @@
+lib/workloads/queue.ml: Builder Ido_ir Ir List Wcommon

@@ -1,0 +1,1 @@
+lib/workloads/stack.ml: Builder Ido_ir Ir List Wcommon

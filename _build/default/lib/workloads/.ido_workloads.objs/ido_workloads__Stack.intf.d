@@ -1,0 +1,1 @@
+lib/workloads/stack.mli: Ido_ir Ir

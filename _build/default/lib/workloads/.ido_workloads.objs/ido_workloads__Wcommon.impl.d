@@ -1,0 +1,1 @@
+lib/workloads/wcommon.ml: Builder Ido_ir Int64 Ir List

@@ -1,0 +1,1 @@
+lib/workloads/wcommon.mli: Builder Ido_ir Ir

@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Hmap Kvcache Mlog Objstore Olist Queue Stack

@@ -1,0 +1,60 @@
+open Ido_ir
+open Wcommon
+
+(* Descriptor: [0] nbuckets, [1..nbuckets] head-sentinel addresses. *)
+
+let init buckets =
+  let b, _ = Builder.create ~name:"init" ~nparams:0 in
+  let desc = alloc_node b (1 + buckets) [ (0, Ir.Imm (Int64.of_int buckets)) ] in
+  for i = 0 to buckets - 1 do
+    let head = Olist.make_list b in
+    Builder.store b Ir.Persistent (Ir.Reg desc) (1 + i) (Ir.Reg head)
+  done;
+  set_root b desc_root (Ir.Reg desc);
+  Builder.ret b None;
+  Builder.finish b
+
+(* Bucket selection happens outside the FASE; the FASE itself lives in
+   the called list operation (single function, as required). *)
+let bucket_head b desc k =
+  let nb = Builder.load b Ir.Persistent (Ir.Reg desc) 0 in
+  let idx = Builder.bin b Ir.Rem (Ir.Reg k) (Ir.Reg nb) in
+  let slot = Builder.bin b Ir.Add (Ir.Reg desc) (Ir.Reg (Builder.bin b Ir.Add (Ir.Reg idx) (Ir.Imm 1L))) in
+  Builder.load b Ir.Persistent (Ir.Reg slot) 0
+
+let worker key_range =
+  let b, ps = Builder.create ~name:"worker" ~nparams:1 in
+  let nops = List.nth ps 0 in
+  let desc = get_root b desc_root in
+  for_loop b (Ir.Reg nops) (fun _ ->
+      let op = rand b 2 in
+      let k = rand b key_range in
+      let head = bucket_head b desc k in
+      Builder.if_ b (Ir.Reg op)
+        ~then_:(fun () ->
+          let v = rand b 1_000_000 in
+          Builder.call_void b "list_put" [ Ir.Reg head; Ir.Reg k; Ir.Reg v ])
+        ~else_:(fun () ->
+          ignore (Builder.call b "list_get" [ Ir.Reg head; Ir.Reg k ]));
+      observe b (Ir.Imm 1L));
+  Builder.ret b None;
+  Builder.finish b
+
+let check () =
+  let b, _ = Builder.create ~name:"check" ~nparams:0 in
+  let desc = get_root b desc_root in
+  let nb = Builder.load b Ir.Persistent (Ir.Reg desc) 0 in
+  let total = Builder.mov b (Ir.Imm 0L) in
+  for_loop b (Ir.Reg nb) (fun i ->
+      let slot = Builder.bin b Ir.Add (Ir.Reg desc) (Ir.Reg (Builder.bin b Ir.Add (Ir.Reg i) (Ir.Imm 1L))) in
+      let head = Builder.load b Ir.Persistent (Ir.Reg slot) 0 in
+      let n = Builder.call b "list_count" [ Ir.Reg head ] in
+      Builder.assign_bin b total Ir.Add (Ir.Reg total) (Ir.Reg n));
+  observe b (Ir.Reg total);
+  Builder.ret b None;
+  Builder.finish b
+
+let program ?(buckets = 128) ?(key_range = 2048) () =
+  program
+    (Olist.list_funcs ()
+    @ [ ("init", init buckets); ("worker", worker key_range); ("check", check ()) ])

@@ -1,0 +1,11 @@
+(** Fixed-size hash map whose buckets are hand-over-hand ordered lists
+    (Sec. V-B): per-node locks give concurrency both across and within
+    buckets with no per-bucket lock — the high-parallelism extreme
+    that scales near-linearly under iDO (Fig. 7). *)
+
+open Ido_ir
+
+val program : ?buckets:int -> ?key_range:int -> unit -> Ir.program
+(** [init] builds [buckets] (default 128) empty lists; [worker(nops)]
+    does 50% get / 50% put over [key_range] (default 2048) keys routed
+    by modulus; [check] validates and counts every bucket. *)

@@ -1,0 +1,188 @@
+open Ido_ir
+open Wcommon
+
+(* Descriptor: [0] lock word (global cache lock), [1] nbuckets,
+   [2] count, [3..3+nbuckets-1] chain heads.
+
+   Entry (a memcached "item"): [0] key, [1] next, [2] value,
+   [3] flags, [4] access time, [5] size, [6..7] value payload.
+   A set writes most of the item (8 stores on insert, 5 on update);
+   a get performs the LRU-style access-time touch (1 store).  These
+   are the multi-store FASEs that let iDO consolidate log operations
+   (Sec. V-C reports ~30% multi-store regions for Memcached). *)
+
+let entry_words = 8
+
+(* Client-side request handling (parsing, response formatting) and
+   in-lock item bookkeeping, modelled as fixed work.  These set the
+   instrumentation-free baseline that Origin's curve and the paper's
+   25-33%-of-Origin figure for iDO are measured against. *)
+let client_work_ns = 60
+let hash_work_ns = 15
+
+let init buckets =
+  let b, _ = Builder.create ~name:"init" ~nparams:0 in
+  let desc =
+    alloc_node b (3 + buckets)
+      [ (1, Ir.Imm (Int64.of_int buckets)); (2, Ir.Imm 0L) ]
+  in
+  set_root b desc_root (Ir.Reg desc);
+  Builder.ret b None;
+  Builder.finish b
+
+let chain_slot b desc k =
+  (* Multiply-shift hash of the (16-byte) key. *)
+  Builder.intr_void b Ir.Work [ Ir.Imm (Int64.of_int hash_work_ns) ];
+  let h1 = Builder.bin b Ir.Mul (Ir.Reg k) (Ir.Imm 0x9E3779B9L) in
+  let h2 = Builder.bin b Ir.Shr (Ir.Reg h1) (Ir.Imm 16L) in
+  let h3 = Builder.bin b Ir.Xor (Ir.Reg h1) (Ir.Reg h2) in
+  let nb = Builder.load b Ir.Persistent (Ir.Reg desc) 1 in
+  let idx = Builder.bin b Ir.Rem (Ir.Reg h3) (Ir.Reg nb) in
+  let idx = Builder.bin b Ir.And (Ir.Reg idx) (Ir.Imm 0xFFFFL) in
+  let off = Builder.bin b Ir.Add (Ir.Reg idx) (Ir.Imm 3L) in
+  Builder.bin b Ir.Add (Ir.Reg desc) (Ir.Reg off)
+
+(* Scan the chain for key k (the 16-byte key comparison costs a couple
+   of instructions per item); returns the entry address or 0. *)
+let scan b slot k =
+  let res = Builder.mov b (Ir.Imm 0L) in
+  let e0 = Builder.load b Ir.Persistent (Ir.Reg slot) 0 in
+  let cur = Builder.mov b (Ir.Reg e0) in
+  Builder.while_ b
+    ~cond:(fun () -> Ir.Reg (Builder.bin b Ir.Ne (Ir.Reg cur) (Ir.Imm 0L)))
+    ~body:(fun () ->
+      let key = Builder.load b Ir.Persistent (Ir.Reg cur) 0 in
+      let hit = Builder.bin b Ir.Eq (Ir.Reg key) (Ir.Reg k) in
+      Builder.if_ b (Ir.Reg hit)
+        ~then_:(fun () ->
+          Builder.assign b res (Ir.Reg cur);
+          Builder.assign b cur (Ir.Imm 0L))
+        ~else_:(fun () ->
+          let nxt = Builder.load b Ir.Persistent (Ir.Reg cur) 1 in
+          Builder.assign b cur (Ir.Reg nxt)));
+  res
+
+let write_item b entry ~k ~v ~full =
+  if full then begin
+    Builder.store b Ir.Persistent (Ir.Reg entry) 0 (Ir.Reg k);
+    Builder.store b Ir.Persistent (Ir.Reg entry) 5 (Ir.Imm 24L)
+  end;
+  Builder.store b Ir.Persistent (Ir.Reg entry) 2 (Ir.Reg v);
+  Builder.store b Ir.Persistent (Ir.Reg entry) 3 (Ir.Imm 1L);
+  Builder.store b Ir.Persistent (Ir.Reg entry) 4 (Ir.Reg v);
+  let p1 = Builder.bin b Ir.Add (Ir.Reg v) (Ir.Imm 1L) in
+  let p2 = Builder.bin b Ir.Add (Ir.Reg v) (Ir.Imm 2L) in
+  Builder.store b Ir.Persistent (Ir.Reg entry) 6 (Ir.Reg p1);
+  Builder.store b Ir.Persistent (Ir.Reg entry) 7 (Ir.Reg p2)
+
+let item_work_ns = 120
+
+let set_fn () =
+  let b, ps = Builder.create ~name:"kv_set" ~nparams:3 in
+  let desc = List.nth ps 0 and k = List.nth ps 1 and v = List.nth ps 2 in
+  let lockid = Builder.mov b (Ir.Reg desc) in
+  Builder.lock b (Ir.Reg lockid);
+  (* Item copy / LRU unlink / slab bookkeeping under the lock. *)
+  Builder.intr_void b Ir.Work [ Ir.Imm (Int64.of_int item_work_ns) ];
+  let slot = chain_slot b desc k in
+  let hit = scan b slot k in
+  let found = Builder.bin b Ir.Ne (Ir.Reg hit) (Ir.Imm 0L) in
+  Builder.if_ b (Ir.Reg found)
+    ~then_:(fun () -> write_item b hit ~k ~v ~full:false)
+    ~else_:(fun () ->
+      let head = Builder.load b Ir.Persistent (Ir.Reg slot) 0 in
+      let c = Builder.load b Ir.Persistent (Ir.Reg desc) 2 in
+      let c1 = Builder.bin b Ir.Add (Ir.Reg c) (Ir.Imm 1L) in
+      let entry = alloc_node b entry_words [ (1, Ir.Reg head) ] in
+      write_item b entry ~k ~v ~full:true;
+      Builder.store b Ir.Persistent (Ir.Reg slot) 0 (Ir.Reg entry);
+      Builder.store b Ir.Persistent (Ir.Reg desc) 2 (Ir.Reg c1));
+  Builder.unlock b (Ir.Reg lockid);
+  Builder.ret b None;
+  Builder.finish b
+
+let get_fn () =
+  let b, ps = Builder.create ~name:"kv_get" ~nparams:2 in
+  let desc = List.nth ps 0 and k = List.nth ps 1 in
+  let lockid = Builder.mov b (Ir.Reg desc) in
+  let res = Builder.mov b (Ir.Imm (-1L)) in
+  Builder.lock b (Ir.Reg lockid);
+  Builder.intr_void b Ir.Work [ Ir.Imm (Int64.of_int item_work_ns) ];
+  let slot = chain_slot b desc k in
+  let hit = scan b slot k in
+  let found = Builder.bin b Ir.Ne (Ir.Reg hit) (Ir.Imm 0L) in
+  Builder.if_ b (Ir.Reg found)
+    ~then_:(fun () ->
+      let v = Builder.load b Ir.Persistent (Ir.Reg hit) 2 in
+      (* LRU bookkeeping: touch the access time. *)
+      let t = Builder.bin b Ir.Add (Ir.Reg v) (Ir.Imm 1L) in
+      Builder.store b Ir.Persistent (Ir.Reg hit) 4 (Ir.Reg t);
+      Builder.assign b res (Ir.Reg v))
+    ~else_:(fun () -> ());
+  Builder.unlock b (Ir.Reg lockid);
+  Builder.ret b (Some (Ir.Reg res));
+  Builder.finish b
+
+let worker ~key_range ~insert_pct =
+  let b, ps = Builder.create ~name:"worker" ~nparams:1 in
+  let nops = List.nth ps 0 in
+  let desc = get_root b desc_root in
+  for_loop b (Ir.Reg nops) (fun _ ->
+      (* Request parsing / response formatting outside the FASE. *)
+      Builder.intr_void b Ir.Work [ Ir.Imm (Int64.of_int client_work_ns) ];
+      let dice = rand b 100 in
+      let k = rand b key_range in
+      let is_set =
+        Builder.bin b Ir.Lt (Ir.Reg dice) (Ir.Imm (Int64.of_int insert_pct))
+      in
+      Builder.if_ b (Ir.Reg is_set)
+        ~then_:(fun () ->
+          let v = rand b 1_000_000 in
+          Builder.call_void b "kv_set" [ Ir.Reg desc; Ir.Reg k; Ir.Reg v ])
+        ~else_:(fun () ->
+          ignore (Builder.call b "kv_get" [ Ir.Reg desc; Ir.Reg k ]));
+      observe b (Ir.Imm 1L));
+  Builder.ret b None;
+  Builder.finish b
+
+let check () =
+  let b, _ = Builder.create ~name:"check" ~nparams:0 in
+  let desc = get_root b desc_root in
+  let nb = Builder.load b Ir.Persistent (Ir.Reg desc) 1 in
+  let count = Builder.load b Ir.Persistent (Ir.Reg desc) 2 in
+  let bound = Builder.bin b Ir.Add (Ir.Reg count) (Ir.Imm 1L) in
+  let total = Builder.mov b (Ir.Imm 0L) in
+  for_loop b (Ir.Reg nb) (fun i ->
+      let off = Builder.bin b Ir.Add (Ir.Reg i) (Ir.Imm 3L) in
+      let slot = Builder.bin b Ir.Add (Ir.Reg desc) (Ir.Reg off) in
+      let e0 = Builder.load b Ir.Persistent (Ir.Reg slot) 0 in
+      let cur = Builder.mov b (Ir.Reg e0) in
+      Builder.while_ b
+        ~cond:(fun () -> Ir.Reg (Builder.bin b Ir.Ne (Ir.Reg cur) (Ir.Imm 0L)))
+        ~body:(fun () ->
+          Builder.assign_bin b total Ir.Add (Ir.Reg total) (Ir.Imm 1L);
+          let ok = Builder.bin b Ir.Le (Ir.Reg total) (Ir.Reg bound) in
+          assert_nz b (Ir.Reg ok);
+          (* Value payload coherence: words 6 and 7 are value+1 and
+             value+2; a torn set shows up here. *)
+          let v = Builder.load b Ir.Persistent (Ir.Reg cur) 2 in
+          let p1 = Builder.load b Ir.Persistent (Ir.Reg cur) 6 in
+          let p2 = Builder.load b Ir.Persistent (Ir.Reg cur) 7 in
+          assert_eq b (Ir.Reg p1) (Ir.Reg (Builder.bin b Ir.Add (Ir.Reg v) (Ir.Imm 1L)));
+          assert_eq b (Ir.Reg p2) (Ir.Reg (Builder.bin b Ir.Add (Ir.Reg v) (Ir.Imm 2L)));
+          let nxt = Builder.load b Ir.Persistent (Ir.Reg cur) 1 in
+          Builder.assign b cur (Ir.Reg nxt)));
+  assert_eq b (Ir.Reg total) (Ir.Reg count);
+  observe b (Ir.Reg total);
+  Builder.ret b None;
+  Builder.finish b
+
+let program ?(buckets = 256) ?(key_range = 16384) ~insert_pct () =
+  program
+    [
+      ("init", init buckets);
+      ("kv_set", set_fn ());
+      ("kv_get", get_fn ());
+      ("worker", worker ~key_range ~insert_pct);
+      ("check", check ());
+    ]

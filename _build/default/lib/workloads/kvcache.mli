@@ -1,0 +1,19 @@
+(** Memcached-like key–value cache (Sec. V-A).
+
+    Memcached 1.2.4 — the version used by the paper via the WHISPER
+    suite — serialises cache operations under one coarse lock; that
+    lock structure (and hence its scaling ceiling near 8 threads, and
+    Mnemosyne's advantage on it) is what matters for Fig. 5, so the
+    substitute keeps it: one global lock over a chained hash table.
+    Set operations allocate and initialise entries inside the FASE,
+    giving the multi-store idempotent regions that Fig. 8 reports for
+    Memcached. *)
+
+open Ido_ir
+
+val program :
+  ?buckets:int -> ?key_range:int -> insert_pct:int -> unit -> Ir.program
+(** [worker(nops)] issues [insert_pct]% sets / rest gets with
+    uniformly distributed keys (paper: 50/50 insertion-intensive and
+    10/90 search-intensive).  Defaults: 256 buckets, 16384 keys.
+    [check] verifies [Σ chain length = count] and key/value coherence. *)

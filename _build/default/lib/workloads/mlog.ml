@@ -1,0 +1,140 @@
+open Ido_ir
+open Wcommon
+
+(* Descriptor: [0] capacity, [1] head (monotonic write cursor),
+   [2] tail (monotonic read cursor), [3] lock word, [4..] slots.
+   Slot: [0] seq, [1] payload a, [2] payload b, [3] checksum. *)
+
+let record_words = 4
+
+let slot_addr b desc idx cap =
+  let m = Builder.bin b Ir.Rem (Ir.Reg idx) (Ir.Reg cap) in
+  let off = Builder.bin b Ir.Mul (Ir.Reg m) (Ir.Imm (Int64.of_int record_words)) in
+  let off4 = Builder.bin b Ir.Add (Ir.Reg off) (Ir.Imm 4L) in
+  Builder.bin b Ir.Add (Ir.Reg desc) (Ir.Reg off4)
+
+let init capacity =
+  let b, _ = Builder.create ~name:"init" ~nparams:0 in
+  let desc =
+    alloc_node b
+      (4 + (capacity * record_words))
+      [ (0, Ir.Imm (Int64.of_int capacity)); (1, Ir.Imm 0L); (2, Ir.Imm 0L) ]
+  in
+  set_root b desc_root (Ir.Reg desc);
+  Builder.ret b None;
+  Builder.finish b
+
+(* Append one record; a full ring overwrites the oldest (both cursors
+   advance), so the FASE updates up to 6 persistent words. *)
+let append_fn () =
+  let b, ps = Builder.create ~name:"mlog_append" ~nparams:2 in
+  let desc = List.nth ps 0 and v = List.nth ps 1 in
+  let lockid = Builder.bin b Ir.Add (Ir.Reg desc) (Ir.Imm 3L) in
+  Builder.lock b (Ir.Reg lockid);
+  let cap = Builder.load b Ir.Persistent (Ir.Reg desc) 0 in
+  let h = Builder.load b Ir.Persistent (Ir.Reg desc) 1 in
+  let t = Builder.load b Ir.Persistent (Ir.Reg desc) 2 in
+  let live = Builder.bin b Ir.Sub (Ir.Reg h) (Ir.Reg t) in
+  let full = Builder.bin b Ir.Ge (Ir.Reg live) (Ir.Reg cap) in
+  let slot = slot_addr b desc h cap in
+  let v2 = Builder.bin b Ir.Mul (Ir.Reg v) (Ir.Imm 2L) in
+  let ck0 = Builder.bin b Ir.Add (Ir.Reg h) (Ir.Reg v) in
+  let ck = Builder.bin b Ir.Add (Ir.Reg ck0) (Ir.Reg v2) in
+  let h1 = Builder.bin b Ir.Add (Ir.Reg h) (Ir.Imm 1L) in
+  let t1 = Builder.bin b Ir.Add (Ir.Reg t) (Ir.Imm 1L) in
+  Builder.store b Ir.Persistent (Ir.Reg slot) 0 (Ir.Reg h);
+  Builder.store b Ir.Persistent (Ir.Reg slot) 1 (Ir.Reg v);
+  Builder.store b Ir.Persistent (Ir.Reg slot) 2 (Ir.Reg v2);
+  Builder.store b Ir.Persistent (Ir.Reg slot) 3 (Ir.Reg ck);
+  Builder.store b Ir.Persistent (Ir.Reg desc) 1 (Ir.Reg h1);
+  Builder.if_ b (Ir.Reg full)
+    ~then_:(fun () -> Builder.store b Ir.Persistent (Ir.Reg desc) 2 (Ir.Reg t1))
+    ~else_:(fun () -> ());
+  Builder.unlock b (Ir.Reg lockid);
+  Builder.ret b None;
+  Builder.finish b
+
+let consume_fn () =
+  let b, ps = Builder.create ~name:"mlog_consume" ~nparams:1 in
+  let desc = List.nth ps 0 in
+  let lockid = Builder.bin b Ir.Add (Ir.Reg desc) (Ir.Imm 3L) in
+  let res = Builder.mov b (Ir.Imm (-1L)) in
+  Builder.lock b (Ir.Reg lockid);
+  let cap = Builder.load b Ir.Persistent (Ir.Reg desc) 0 in
+  let h = Builder.load b Ir.Persistent (Ir.Reg desc) 1 in
+  let t = Builder.load b Ir.Persistent (Ir.Reg desc) 2 in
+  let nonempty = Builder.bin b Ir.Lt (Ir.Reg t) (Ir.Reg h) in
+  Builder.if_ b (Ir.Reg nonempty)
+    ~then_:(fun () ->
+      let slot = slot_addr b desc t cap in
+      let seq = Builder.load b Ir.Persistent (Ir.Reg slot) 0 in
+      let a = Builder.load b Ir.Persistent (Ir.Reg slot) 1 in
+      let b2 = Builder.load b Ir.Persistent (Ir.Reg slot) 2 in
+      let ck = Builder.load b Ir.Persistent (Ir.Reg slot) 3 in
+      (* A consumed record must checksum; a torn append can never be
+         visible between the cursors. *)
+      let s0 = Builder.bin b Ir.Add (Ir.Reg seq) (Ir.Reg a) in
+      let s1 = Builder.bin b Ir.Add (Ir.Reg s0) (Ir.Reg b2) in
+      assert_eq b (Ir.Reg s1) (Ir.Reg ck);
+      let t1 = Builder.bin b Ir.Add (Ir.Reg t) (Ir.Imm 1L) in
+      Builder.store b Ir.Persistent (Ir.Reg desc) 2 (Ir.Reg t1);
+      Builder.assign b res (Ir.Reg a))
+    ~else_:(fun () -> ());
+  Builder.unlock b (Ir.Reg lockid);
+  Builder.ret b (Some (Ir.Reg res));
+  Builder.finish b
+
+let worker () =
+  let b, ps = Builder.create ~name:"worker" ~nparams:1 in
+  let nops = List.nth ps 0 in
+  let desc = get_root b desc_root in
+  for_loop b (Ir.Reg nops) (fun _ ->
+      let op = rand b 2 in
+      Builder.if_ b (Ir.Reg op)
+        ~then_:(fun () ->
+          let v = rand b 1_000_000 in
+          Builder.call_void b "mlog_append" [ Ir.Reg desc; Ir.Reg v ])
+        ~else_:(fun () -> ignore (Builder.call b "mlog_consume" [ Ir.Reg desc ]));
+      observe b (Ir.Imm 1L));
+  Builder.ret b None;
+  Builder.finish b
+
+let check () =
+  let b, _ = Builder.create ~name:"check" ~nparams:0 in
+  let desc = get_root b desc_root in
+  let cap = Builder.load b Ir.Persistent (Ir.Reg desc) 0 in
+  let h = Builder.load b Ir.Persistent (Ir.Reg desc) 1 in
+  let t = Builder.load b Ir.Persistent (Ir.Reg desc) 2 in
+  let ordered = Builder.bin b Ir.Le (Ir.Reg t) (Ir.Reg h) in
+  assert_nz b (Ir.Reg ordered);
+  let live = Builder.bin b Ir.Sub (Ir.Reg h) (Ir.Reg t) in
+  let bounded = Builder.bin b Ir.Le (Ir.Reg live) (Ir.Reg cap) in
+  assert_nz b (Ir.Reg bounded);
+  (* Every live record checksums and carries its own sequence number. *)
+  let i = Builder.mov b (Ir.Reg t) in
+  Builder.while_ b
+    ~cond:(fun () -> Ir.Reg (Builder.bin b Ir.Lt (Ir.Reg i) (Ir.Reg h)))
+    ~body:(fun () ->
+      let slot = slot_addr b desc i cap in
+      let seq = Builder.load b Ir.Persistent (Ir.Reg slot) 0 in
+      assert_eq b (Ir.Reg seq) (Ir.Reg i);
+      let a = Builder.load b Ir.Persistent (Ir.Reg slot) 1 in
+      let b2 = Builder.load b Ir.Persistent (Ir.Reg slot) 2 in
+      let ck = Builder.load b Ir.Persistent (Ir.Reg slot) 3 in
+      let s0 = Builder.bin b Ir.Add (Ir.Reg seq) (Ir.Reg a) in
+      let s1 = Builder.bin b Ir.Add (Ir.Reg s0) (Ir.Reg b2) in
+      assert_eq b (Ir.Reg s1) (Ir.Reg ck);
+      Builder.assign_bin b i Ir.Add (Ir.Reg i) (Ir.Imm 1L));
+  observe b (Ir.Reg live);
+  Builder.ret b None;
+  Builder.finish b
+
+let program ?(capacity = 64) () =
+  program
+    [
+      ("init", init capacity);
+      ("mlog_append", append_fn ());
+      ("mlog_consume", consume_fn ());
+      ("worker", worker ());
+      ("check", check ());
+    ]

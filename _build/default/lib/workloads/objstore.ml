@@ -1,0 +1,175 @@
+open Ido_ir
+open Wcommon
+
+let payload_words = 8
+
+(* Descriptor: [0] nbuckets, [1] count, [2..2+nbuckets-1] chain heads.
+   Object: [0] key, [1] next, [2..9] payload (word j = key + j). *)
+
+let chain_slot b desc k =
+  let nb = Builder.load b Ir.Persistent (Ir.Reg desc) 0 in
+  let idx = Builder.bin b Ir.Rem (Ir.Reg k) (Ir.Reg nb) in
+  let off = Builder.bin b Ir.Add (Ir.Reg idx) (Ir.Imm 2L) in
+  Builder.bin b Ir.Add (Ir.Reg desc) (Ir.Reg off)
+
+let scan b slot k =
+  let res = Builder.mov b (Ir.Imm 0L) in
+  let e0 = Builder.load b Ir.Persistent (Ir.Reg slot) 0 in
+  let cur = Builder.mov b (Ir.Reg e0) in
+  Builder.while_ b
+    ~cond:(fun () -> Ir.Reg (Builder.bin b Ir.Ne (Ir.Reg cur) (Ir.Imm 0L)))
+    ~body:(fun () ->
+      let key = Builder.load b Ir.Persistent (Ir.Reg cur) 0 in
+      let hit = Builder.bin b Ir.Eq (Ir.Reg key) (Ir.Reg k) in
+      Builder.if_ b (Ir.Reg hit)
+        ~then_:(fun () ->
+          Builder.assign b res (Ir.Reg cur);
+          Builder.assign b cur (Ir.Imm 0L))
+        ~else_:(fun () ->
+          let nxt = Builder.load b Ir.Persistent (Ir.Reg cur) 1 in
+          Builder.assign b cur (Ir.Reg nxt)));
+  res
+
+let write_payload b obj k =
+  for j = 0 to payload_words - 1 do
+    let v = Builder.bin b Ir.Add (Ir.Reg k) (Ir.Imm (Int64.of_int j)) in
+    Builder.store b Ir.Persistent (Ir.Reg obj) (2 + j) (Ir.Reg v)
+  done
+
+(* obj_put is a programmer-delineated FASE (durable region): the chain
+   update and the whole payload persist atomically. *)
+let put_fn () =
+  let b, ps = Builder.create ~name:"obj_put" ~nparams:2 in
+  let desc = List.nth ps 0 and k = List.nth ps 1 in
+  Builder.durable_begin b;
+  (* Object encoding work inside the FASE (idempotent). *)
+  Builder.intr_void b Ir.Work [ Ir.Imm 80L ];
+  let slot = chain_slot b desc k in
+  let hit = scan b slot k in
+  let found = Builder.bin b Ir.Ne (Ir.Reg hit) (Ir.Imm 0L) in
+  Builder.if_ b (Ir.Reg found)
+    ~then_:(fun () -> write_payload b hit k)
+    ~else_:(fun () ->
+      let head = Builder.load b Ir.Persistent (Ir.Reg slot) 0 in
+      let obj =
+        alloc_node b (2 + payload_words) [ (0, Ir.Reg k); (1, Ir.Reg head) ]
+      in
+      write_payload b obj k;
+      Builder.store b Ir.Persistent (Ir.Reg slot) 0 (Ir.Reg obj);
+      let c = Builder.load b Ir.Persistent (Ir.Reg desc) 1 in
+      let c1 = Builder.bin b Ir.Add (Ir.Reg c) (Ir.Imm 1L) in
+      Builder.store b Ir.Persistent (Ir.Reg desc) 1 (Ir.Reg c1));
+  Builder.durable_end b;
+  Builder.ret b None;
+  Builder.finish b
+
+(* The read path performs no persistent writes, so it needs no durable
+   region — under iDO it is effectively free (Sec. V-A's explanation
+   of the shrinking gap on larger databases). *)
+let get_fn () =
+  let b, ps = Builder.create ~name:"obj_get" ~nparams:2 in
+  let desc = List.nth ps 0 and k = List.nth ps 1 in
+  let slot = chain_slot b desc k in
+  let hit = scan b slot k in
+  let res = Builder.mov b (Ir.Imm (-1L)) in
+  let found = Builder.bin b Ir.Ne (Ir.Reg hit) (Ir.Imm 0L) in
+  Builder.if_ b (Ir.Reg found)
+    ~then_:(fun () ->
+      let sum = Builder.mov b (Ir.Imm 0L) in
+      for j = 0 to payload_words - 1 do
+        let w = Builder.load b Ir.Persistent (Ir.Reg hit) (2 + j) in
+        Builder.assign_bin b sum Ir.Add (Ir.Reg sum) (Ir.Reg w)
+      done;
+      (* Checksum: Σ (k + j) = 8k + 28.  A torn object traps here. *)
+      let expect8k = Builder.bin b Ir.Mul (Ir.Reg k) (Ir.Imm 8L) in
+      let expect = Builder.bin b Ir.Add (Ir.Reg expect8k) (Ir.Imm 28L) in
+      assert_eq b (Ir.Reg sum) (Ir.Reg expect);
+      Builder.assign b res (Ir.Reg sum))
+    ~else_:(fun () -> ());
+  Builder.ret b (Some (Ir.Reg res));
+  Builder.finish b
+
+let init buckets prefill =
+  let b, _ = Builder.create ~name:"init" ~nparams:0 in
+  let desc =
+    alloc_node b (2 + buckets)
+      [ (0, Ir.Imm (Int64.of_int buckets)); (1, Ir.Imm 0L) ]
+  in
+  set_root b desc_root (Ir.Reg desc);
+  for_loop b (Ir.Imm (Int64.of_int prefill)) (fun i ->
+      Builder.call_void b "obj_put" [ Ir.Reg desc; Ir.Reg i ]);
+  Builder.ret b None;
+  Builder.finish b
+
+(* Power-law key skew: key = u²/range for uniform u gives
+   P(key < x) = √(x/range), concentrating mass on small ranks. *)
+let skewed_key b key_range =
+  let u = rand b key_range in
+  let sq = Builder.bin b Ir.Mul (Ir.Reg u) (Ir.Reg u) in
+  Builder.bin b Ir.Div (Ir.Reg sq) (Ir.Imm (Int64.of_int key_range))
+
+(* Command parsing, reply formatting and event-loop bookkeeping: the
+   per-request work Redis performs outside any persistence path. *)
+let client_work_ns = 150
+
+let worker key_range =
+  let b, ps = Builder.create ~name:"worker" ~nparams:1 in
+  let nops = List.nth ps 0 in
+  let desc = get_root b desc_root in
+  for_loop b (Ir.Reg nops) (fun _ ->
+      Builder.intr_void b Ir.Work [ Ir.Imm (Int64.of_int client_work_ns) ];
+      let dice = rand b 100 in
+      let k = skewed_key b key_range in
+      let is_put = Builder.bin b Ir.Lt (Ir.Reg dice) (Ir.Imm 20L) in
+      Builder.if_ b (Ir.Reg is_put)
+        ~then_:(fun () -> Builder.call_void b "obj_put" [ Ir.Reg desc; Ir.Reg k ])
+        ~else_:(fun () ->
+          ignore (Builder.call b "obj_get" [ Ir.Reg desc; Ir.Reg k ]));
+      observe b (Ir.Imm 1L));
+  Builder.ret b None;
+  Builder.finish b
+
+let check () =
+  let b, _ = Builder.create ~name:"check" ~nparams:0 in
+  let desc = get_root b desc_root in
+  let nb = Builder.load b Ir.Persistent (Ir.Reg desc) 0 in
+  let count = Builder.load b Ir.Persistent (Ir.Reg desc) 1 in
+  let bound = Builder.bin b Ir.Add (Ir.Reg count) (Ir.Imm 1L) in
+  let total = Builder.mov b (Ir.Imm 0L) in
+  for_loop b (Ir.Reg nb) (fun i ->
+      let off = Builder.bin b Ir.Add (Ir.Reg i) (Ir.Imm 2L) in
+      let slot = Builder.bin b Ir.Add (Ir.Reg desc) (Ir.Reg off) in
+      let e0 = Builder.load b Ir.Persistent (Ir.Reg slot) 0 in
+      let cur = Builder.mov b (Ir.Reg e0) in
+      Builder.while_ b
+        ~cond:(fun () -> Ir.Reg (Builder.bin b Ir.Ne (Ir.Reg cur) (Ir.Imm 0L)))
+        ~body:(fun () ->
+          Builder.assign_bin b total Ir.Add (Ir.Reg total) (Ir.Imm 1L);
+          let ok = Builder.bin b Ir.Le (Ir.Reg total) (Ir.Reg bound) in
+          assert_nz b (Ir.Reg ok);
+          let key = Builder.load b Ir.Persistent (Ir.Reg cur) 0 in
+          let sum = Builder.mov b (Ir.Imm 0L) in
+          for j = 0 to payload_words - 1 do
+            let w = Builder.load b Ir.Persistent (Ir.Reg cur) (2 + j) in
+            Builder.assign_bin b sum Ir.Add (Ir.Reg sum) (Ir.Reg w)
+          done;
+          let e8k = Builder.bin b Ir.Mul (Ir.Reg key) (Ir.Imm 8L) in
+          let expect = Builder.bin b Ir.Add (Ir.Reg e8k) (Ir.Imm 28L) in
+          assert_eq b (Ir.Reg sum) (Ir.Reg expect);
+          let nxt = Builder.load b Ir.Persistent (Ir.Reg cur) 1 in
+          Builder.assign b cur (Ir.Reg nxt)));
+  assert_eq b (Ir.Reg total) (Ir.Reg count);
+  observe b (Ir.Reg total);
+  Builder.ret b None;
+  Builder.finish b
+
+let program ?(buckets = 1024) ?(key_range = 10_000) ?prefill () =
+  let prefill = match prefill with Some p -> p | None -> key_range / 10 in
+  program
+    [
+      ("init", init buckets prefill);
+      ("obj_put", put_fn ());
+      ("obj_get", get_fn ());
+      ("worker", worker key_range);
+      ("check", check ());
+    ]

@@ -1,0 +1,194 @@
+open Ido_ir
+open Wcommon
+
+(* Node: [0] key, [1] next, [2] lock word (its own indirect holder),
+   [3] value. *)
+
+let tail_key = Int64.shift_left 1L 40
+
+let lock_of b node = Builder.bin b Ir.Add (Ir.Reg node) (Ir.Imm 2L)
+
+(* Hand-over-hand traversal: returns (prev, cur) registers, both
+   locked, with cur.key >= k. *)
+let traverse b ~head ~k =
+  Builder.lock b (Ir.Reg (lock_of b head));
+  let prev = Builder.mov b (Ir.Reg head) in
+  let cur0 = Builder.load b Ir.Persistent (Ir.Reg prev) 1 in
+  let cur = Builder.mov b (Ir.Reg cur0) in
+  Builder.lock b (Ir.Reg (lock_of b cur));
+  Builder.while_ b
+    ~cond:(fun () ->
+      let key = Builder.load b Ir.Persistent (Ir.Reg cur) 0 in
+      Ir.Reg (Builder.bin b Ir.Lt (Ir.Reg key) (Ir.Reg k)))
+    ~body:(fun () ->
+      Builder.unlock b (Ir.Reg (lock_of b prev));
+      Builder.assign b prev (Ir.Reg cur);
+      let nxt = Builder.load b Ir.Persistent (Ir.Reg cur) 1 in
+      Builder.assign b cur (Ir.Reg nxt);
+      Builder.lock b (Ir.Reg (lock_of b cur)));
+  (prev, cur)
+
+let get_fn () =
+  let b, ps = Builder.create ~name:"list_get" ~nparams:2 in
+  let head = List.nth ps 0 and k = List.nth ps 1 in
+  let prev, cur = traverse b ~head ~k in
+  let res = Builder.mov b (Ir.Imm (-1L)) in
+  let key = Builder.load b Ir.Persistent (Ir.Reg cur) 0 in
+  let found = Builder.bin b Ir.Eq (Ir.Reg key) (Ir.Reg k) in
+  Builder.if_ b (Ir.Reg found)
+    ~then_:(fun () ->
+      let v = Builder.load b Ir.Persistent (Ir.Reg cur) 3 in
+      Builder.assign b res (Ir.Reg v))
+    ~else_:(fun () -> ());
+  Builder.unlock b (Ir.Reg (lock_of b prev));
+  Builder.unlock b (Ir.Reg (lock_of b cur));
+  Builder.ret b (Some (Ir.Reg res));
+  Builder.finish b
+
+let put_fn () =
+  let b, ps = Builder.create ~name:"list_put" ~nparams:3 in
+  let head = List.nth ps 0 and k = List.nth ps 1 and v = List.nth ps 2 in
+  let prev, cur = traverse b ~head ~k in
+  let key = Builder.load b Ir.Persistent (Ir.Reg cur) 0 in
+  let found = Builder.bin b Ir.Eq (Ir.Reg key) (Ir.Reg k) in
+  Builder.if_ b (Ir.Reg found)
+    ~then_:(fun () -> Builder.store b Ir.Persistent (Ir.Reg cur) 3 (Ir.Reg v))
+    ~else_:(fun () ->
+      let node =
+        alloc_node b 4
+          [ (0, Ir.Reg k); (1, Ir.Reg cur); (3, Ir.Reg v) ]
+      in
+      Builder.store b Ir.Persistent (Ir.Reg prev) 1 (Ir.Reg node));
+  Builder.unlock b (Ir.Reg (lock_of b prev));
+  Builder.unlock b (Ir.Reg (lock_of b cur));
+  Builder.ret b None;
+  Builder.finish b
+
+(* Single-threaded integrity walk: strictly ascending keys (which also
+   rules out cycles) ending at the tail sentinel; returns the element
+   count. *)
+let count_fn () =
+  let b, ps = Builder.create ~name:"list_count" ~nparams:1 in
+  let head = List.nth ps 0 in
+  let n = Builder.mov b (Ir.Imm 0L) in
+  let prev_key = Builder.mov b (Ir.Imm (-1L)) in
+  let c0 = Builder.load b Ir.Persistent (Ir.Reg head) 1 in
+  let cur = Builder.mov b (Ir.Reg c0) in
+  Builder.while_ b
+    ~cond:(fun () ->
+      let key = Builder.load b Ir.Persistent (Ir.Reg cur) 0 in
+      Ir.Reg (Builder.bin b Ir.Ne (Ir.Reg key) (Ir.Imm tail_key)))
+    ~body:(fun () ->
+      let key = Builder.load b Ir.Persistent (Ir.Reg cur) 0 in
+      let ascending = Builder.bin b Ir.Gt (Ir.Reg key) (Ir.Reg prev_key) in
+      assert_nz b (Ir.Reg ascending);
+      Builder.assign b prev_key (Ir.Reg key);
+      Builder.assign_bin b n Ir.Add (Ir.Reg n) (Ir.Imm 1L);
+      let nxt = Builder.load b Ir.Persistent (Ir.Reg cur) 1 in
+      Builder.assign b cur (Ir.Reg nxt));
+  Builder.ret b (Some (Ir.Reg n));
+  Builder.finish b
+
+(* Remove unlinks the node while holding both its predecessor's and
+   its own lock.  The node itself leaks: nv_free inside a FASE would
+   double-free on resumption (see Validate), and deferring frees is
+   what real persistent allocators do. *)
+let remove_fn () =
+  let b, ps = Builder.create ~name:"list_remove" ~nparams:2 in
+  let head = List.nth ps 0 and k = List.nth ps 1 in
+  let prev, cur = traverse b ~head ~k in
+  let res = Builder.mov b (Ir.Imm 0L) in
+  let key = Builder.load b Ir.Persistent (Ir.Reg cur) 0 in
+  let found = Builder.bin b Ir.Eq (Ir.Reg key) (Ir.Reg k) in
+  Builder.if_ b (Ir.Reg found)
+    ~then_:(fun () ->
+      let nxt = Builder.load b Ir.Persistent (Ir.Reg cur) 1 in
+      Builder.store b Ir.Persistent (Ir.Reg prev) 1 (Ir.Reg nxt);
+      Builder.assign b res (Ir.Imm 1L))
+    ~else_:(fun () -> ());
+  Builder.unlock b (Ir.Reg (lock_of b prev));
+  Builder.unlock b (Ir.Reg (lock_of b cur));
+  Builder.ret b (Some (Ir.Reg res));
+  Builder.finish b
+
+let list_funcs () =
+  [
+    ("list_get", get_fn ());
+    ("list_put", put_fn ());
+    ("list_remove", remove_fn ());
+    ("list_count", count_fn ());
+  ]
+
+let make_list b =
+  let tail = alloc_node b 4 [ (0, Ir.Imm tail_key); (1, Ir.Imm 0L) ] in
+  let head = alloc_node b 4 [ (0, Ir.Imm (-1L)); (1, Ir.Reg tail) ] in
+  head
+
+let init () =
+  let b, _ = Builder.create ~name:"init" ~nparams:0 in
+  let head = make_list b in
+  set_root b desc_root (Ir.Reg head);
+  Builder.ret b None;
+  Builder.finish b
+
+let worker key_range =
+  let b, ps = Builder.create ~name:"worker" ~nparams:1 in
+  let nops = List.nth ps 0 in
+  let head = get_root b desc_root in
+  for_loop b (Ir.Reg nops) (fun _ ->
+      let op = rand b 2 in
+      let k = rand b key_range in
+      Builder.if_ b (Ir.Reg op)
+        ~then_:(fun () ->
+          let v = rand b 1_000_000 in
+          Builder.call_void b "list_put" [ Ir.Reg head; Ir.Reg k; Ir.Reg v ])
+        ~else_:(fun () ->
+          ignore (Builder.call b "list_get" [ Ir.Reg head; Ir.Reg k ]));
+      observe b (Ir.Imm 1L));
+  Builder.ret b None;
+  Builder.finish b
+
+let check () =
+  let b, _ = Builder.create ~name:"check" ~nparams:0 in
+  let head = get_root b desc_root in
+  let n = Builder.call b "list_count" [ Ir.Reg head ] in
+  observe b (Ir.Reg n);
+  Builder.ret b None;
+  Builder.finish b
+
+(* A worker that also removes: remove_pct% removals, the rest split
+   between gets and puts.  Kept separate from [worker] so the paper's
+   get/put microbenchmark is bit-identical with or without this
+   extension. *)
+let worker_with_removes ~key_range ~remove_pct =
+  let b, ps = Builder.create ~name:"worker" ~nparams:1 in
+  let nops = List.nth ps 0 in
+  let head = get_root b desc_root in
+  for_loop b (Ir.Reg nops) (fun _ ->
+      let dice = rand b 100 in
+      let k = rand b key_range in
+      let is_remove =
+        Builder.bin b Ir.Lt (Ir.Reg dice) (Ir.Imm (Int64.of_int remove_pct))
+      in
+      Builder.if_ b (Ir.Reg is_remove)
+        ~then_:(fun () ->
+          ignore (Builder.call b "list_remove" [ Ir.Reg head; Ir.Reg k ]))
+        ~else_:(fun () ->
+          let flip = Builder.bin b Ir.And (Ir.Reg dice) (Ir.Imm 1L) in
+          Builder.if_ b (Ir.Reg flip)
+            ~then_:(fun () ->
+              let v = rand b 1_000_000 in
+              Builder.call_void b "list_put" [ Ir.Reg head; Ir.Reg k; Ir.Reg v ])
+            ~else_:(fun () ->
+              ignore (Builder.call b "list_get" [ Ir.Reg head; Ir.Reg k ])));
+      observe b (Ir.Imm 1L));
+  Builder.ret b None;
+  Builder.finish b
+
+let program ?(key_range = 256) ?(remove_pct = 0) () =
+  let worker =
+    if remove_pct = 0 then worker key_range
+    else worker_with_removes ~key_range ~remove_pct
+  in
+  program
+    (list_funcs () @ [ ("init", init ()); ("worker", worker); ("check", check ()) ])

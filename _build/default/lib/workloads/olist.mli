@@ -1,0 +1,26 @@
+(** Sorted linked list traversed with hand-over-hand (cross) locking —
+    the paper's high-concurrency-within-structure microbenchmark and
+    the FASE shape of Fig. 2(b).  Each node carries its own lock word;
+    a traversal holds exactly two node locks at a time, so the FASE's
+    lock depth oscillates 2 → 1 → 2 without ever reaching zero until
+    the operation completes.
+
+    Sentinels bound the key space: the head holds key −1 and the tail
+    key 2{^40}, so traversals need no emptiness cases. *)
+
+open Ido_ir
+
+val list_funcs : unit -> (string * Ir.func) list
+(** [list_get(head, k)], [list_put(head, k, v)],
+    [list_remove(head, k)] (unlinks; the node is leaked, as deferred
+    reclamation requires), [list_count(head)] — shared with {!Hmap}. *)
+
+val make_list : Builder.t -> Ir.reg
+(** Emit code allocating an empty list (head+tail sentinels); returns
+    the head-sentinel address register. *)
+
+val program : ?key_range:int -> ?remove_pct:int -> unit -> Ir.program
+(** [init], [worker(nops)] (50% get / 50% put over a uniform key
+    range, default 256; with [remove_pct] > 0, that percentage of
+    operations are removals and the rest split between gets and puts),
+    [check] (sorted, tail reachable; observes element count). *)

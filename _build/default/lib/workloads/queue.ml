@@ -1,0 +1,106 @@
+open Ido_ir
+open Wcommon
+
+(* Descriptor: [0] head, [1] tail, [2] enqueues, [3] dequeues; word 5
+   is the head-lock holder, word 6 the tail-lock holder.
+   Node: [0] value, [1] next. *)
+
+let init () =
+  let b, _ = Builder.create ~name:"init" ~nparams:0 in
+  let dummy = alloc_node b 2 [] in
+  let desc =
+    alloc_node b 8
+      [ (0, Ir.Reg dummy); (1, Ir.Reg dummy); (2, Ir.Imm 0L); (3, Ir.Imm 0L) ]
+  in
+  set_root b desc_root (Ir.Reg desc);
+  Builder.ret b None;
+  Builder.finish b
+
+let enq () =
+  let b, ps = Builder.create ~name:"queue_enq" ~nparams:2 in
+  let desc = List.nth ps 0 and v = List.nth ps 1 in
+  let node = alloc_node b 2 [ (0, Ir.Reg v); (1, Ir.Imm 0L) ] in
+  let tail_lock = Builder.bin b Ir.Add (Ir.Reg desc) (Ir.Imm 6L) in
+  Builder.lock b (Ir.Reg tail_lock);
+  (* Loads first, so every write-after-read pair shares one cut. *)
+  let t = Builder.load b Ir.Persistent (Ir.Reg desc) 1 in
+  let e = Builder.load b Ir.Persistent (Ir.Reg desc) 2 in
+  let e1 = Builder.bin b Ir.Add (Ir.Reg e) (Ir.Imm 1L) in
+  Builder.store b Ir.Persistent (Ir.Reg t) 1 (Ir.Reg node);
+  Builder.store b Ir.Persistent (Ir.Reg desc) 1 (Ir.Reg node);
+  Builder.store b Ir.Persistent (Ir.Reg desc) 2 (Ir.Reg e1);
+  Builder.unlock b (Ir.Reg tail_lock);
+  Builder.ret b None;
+  Builder.finish b
+
+let deq () =
+  let b, ps = Builder.create ~name:"queue_deq" ~nparams:1 in
+  let desc = List.nth ps 0 in
+  let head_lock = Builder.bin b Ir.Add (Ir.Reg desc) (Ir.Imm 5L) in
+  let res = Builder.mov b (Ir.Imm (-1L)) in
+  Builder.lock b (Ir.Reg head_lock);
+  let h = Builder.load b Ir.Persistent (Ir.Reg desc) 0 in
+  let nxt = Builder.load b Ir.Persistent (Ir.Reg h) 1 in
+  let nonempty = Builder.bin b Ir.Ne (Ir.Reg nxt) (Ir.Imm 0L) in
+  Builder.if_ b (Ir.Reg nonempty)
+    ~then_:(fun () ->
+      let v = Builder.load b Ir.Persistent (Ir.Reg nxt) 0 in
+      let d = Builder.load b Ir.Persistent (Ir.Reg desc) 3 in
+      let d1 = Builder.bin b Ir.Add (Ir.Reg d) (Ir.Imm 1L) in
+      (* The old dummy is abandoned; [nxt] becomes the new dummy. *)
+      Builder.store b Ir.Persistent (Ir.Reg desc) 0 (Ir.Reg nxt);
+      Builder.store b Ir.Persistent (Ir.Reg desc) 3 (Ir.Reg d1);
+      Builder.assign b res (Ir.Reg v))
+    ~else_:(fun () -> ());
+  Builder.unlock b (Ir.Reg head_lock);
+  Builder.ret b (Some (Ir.Reg res));
+  Builder.finish b
+
+let worker () =
+  let b, ps = Builder.create ~name:"worker" ~nparams:1 in
+  let nops = List.nth ps 0 in
+  let desc = get_root b desc_root in
+  for_loop b (Ir.Reg nops) (fun _ ->
+      let op = rand b 2 in
+      let v = rand b 1_000_000 in
+      Builder.if_ b (Ir.Reg op)
+        ~then_:(fun () -> Builder.call_void b "queue_enq" [ Ir.Reg desc; Ir.Reg v ])
+        ~else_:(fun () -> ignore (Builder.call b "queue_deq" [ Ir.Reg desc ]));
+      observe b (Ir.Imm 1L));
+  Builder.ret b None;
+  Builder.finish b
+
+let check () =
+  let b, _ = Builder.create ~name:"check" ~nparams:0 in
+  let desc = get_root b desc_root in
+  let enqs = Builder.load b Ir.Persistent (Ir.Reg desc) 2 in
+  let deqs = Builder.load b Ir.Persistent (Ir.Reg desc) 3 in
+  let expect = Builder.bin b Ir.Sub (Ir.Reg enqs) (Ir.Reg deqs) in
+  let h = Builder.load b Ir.Persistent (Ir.Reg desc) 0 in
+  let c = Builder.load b Ir.Persistent (Ir.Reg h) 1 in
+  let cur = Builder.mov b (Ir.Reg c) in
+  let n = Builder.mov b (Ir.Imm 0L) in
+  let bound = Builder.bin b Ir.Add (Ir.Reg expect) (Ir.Imm 1L) in
+  Builder.while_ b
+    ~cond:(fun () -> Ir.Reg (Builder.bin b Ir.Ne (Ir.Reg cur) (Ir.Imm 0L)))
+    ~body:(fun () ->
+      Builder.assign_bin b n Ir.Add (Ir.Reg n) (Ir.Imm 1L);
+      let ok = Builder.bin b Ir.Le (Ir.Reg n) (Ir.Reg bound) in
+      assert_nz b (Ir.Reg ok);
+      let nxt = Builder.load b Ir.Persistent (Ir.Reg cur) 1 in
+      Builder.assign b cur (Ir.Reg nxt));
+  assert_eq b (Ir.Reg n) (Ir.Reg expect);
+  (* The tail pointer must be the last reachable node. *)
+  observe b (Ir.Reg n);
+  Builder.ret b None;
+  Builder.finish b
+
+let program () =
+  program
+    [
+      ("init", init ());
+      ("queue_enq", enq ());
+      ("queue_deq", deq ());
+      ("worker", worker ());
+      ("check", check ());
+    ]

@@ -1,0 +1,11 @@
+(** The two-lock Michael–Scott queue (Sec. V-B): independent head and
+    tail locks with a permanent dummy node, allowing one enqueuer and
+    one dequeuer to proceed concurrently.  Persistent enqueue/dequeue
+    counters give the post-crash invariant
+    [length(chain past dummy) = enqueues - dequeues]. *)
+
+open Ido_ir
+
+val program : unit -> Ir.program
+(** Functions: [init], [worker(nops)] (50% enqueue / 50% dequeue),
+    [check], plus [queue_enq]/[queue_deq]. *)

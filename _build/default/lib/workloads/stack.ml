@@ -1,0 +1,100 @@
+open Ido_ir
+open Wcommon
+
+(* Descriptor: [0] head, [1] size; word 4 is the indirect lock holder.
+   Node: [0] value, [1] next. *)
+
+let init () =
+  let b, _ = Builder.create ~name:"init" ~nparams:0 in
+  let desc = alloc_node b 8 [ (0, Ir.Imm 0L); (1, Ir.Imm 0L) ] in
+  set_root b desc_root (Ir.Reg desc);
+  Builder.ret b None;
+  Builder.finish b
+
+let push () =
+  let b, ps = Builder.create ~name:"stack_push" ~nparams:2 in
+  let desc = List.nth ps 0 and v = List.nth ps 1 in
+  (* Allocate and fill the node before entering the FASE: a crash
+     before publication merely leaks the block. *)
+  let node = alloc_node b 2 [ (0, Ir.Reg v) ] in
+  let lockid = Builder.bin b Ir.Add (Ir.Reg desc) (Ir.Imm 4L) in
+  Builder.lock b (Ir.Reg lockid);
+  (* Loads scheduled before the stores, as an optimising compiler
+     would: all write-after-read pairs then share one region cut. *)
+  let h = Builder.load b Ir.Persistent (Ir.Reg desc) 0 in
+  let sz = Builder.load b Ir.Persistent (Ir.Reg desc) 1 in
+  let sz1 = Builder.bin b Ir.Add (Ir.Reg sz) (Ir.Imm 1L) in
+  Builder.store b Ir.Persistent (Ir.Reg node) 1 (Ir.Reg h);
+  Builder.store b Ir.Persistent (Ir.Reg desc) 0 (Ir.Reg node);
+  Builder.store b Ir.Persistent (Ir.Reg desc) 1 (Ir.Reg sz1);
+  Builder.unlock b (Ir.Reg lockid);
+  Builder.ret b None;
+  Builder.finish b
+
+let pop () =
+  let b, ps = Builder.create ~name:"stack_pop" ~nparams:1 in
+  let desc = List.nth ps 0 in
+  let lockid = Builder.bin b Ir.Add (Ir.Reg desc) (Ir.Imm 4L) in
+  let res = Builder.mov b (Ir.Imm (-1L)) in
+  Builder.lock b (Ir.Reg lockid);
+  let h = Builder.load b Ir.Persistent (Ir.Reg desc) 0 in
+  let nonempty = Builder.bin b Ir.Ne (Ir.Reg h) (Ir.Imm 0L) in
+  Builder.if_ b (Ir.Reg nonempty)
+    ~then_:(fun () ->
+      let nxt = Builder.load b Ir.Persistent (Ir.Reg h) 1 in
+      let sz = Builder.load b Ir.Persistent (Ir.Reg desc) 1 in
+      let v = Builder.load b Ir.Persistent (Ir.Reg h) 0 in
+      let sz1 = Builder.bin b Ir.Sub (Ir.Reg sz) (Ir.Imm 1L) in
+      Builder.store b Ir.Persistent (Ir.Reg desc) 0 (Ir.Reg nxt);
+      Builder.store b Ir.Persistent (Ir.Reg desc) 1 (Ir.Reg sz1);
+      Builder.assign b res (Ir.Reg v))
+    ~else_:(fun () -> ());
+  Builder.unlock b (Ir.Reg lockid);
+  Builder.ret b (Some (Ir.Reg res));
+  Builder.finish b
+
+let worker () =
+  let b, ps = Builder.create ~name:"worker" ~nparams:1 in
+  let nops = List.nth ps 0 in
+  let desc = get_root b desc_root in
+  for_loop b (Ir.Reg nops) (fun _ ->
+      let op = rand b 2 in
+      let v = rand b 1_000_000 in
+      Builder.if_ b (Ir.Reg op)
+        ~then_:(fun () -> Builder.call_void b "stack_push" [ Ir.Reg desc; Ir.Reg v ])
+        ~else_:(fun () -> ignore (Builder.call b "stack_pop" [ Ir.Reg desc ]));
+      observe b (Ir.Imm 1L));
+  Builder.ret b None;
+  Builder.finish b
+
+let check () =
+  let b, _ = Builder.create ~name:"check" ~nparams:0 in
+  let desc = get_root b desc_root in
+  let size = Builder.load b Ir.Persistent (Ir.Reg desc) 1 in
+  let bound = Builder.bin b Ir.Add (Ir.Reg size) (Ir.Imm 1L) in
+  let cur = Builder.load b Ir.Persistent (Ir.Reg desc) 0 in
+  let c = Builder.mov b (Ir.Reg cur) in
+  let n = Builder.mov b (Ir.Imm 0L) in
+  Builder.while_ b
+    ~cond:(fun () -> Ir.Reg (Builder.bin b Ir.Ne (Ir.Reg c) (Ir.Imm 0L)))
+    ~body:(fun () ->
+      Builder.assign_bin b n Ir.Add (Ir.Reg n) (Ir.Imm 1L);
+      (* A chain longer than size+1 means a cycle or a lost update. *)
+      let ok = Builder.bin b Ir.Le (Ir.Reg n) (Ir.Reg bound) in
+      assert_nz b (Ir.Reg ok);
+      let nxt = Builder.load b Ir.Persistent (Ir.Reg c) 1 in
+      Builder.assign b c (Ir.Reg nxt));
+  assert_eq b (Ir.Reg n) (Ir.Reg size);
+  observe b (Ir.Reg n);
+  Builder.ret b None;
+  Builder.finish b
+
+let program () =
+  program
+    [
+      ("init", init ());
+      ("stack_push", push ());
+      ("stack_pop", pop ());
+      ("worker", worker ());
+      ("check", check ());
+    ]

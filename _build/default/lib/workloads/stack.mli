@@ -1,0 +1,13 @@
+(** Locking variation on the Treiber stack (Sec. V-B).
+
+    One descriptor lock serialises all operations — the
+    low-parallelism extreme of the microbenchmark suite.  The
+    descriptor carries a persistent size counter updated inside the
+    FASE, giving the post-crash invariant [length(chain) = size]. *)
+
+open Ido_ir
+
+val program : unit -> Ir.program
+(** Functions: [init], [worker(nops)] (50% push / 50% pop of random
+    values), [check] (traps unless the chain length equals the size
+    counter; observes the length), plus [stack_push]/[stack_pop]. *)

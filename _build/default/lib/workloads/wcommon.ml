@@ -1,0 +1,34 @@
+open Ido_ir
+
+let desc_root = 0
+
+let alloc_node b n fields =
+  let node = Builder.intr b Ir.Nv_alloc [ Ir.Imm (Int64.of_int n) ] in
+  List.iter
+    (fun (off, v) -> Builder.store b Ir.Persistent (Ir.Reg node) off v)
+    fields;
+  node
+
+let get_root b slot = Builder.intr b Ir.Root_get [ Ir.Imm (Int64.of_int slot) ]
+
+let set_root b slot v =
+  Builder.intr_void b Ir.Root_set [ Ir.Imm (Int64.of_int slot); v ]
+
+let observe b v = Builder.intr_void b Ir.Observe [ v ]
+let assert_nz b v = Builder.intr_void b Ir.Assert_nz [ v ]
+
+let assert_eq b x y =
+  let e = Builder.bin b Ir.Eq x y in
+  assert_nz b (Ir.Reg e)
+
+let rand b bound = Builder.intr b Ir.Rand [ Ir.Imm (Int64.of_int bound) ]
+
+let for_loop b n body =
+  let i = Builder.mov b (Ir.Imm 0L) in
+  Builder.while_ b
+    ~cond:(fun () -> Ir.Reg (Builder.bin b Ir.Lt (Ir.Reg i) n))
+    ~body:(fun () ->
+      body i;
+      Builder.assign_bin b i Ir.Add (Ir.Reg i) (Ir.Imm 1L))
+
+let program funcs = { Ir.funcs }

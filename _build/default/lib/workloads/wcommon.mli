@@ -1,0 +1,40 @@
+(** Shared conventions and helpers for the benchmark programs.
+
+    Every workload is an {!Ido_ir.Ir.program} with three entry points:
+
+    - ["init"] — build the structure; runs once, single-threaded,
+      before measurement (made durable by the harness with a full
+      flush, standing in for a pre-populated persistent region);
+    - ["worker"] — [worker(nops)]: perform [nops] randomly chosen
+      operations, calling [Observe] once per completed operation
+      (outside any FASE);
+    - ["check"] — traverse the structure single-threadedly, trap (via
+      [Assert_nz]) on any violated invariant, and observe summary
+      counts.  Run after crash recovery to verify consistency.
+
+    Root-slot conventions: slot 0 holds the structure descriptor. *)
+
+open Ido_ir
+
+val desc_root : int
+(** Root slot holding the descriptor address (0). *)
+
+val alloc_node : Builder.t -> int -> (int * Ir.operand) list -> Ir.reg
+(** [alloc_node b n fields] emits an [nv_alloc n] and stores each
+    [(offset, value)]; returns the node address register. *)
+
+val get_root : Builder.t -> int -> Ir.reg
+val set_root : Builder.t -> int -> Ir.operand -> unit
+
+val observe : Builder.t -> Ir.operand -> unit
+val assert_nz : Builder.t -> Ir.operand -> unit
+val assert_eq : Builder.t -> Ir.operand -> Ir.operand -> unit
+(** Trap unless the operands are equal. *)
+
+val rand : Builder.t -> int -> Ir.reg
+(** Uniform in [\[0, bound)] from the thread's generator. *)
+
+val for_loop : Builder.t -> Ir.operand -> (Ir.reg -> unit) -> unit
+(** [for_loop b n body]: run [body i] for [i] in [\[0, n)]. *)
+
+val program : (string * Ir.func) list -> Ir.program

@@ -1,0 +1,17 @@
+let names =
+  [
+    "stack"; "queue"; "olist"; "olistrm"; "hmap"; "kvcache50"; "kvcache10";
+    "objstore"; "mlog";
+  ]
+
+let named = function
+  | "stack" -> Stack.program ()
+  | "queue" -> Queue.program ()
+  | "olist" -> Olist.program ()
+  | "olistrm" -> Olist.program ~remove_pct:20 ()
+  | "hmap" -> Hmap.program ()
+  | "kvcache50" -> Kvcache.program ~insert_pct:50 ()
+  | "kvcache10" -> Kvcache.program ~insert_pct:10 ()
+  | "objstore" -> Objstore.program ()
+  | "mlog" -> Mlog.program ()
+  | name -> invalid_arg ("Workload.named: unknown workload " ^ name)

@@ -1,0 +1,12 @@
+(** Registry of the benchmark programs by name, for the CLI, tests and
+    examples.  Every program follows the {!Wcommon} conventions
+    ([init] / [worker(nops)] / [check]). *)
+
+open Ido_ir
+
+val names : string list
+(** ["stack"; "queue"; "olist"; "olistrm"; "hmap"; "kvcache50";
+    "kvcache10"; "objstore"; "mlog"] *)
+
+val named : string -> Ir.program
+(** @raise Invalid_argument for an unknown name. *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Alias Antidep Array Builder Cfg Fase Ido_analysis Ido_ir Ido_workloads Ir List Liveness Printf Reaching Regions Regset

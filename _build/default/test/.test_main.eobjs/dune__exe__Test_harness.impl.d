@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Exp Figures Ido_harness Ido_nvm Ido_runtime Ido_util Ido_vm Ido_workloads List Scheme String

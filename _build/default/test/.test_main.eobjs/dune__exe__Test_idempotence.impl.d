@@ -1,0 +1,1 @@
+test/test_idempotence.ml: Array Builder Hashtbl Ido_ir Ido_nvm Ido_region Ido_runtime Ido_vm Ido_workloads Int64 Ir List Printf QCheck QCheck_alcotest Scheme String

@@ -1,0 +1,1 @@
+test/test_instrument.ml: Alcotest Array Ido_analysis Ido_instrument Ido_ir Ido_runtime Ido_workloads Instrument Ir List Printf Scheme String

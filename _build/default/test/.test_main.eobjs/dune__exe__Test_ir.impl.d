@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Builder Format Ido_analysis Ido_ir Ido_workloads Ir List String Validate

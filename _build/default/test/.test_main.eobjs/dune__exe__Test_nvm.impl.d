@@ -1,0 +1,1 @@
+test/test_nvm.ml: Alcotest Array Gen Ido_nvm Ido_util Int64 List Pmem QCheck QCheck_alcotest Rng Vmem

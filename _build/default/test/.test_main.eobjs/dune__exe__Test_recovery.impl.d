@@ -1,0 +1,1 @@
+test/test_recovery.ml: Alcotest Ido_runtime Ido_util Ido_vm Ido_workloads Int64 List Option Printf QCheck QCheck_alcotest Scheme

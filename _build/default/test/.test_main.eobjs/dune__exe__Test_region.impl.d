@@ -1,0 +1,1 @@
+test/test_region.ml: Alcotest Gen Ido_nvm Ido_region Ido_util List Pmem QCheck QCheck_alcotest Region Rng

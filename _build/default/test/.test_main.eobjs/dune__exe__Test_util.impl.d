@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Cdf Format Gen Ido_util List QCheck QCheck_alcotest Render Rng Stats String Timebase Zipf

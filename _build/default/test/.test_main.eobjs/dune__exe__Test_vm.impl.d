@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Builder Ido_instrument Ido_ir Ido_nvm Ido_region Ido_runtime Ido_vm Ido_workloads Int64 Ir List Scheme String

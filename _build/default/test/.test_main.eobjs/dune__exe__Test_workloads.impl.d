@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Builder Ido_ir Ido_runtime Ido_vm Ido_workloads Int64 Ir List Scheme

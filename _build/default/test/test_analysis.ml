@@ -1,0 +1,446 @@
+open Ido_ir
+open Ido_analysis
+
+(* A diamond with a loop in one arm:
+     0 -> 1 -> 2 -> 1 (back edge), 1 -> 3, 0 -> 3 *)
+let loopy_fn () =
+  let b, ps = Builder.create ~name:"loopy" ~nparams:2 in
+  let n = List.nth ps 0 in
+  let i = Builder.mov b (Ir.Imm 0L) in
+  Builder.while_ b
+    ~cond:(fun () -> Ir.Reg (Builder.bin b Ir.Lt (Ir.Reg i) (Ir.Reg n)))
+    ~body:(fun () -> Builder.assign_bin b i Ir.Add (Ir.Reg i) (Ir.Imm 1L));
+  Builder.ret b (Some (Ir.Reg i));
+  Builder.finish b
+
+(* ------------------------------------------------------------------ *)
+(* CFG *)
+
+let test_cfg_structure () =
+  let f = loopy_fn () in
+  let cfg = Cfg.build f in
+  (* Blocks: 0 entry, 1 while_head, 2 while_body, 3 while_exit. *)
+  Alcotest.(check (list int)) "entry succs" [ 1 ] (Cfg.succs cfg 0);
+  Alcotest.(check bool) "head branches to body and exit" true
+    (List.sort compare (Cfg.succs cfg 1) = [ 2; 3 ]);
+  Alcotest.(check (list int)) "body back to head" [ 1 ] (Cfg.succs cfg 2);
+  Alcotest.(check bool) "head preds = entry + body" true
+    (List.sort compare (Cfg.preds cfg 1) = [ 0; 2 ]);
+  Alcotest.(check bool) "all reachable" true
+    (List.for_all (Cfg.reachable cfg) [ 0; 1; 2; 3 ])
+
+let test_cfg_rpo () =
+  let f = loopy_fn () in
+  let cfg = Cfg.build f in
+  match Cfg.reverse_postorder cfg with
+  | 0 :: rest -> Alcotest.(check int) "all blocks" 3 (List.length rest)
+  | _ -> Alcotest.fail "rpo must start at entry"
+
+let test_dominators () =
+  let f = loopy_fn () in
+  let cfg = Cfg.build f in
+  Alcotest.(check (option int)) "idom head" (Some 0) (Cfg.idom cfg 1);
+  Alcotest.(check (option int)) "idom body" (Some 1) (Cfg.idom cfg 2);
+  Alcotest.(check (option int)) "idom exit" (Some 1) (Cfg.idom cfg 3);
+  Alcotest.(check bool) "head dominates body" true (Cfg.dominates cfg 1 2);
+  Alcotest.(check bool) "body does not dominate exit" false (Cfg.dominates cfg 2 3);
+  Alcotest.(check bool) "entry dominates all" true
+    (List.for_all (fun x -> Cfg.dominates cfg 0 x) [ 0; 1; 2; 3 ])
+
+let test_back_edges () =
+  let f = loopy_fn () in
+  let cfg = Cfg.build f in
+  Alcotest.(check (list (pair int int))) "one back edge" [ (2, 1) ] (Cfg.back_edges cfg);
+  Alcotest.(check (list int)) "loop headers" [ 1 ] (Cfg.loop_headers cfg)
+
+let test_path_exists () =
+  let f = loopy_fn () in
+  let cfg = Cfg.build f in
+  let p blk idx = { Ir.blk; idx } in
+  Alcotest.(check bool) "forward same block" true (Cfg.path_exists cfg (p 0 0) (p 0 1));
+  Alcotest.(check bool) "not backward in entry" false
+    (Cfg.path_exists cfg (p 0 1) (p 0 0));
+  Alcotest.(check bool) "cycle body->body" true (Cfg.path_exists cfg (p 2 0) (p 2 0));
+  Alcotest.(check bool) "exit cannot reach entry" false
+    (Cfg.path_exists cfg (p 3 0) (p 0 0))
+
+(* ------------------------------------------------------------------ *)
+(* Liveness *)
+
+let test_liveness () =
+  let f = loopy_fn () in
+  let cfg = Cfg.build f in
+  let lv = Liveness.compute cfg in
+  let n = List.nth f.Ir.params 0 in
+  (* The loop bound n is live throughout the loop. *)
+  Alcotest.(check bool) "n live into head" true (Regset.mem n (Liveness.live_in lv 1));
+  Alcotest.(check bool) "n live into body" true (Regset.mem n (Liveness.live_in lv 2));
+  Alcotest.(check bool) "n dead at exit" false (Regset.mem n (Liveness.live_in lv 3));
+  (* The second (unused) parameter is dead everywhere. *)
+  let unused = List.nth f.Ir.params 1 in
+  Alcotest.(check bool) "unused param dead" false
+    (Regset.mem unused (Liveness.live_in lv 0))
+
+let test_liveness_at_positions () =
+  (* r = 1; s = r + 1; ret s — r dies after its use. *)
+  let b, _ = Builder.create ~name:"f" ~nparams:0 in
+  let r = Builder.mov b (Ir.Imm 1L) in
+  let s = Builder.bin b Ir.Add (Ir.Reg r) (Ir.Imm 1L) in
+  Builder.ret b (Some (Ir.Reg s));
+  let f = Builder.finish b in
+  let lv = Liveness.compute (Cfg.build f) in
+  Alcotest.(check bool) "r live before its use" true
+    (Regset.mem r (Liveness.live_at lv { Ir.blk = 0; idx = 1 }));
+  Alcotest.(check bool) "r dead before the ret" false
+    (Regset.mem r (Liveness.live_at lv { Ir.blk = 0; idx = 2 }));
+  Alcotest.(check bool) "s live before ret" true
+    (Regset.mem s (Liveness.live_at lv { Ir.blk = 0; idx = 2 }))
+
+(* ------------------------------------------------------------------ *)
+(* Alias analysis *)
+
+let test_alias () =
+  let b, ps = Builder.create ~name:"f" ~nparams:2 in
+  let p0 = List.nth ps 0 and p1 = List.nth ps 1 in
+  let a = Builder.intr b Ir.Nv_alloc [ Ir.Imm 8L ] in
+  let c = Builder.intr b Ir.Nv_alloc [ Ir.Imm 8L ] in
+  ignore (Builder.load b Ir.Persistent (Ir.Reg a) 0);    (* idx 2 *)
+  Builder.store b Ir.Persistent (Ir.Reg a) 1 (Ir.Imm 1L);(* idx 3 *)
+  Builder.store b Ir.Persistent (Ir.Reg a) 0 (Ir.Imm 2L);(* idx 4 *)
+  Builder.store b Ir.Persistent (Ir.Reg c) 0 (Ir.Imm 3L);(* idx 5 *)
+  ignore (Builder.load b Ir.Persistent (Ir.Reg p0) 0);   (* idx 6 *)
+  Builder.store b Ir.Persistent (Ir.Reg p1) 0 (Ir.Imm 4L);(* idx 7 *)
+  ignore (Builder.load b Ir.Transient (Ir.Reg a) 0);     (* idx 8 *)
+  Builder.ret b None;
+  let f = Builder.finish b in
+  let al = Alias.compute f in
+  let p i = { Ir.blk = 0; idx = i } in
+  Alcotest.(check bool) "same base different offsets" false (Alias.may_alias al (p 2) (p 3));
+  Alcotest.(check bool) "same base same offset" true (Alias.may_alias al (p 2) (p 4));
+  Alcotest.(check bool) "distinct allocations" false (Alias.may_alias al (p 2) (p 5));
+  Alcotest.(check bool) "params conservative" true (Alias.may_alias al (p 6) (p 7));
+  Alcotest.(check bool) "different spaces" false (Alias.may_alias al (p 8) (p 4))
+
+let test_alias_offsets_fold () =
+  let b, _ = Builder.create ~name:"f" ~nparams:0 in
+  let a = Builder.intr b Ir.Nv_alloc [ Ir.Imm 8L ] in
+  let a2 = Builder.bin b Ir.Add (Ir.Reg a) (Ir.Imm 2L) in
+  ignore (Builder.load b Ir.Persistent (Ir.Reg a) 2);      (* idx 2: a+2 *)
+  Builder.store b Ir.Persistent (Ir.Reg a2) 0 (Ir.Imm 1L); (* idx 3: a+2 *)
+  Builder.store b Ir.Persistent (Ir.Reg a2) 1 (Ir.Imm 1L); (* idx 4: a+3 *)
+  Builder.ret b None;
+  let f = Builder.finish b in
+  let al = Alias.compute f in
+  let p i = { Ir.blk = 0; idx = i } in
+  Alcotest.(check bool) "a+2 aliases (a+2)+0" true (Alias.may_alias al (p 2) (p 3));
+  Alcotest.(check bool) "a+2 distinct from (a+2)+1" false (Alias.may_alias al (p 2) (p 4))
+
+let test_alias_multidef_conservative () =
+  let b, ps = Builder.create ~name:"f" ~nparams:1 in
+  let x = List.nth ps 0 in
+  let a = Builder.intr b Ir.Nv_alloc [ Ir.Imm 8L ] in
+  let r = Builder.mov b (Ir.Reg a) in
+  Builder.if_ b (Ir.Reg x)
+    ~then_:(fun () -> Builder.assign b r (Ir.Imm 64L))
+    ~else_:(fun () -> ());
+  ignore (Builder.load b Ir.Persistent (Ir.Reg r) 0);
+  Builder.store b Ir.Persistent (Ir.Reg r) 1 (Ir.Imm 1L);
+  Builder.ret b None;
+  let f = Builder.finish b in
+  let al = Alias.compute f in
+  (* r is multiply defined: unknown, so even distinct offsets may alias. *)
+  let cfg = Cfg.build f in
+  ignore cfg;
+  let join = 3 in
+  Alcotest.(check bool) "multi-def conservative" true
+    (Alias.may_alias al { Ir.blk = join; idx = 0 } { Ir.blk = join; idx = 1 })
+
+let test_reaching_defs () =
+  let f = loopy_fn () in
+  let cfg = Cfg.build f in
+  let rd = Reaching.compute cfg in
+  (* Params reach the entry as virtual definitions. *)
+  let n = List.nth f.Ir.params 0 in
+  Alcotest.(check (list (pair int int)))
+    "param def at entry"
+    [ (-1, 0) ]
+    (List.map (fun (p : Ir.pos) -> (p.Ir.blk, p.Ir.idx))
+       (Reaching.defs_at rd { Ir.blk = 0; idx = 0 } n));
+  (* The loop counter has two reaching definitions at the header (the
+     init in entry and the increment in the body) and exactly one
+     inside the body after the increment. *)
+  let i =
+    match f.Ir.blocks.(0).Ir.instrs.(0) with
+    | Ir.Mov (d, _) -> d
+    | _ -> Alcotest.fail "expected mov"
+  in
+  Alcotest.(check int) "two defs at loop header" 2
+    (List.length (Reaching.defs_at rd { Ir.blk = 1; idx = 0 } i));
+  Alcotest.(check bool) "unique def in entry" true
+    (Reaching.unique_def rd { Ir.blk = 0; idx = 1 } i <> None)
+
+let test_alias_per_use_resolution () =
+  (* r is re-assigned between two memory operations: each use resolves
+     through its own unique reaching definition, so the accesses are
+     provably distinct — the precision a global single-assignment rule
+     cannot give. *)
+  let b, _ = Builder.create ~name:"f" ~nparams:0 in
+  let a = Builder.intr b Ir.Nv_alloc [ Ir.Imm 8L ] in
+  let c = Builder.intr b Ir.Nv_alloc [ Ir.Imm 8L ] in
+  let r = Builder.mov b (Ir.Reg a) in
+  ignore (Builder.load b Ir.Persistent (Ir.Reg r) 0);      (* idx 3: a+0 *)
+  Builder.assign b r (Ir.Reg c);
+  Builder.store b Ir.Persistent (Ir.Reg r) 0 (Ir.Imm 1L);  (* idx 5: c+0 *)
+  Builder.ret b None;
+  let f = Builder.finish b in
+  let al = Alias.compute f in
+  Alcotest.(check bool) "re-assigned register resolves per use" false
+    (Alias.may_alias al { Ir.blk = 0; idx = 3 } { Ir.blk = 0; idx = 5 })
+
+let test_alias_loop_carried_conservative () =
+  (* cur := cur.next inside a loop: the loop-carried pointer cannot be
+     resolved, so accesses through it must stay may-alias. *)
+  let b, ps = Builder.create ~name:"f" ~nparams:1 in
+  let head = List.nth ps 0 in
+  let cur = Builder.mov b (Ir.Reg head) in
+  Builder.while_ b
+    ~cond:(fun () -> Ir.Reg (Builder.bin b Ir.Ne (Ir.Reg cur) (Ir.Imm 0L)))
+    ~body:(fun () ->
+      let nxt = Builder.load b Ir.Persistent (Ir.Reg cur) 1 in
+      Builder.store b Ir.Persistent (Ir.Reg cur) 0 (Ir.Imm 1L);
+      Builder.assign b cur (Ir.Reg nxt));
+  Builder.ret b None;
+  let f = Builder.finish b in
+  let al = Alias.compute f in
+  (* body block is 2: load at idx 0, store at idx 1 *)
+  Alcotest.(check bool) "loop-carried pointer conservative" true
+    (Alias.may_alias al { Ir.blk = 2; idx = 0 } { Ir.blk = 2; idx = 1 })
+
+(* ------------------------------------------------------------------ *)
+(* FASE inference *)
+
+let test_fase_nested_and_cross () =
+  (* Nested: lock1 lock2 unlock2 unlock1; cross: lock1 lock2 unlock1 unlock2. *)
+  List.iter
+    (fun order ->
+      let b, _ = Builder.create ~name:"f" ~nparams:0 in
+      Builder.lock b (Ir.Imm 1L);
+      Builder.lock b (Ir.Imm 2L);
+      (match order with
+      | `Nested ->
+          Builder.unlock b (Ir.Imm 2L);
+          Builder.unlock b (Ir.Imm 1L)
+      | `Cross ->
+          Builder.unlock b (Ir.Imm 1L);
+          Builder.unlock b (Ir.Imm 2L));
+      Builder.ret b None;
+      let f = Builder.finish b in
+      let cfg = Cfg.build f in
+      let fase = Fase.compute_exn cfg in
+      let p i = { Ir.blk = 0; idx = i } in
+      Alcotest.(check int) "depth before first lock" 0 (Fase.depth_before fase (p 0));
+      Alcotest.(check int) "depth inside" 2 (Fase.depth_before fase (p 2));
+      Alcotest.(check bool) "outermost acquire" true (Fase.outermost_acquire fase (p 0));
+      Alcotest.(check bool) "inner acquire not outermost" false
+        (Fase.outermost_acquire fase (p 1));
+      Alcotest.(check bool) "final release outermost" true
+        (Fase.outermost_release fase (p 3));
+      Alcotest.(check bool) "has fase" true (Fase.has_fase fase))
+    [ `Nested; `Cross ]
+
+let test_fase_durable () =
+  let b, _ = Builder.create ~name:"f" ~nparams:0 in
+  Builder.durable_begin b;
+  Builder.store b Ir.Persistent (Ir.Imm 100L) 0 (Ir.Imm 1L);
+  Builder.durable_end b;
+  Builder.ret b None;
+  let f = Builder.finish b in
+  let fase = Fase.compute_exn (Cfg.build f) in
+  Alcotest.(check bool) "store in durable FASE" true
+    (Fase.in_fase fase { Ir.blk = 0; idx = 1 });
+  Alcotest.(check bool) "durable flag" true
+    (Fase.durable_before fase { Ir.blk = 0; idx = 1 })
+
+(* ------------------------------------------------------------------ *)
+(* Antidependence and region formation *)
+
+let war_fn () =
+  (* Classic WAR: load x; store x — plus an independent store. *)
+  let b, _ = Builder.create ~name:"f" ~nparams:0 in
+  Builder.lock b (Ir.Imm 7L);
+  let v = Builder.load b Ir.Persistent (Ir.Imm 100L) 0 in
+  let v1 = Builder.bin b Ir.Add (Ir.Reg v) (Ir.Imm 1L) in
+  Builder.store b Ir.Persistent (Ir.Imm 200L) 0 (Ir.Reg v1);
+  Builder.store b Ir.Persistent (Ir.Imm 100L) 0 (Ir.Reg v1);
+  Builder.unlock b (Ir.Imm 7L);
+  Builder.ret b None;
+  Builder.finish b
+
+let test_antidep_pairs () =
+  let f = war_fn () in
+  let cfg = Cfg.build f in
+  let fase = Fase.compute_exn cfg in
+  let alias = Alias.compute f in
+  let pairs = Antidep.compute cfg fase alias in
+  Alcotest.(check int) "exactly one WAR pair" 1 (List.length pairs);
+  let pr = List.hd pairs in
+  Alcotest.(check bool) "load at idx 1" true (pr.Antidep.load.Ir.idx = 1);
+  Alcotest.(check bool) "store at idx 4" true (pr.Antidep.store.Ir.idx = 4);
+  Alcotest.(check bool) "same block" true pr.Antidep.same_block
+
+let plan_of f =
+  let cfg = Cfg.build f in
+  let fase = Fase.compute_exn cfg in
+  let lv = Liveness.compute cfg in
+  let alias = Alias.compute f in
+  (cfg, fase, alias, Regions.compute cfg fase lv alias)
+
+let test_region_cuts () =
+  let f = war_fn () in
+  let cfg, fase, alias, plan = plan_of f in
+  (* Cuts after acquire, at release, plus a hitting-set cut between the
+     WAR load and store. *)
+  let poss = Regions.cut_positions plan in
+  Alcotest.(check bool) "cut after acquire" true
+    (List.mem { Ir.blk = 0; idx = 1 } poss);
+  Alcotest.(check bool) "cut at release" true
+    (List.mem { Ir.blk = 0; idx = 5 } poss);
+  Alcotest.(check int) "one WAR pair" 1 plan.Regions.n_war_pairs;
+  Alcotest.(check int) "one hitting cut" 1 plan.Regions.n_hitting;
+  Alcotest.(check bool) "oracle: no WAR within regions" true
+    (Regions.verify_no_war_within_regions cfg fase alias plan)
+
+let test_hitting_set_shares_cuts () =
+  (* Two overlapping WAR intervals must be covered by a single cut. *)
+  let b, _ = Builder.create ~name:"f" ~nparams:0 in
+  Builder.lock b (Ir.Imm 7L);
+  let x = Builder.load b Ir.Persistent (Ir.Imm 100L) 0 in
+  let y = Builder.load b Ir.Persistent (Ir.Imm 101L) 0 in
+  let s = Builder.bin b Ir.Add (Ir.Reg x) (Ir.Reg y) in
+  Builder.store b Ir.Persistent (Ir.Imm 100L) 0 (Ir.Reg s);
+  Builder.store b Ir.Persistent (Ir.Imm 101L) 0 (Ir.Reg s);
+  Builder.unlock b (Ir.Imm 7L);
+  Builder.ret b None;
+  let f = Builder.finish b in
+  let cfg, fase, alias, plan = plan_of f in
+  Alcotest.(check int) "two WAR pairs" 2 plan.Regions.n_war_pairs;
+  Alcotest.(check int) "single shared cut (optimal cover)" 1 plan.Regions.n_hitting;
+  Alcotest.(check bool) "oracle" true
+    (Regions.verify_no_war_within_regions cfg fase alias plan)
+
+let test_required_flags () =
+  let f = war_fn () in
+  let _, _, _, plan = plan_of f in
+  List.iter
+    (fun (c : Regions.cut) ->
+      let is_lock_cut = c.pos.Ir.idx = 1 || c.pos.Ir.idx = 5 in
+      if is_lock_cut then
+        Alcotest.(check bool) "lock cuts elidable" false c.Regions.required
+      else Alcotest.(check bool) "WAR cut required" true c.Regions.required)
+    plan.Regions.cuts
+
+let test_out_regs_eq1 () =
+  let f = war_fn () in
+  let _, _, _, plan = plan_of f in
+  (* At the WAR cut (before the store at idx 4), v1 was defined in the
+     closing region and is still live (used by the stores). *)
+  let cut =
+    List.find (fun (c : Regions.cut) -> c.Regions.required) plan.Regions.cuts
+  in
+  Alcotest.(check bool) "v1 in OutputSet" true (List.length cut.Regions.out_regs >= 1);
+  Alcotest.(check bool) "live_in includes out_regs" true
+    (List.for_all (fun r -> List.mem r cut.Regions.live_in) cut.Regions.out_regs)
+
+let test_workload_region_plans_sound () =
+  List.iter
+    (fun name ->
+      let prog = Ido_workloads.Workload.named name in
+      List.iter
+        (fun (_, f) ->
+          let cfg = Cfg.build f in
+          let fase = Fase.compute_exn cfg in
+          if Fase.has_fase fase then begin
+            let alias = Alias.compute f in
+            let lv = Liveness.compute cfg in
+            let plan = Regions.compute cfg fase lv alias in
+            Alcotest.(check bool)
+              (Printf.sprintf "%s/%s WAR-free regions" name f.Ir.name)
+              true
+              (Regions.verify_no_war_within_regions cfg fase alias plan)
+          end)
+        prog.Ir.funcs)
+    Ido_workloads.Workload.names
+
+let test_reaching_covers_all_uses () =
+  (* In every validated workload function, every register use is
+     reached by at least one definition (else execution would read an
+     uninitialised register). *)
+  List.iter
+    (fun name ->
+      let prog = Ido_workloads.Workload.named name in
+      List.iter
+        (fun (_, f) ->
+          let cfg = Cfg.build f in
+          let rd = Reaching.compute cfg in
+          ignore
+            (Ir.fold_instrs
+               (fun () pos instr ->
+                 if Cfg.reachable cfg pos.Ir.blk then
+                   List.iter
+                     (fun r ->
+                       Alcotest.(check bool)
+                         (Printf.sprintf "%s/%s r%d defined at (%d,%d)" name
+                            f.Ir.name r pos.Ir.blk pos.Ir.idx)
+                         true
+                         (Reaching.defs_at rd pos r <> []))
+                     (Ir.instr_uses instr))
+               () f))
+        prog.Ir.funcs)
+    Ido_workloads.Workload.names
+
+let suites =
+  [
+    ( "analysis.cfg",
+      [
+        Alcotest.test_case "structure" `Quick test_cfg_structure;
+        Alcotest.test_case "rpo" `Quick test_cfg_rpo;
+        Alcotest.test_case "dominators" `Quick test_dominators;
+        Alcotest.test_case "back edges" `Quick test_back_edges;
+        Alcotest.test_case "path exists" `Quick test_path_exists;
+      ] );
+    ( "analysis.liveness",
+      [
+        Alcotest.test_case "block level" `Quick test_liveness;
+        Alcotest.test_case "instruction level" `Quick test_liveness_at_positions;
+      ] );
+    ( "analysis.alias",
+      [
+        Alcotest.test_case "basic precision" `Quick test_alias;
+        Alcotest.test_case "offset folding" `Quick test_alias_offsets_fold;
+        Alcotest.test_case "multi-def conservative" `Quick
+          test_alias_multidef_conservative;
+        Alcotest.test_case "per-use resolution" `Quick test_alias_per_use_resolution;
+        Alcotest.test_case "loop-carried conservative" `Quick
+          test_alias_loop_carried_conservative;
+      ] );
+    ( "analysis.reaching",
+      [
+        Alcotest.test_case "reaching definitions" `Quick test_reaching_defs;
+        Alcotest.test_case "all uses defined" `Quick test_reaching_covers_all_uses;
+      ] );
+    ( "analysis.fase",
+      [
+        Alcotest.test_case "nested and cross locking" `Quick test_fase_nested_and_cross;
+        Alcotest.test_case "durable regions" `Quick test_fase_durable;
+      ] );
+    ( "analysis.regions",
+      [
+        Alcotest.test_case "antidep pairs" `Quick test_antidep_pairs;
+        Alcotest.test_case "cut placement" `Quick test_region_cuts;
+        Alcotest.test_case "hitting set optimal" `Quick test_hitting_set_shares_cuts;
+        Alcotest.test_case "required flags" `Quick test_required_flags;
+        Alcotest.test_case "OutputSet (Eq. 1)" `Quick test_out_regs_eq1;
+        Alcotest.test_case "workload plans sound" `Quick
+          test_workload_region_plans_sound;
+      ] );
+  ]

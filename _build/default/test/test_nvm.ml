@@ -1,0 +1,189 @@
+open Ido_util
+open Ido_nvm
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let mk ?(cache_lines = 64) ?(size = 4096) ?(seed = 1) () =
+  Pmem.create ~cache_lines ~rng:(Rng.create seed) size
+
+(* ------------------------------------------------------------------ *)
+
+let test_load_store () =
+  let pm = mk () in
+  Pmem.store pm 10 42L;
+  Alcotest.(check int64) "read back" 42L (Pmem.load pm 10);
+  Alcotest.(check int64) "other word zero" 0L (Pmem.load pm 11)
+
+let test_store_is_volatile_until_flushed () =
+  let pm = mk () in
+  Pmem.store pm 10 42L;
+  Alcotest.(check bool) "dirty" true (Pmem.is_dirty pm 10);
+  Alcotest.(check int64) "persistence domain stale" 0L (Pmem.persisted pm 10);
+  Pmem.clwb pm 10;
+  ignore (Pmem.fence pm);
+  Alcotest.(check bool) "clean after flush" false (Pmem.is_dirty pm 10);
+  Alcotest.(check int64) "durable" 42L (Pmem.persisted pm 10)
+
+let test_crash_drops_unflushed () =
+  let pm = mk () in
+  Pmem.store pm 8 1L;
+  Pmem.clwb pm 8;
+  ignore (Pmem.fence pm);
+  Pmem.store pm 8 2L;
+  Pmem.store pm 400 3L;
+  Pmem.crash pm;
+  Alcotest.(check int64) "flushed value survives" 1L (Pmem.load pm 8);
+  Alcotest.(check int64) "unflushed write lost" 0L (Pmem.load pm 400)
+
+let test_line_granular_flush () =
+  let pm = mk () in
+  (* Words 16 and 17 share a cache line: flushing one persists both. *)
+  Pmem.store pm 16 7L;
+  Pmem.store pm 17 9L;
+  Pmem.clwb pm 16;
+  ignore (Pmem.fence pm);
+  Pmem.crash pm;
+  Alcotest.(check int64) "same line persisted together" 9L (Pmem.load pm 17)
+
+let test_eviction_forces_writeback () =
+  (* More dirty lines than capacity: older lines get written back in
+     arbitrary order — the crash hazard of uninstrumented code. *)
+  let pm = mk ~cache_lines:4 () in
+  for i = 0 to 63 do
+    Pmem.store pm (i * 8) (Int64.of_int i)
+  done;
+  let c = Pmem.counters pm in
+  Alcotest.(check bool) "evictions happened" true (c.Pmem.evictions > 0);
+  Alcotest.(check bool) "dirty lines bounded" true (Pmem.dirty_lines pm <= 5)
+
+let test_eviction_order_arbitrary () =
+  (* After a crash some evicted values survive while newer unflushed
+     ones are lost, independent of program order. *)
+  let pm = mk ~cache_lines:2 ~seed:3 () in
+  for i = 0 to 31 do
+    Pmem.store pm (i * 8) 1L
+  done;
+  Pmem.crash pm;
+  let survived = ref 0 in
+  for i = 0 to 31 do
+    if Pmem.load pm (i * 8) = 1L then incr survived
+  done;
+  Alcotest.(check bool) "partial survival" true (!survived > 0 && !survived < 32)
+
+let test_pending_flush_accounting () =
+  let pm = mk () in
+  Pmem.store pm 0 1L;
+  Pmem.store pm 64 1L;
+  Pmem.clwb pm 0;
+  Pmem.clwb pm 64;
+  Alcotest.(check int) "two pending" 2 (Pmem.pending_flushes pm);
+  Alcotest.(check int) "fence returns pending" 2 (Pmem.fence pm);
+  Alcotest.(check int) "reset" 0 (Pmem.pending_flushes pm)
+
+let test_clwb_clean_line_noop () =
+  let pm = mk () in
+  Pmem.clwb pm 0;
+  Alcotest.(check int) "nothing pending" 0 (Pmem.pending_flushes pm)
+
+let test_poke_bypasses_cache () =
+  let pm = mk () in
+  Pmem.store pm 24 5L;
+  Pmem.poke pm 24 9L;
+  Alcotest.(check int64) "visible" 9L (Pmem.load pm 24);
+  Alcotest.(check int64) "durable immediately" 9L (Pmem.persisted pm 24)
+
+let test_flush_all () =
+  let pm = mk () in
+  for i = 0 to 99 do
+    Pmem.store pm i (Int64.of_int i)
+  done;
+  Pmem.flush_all pm;
+  Pmem.crash pm;
+  for i = 0 to 99 do
+    Alcotest.(check int64) "all durable" (Int64.of_int i) (Pmem.load pm i)
+  done
+
+let test_bounds () =
+  let pm = mk ~size:128 () in
+  Alcotest.check_raises "oob"
+    (Invalid_argument "Pmem: address 128 out of bounds") (fun () ->
+      ignore (Pmem.load pm 128));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Pmem: address -1 out of bounds") (fun () ->
+      Pmem.store pm (-1) 0L)
+
+let prop_flushed_survives_crash =
+  QCheck.Test.make ~name:"flushed words always survive a crash" ~count:50
+    QCheck.(pair small_int (list_of_size Gen.(int_range 1 40) (int_bound 500)))
+    (fun (seed, addrs) ->
+      let pm = mk ~cache_lines:8 ~seed:(seed + 1) () in
+      List.iteri (fun i a -> Pmem.store pm a (Int64.of_int (i + 1))) addrs;
+      (* Flush a subset explicitly. *)
+      let flushed = List.filteri (fun i _ -> i mod 2 = 0) addrs in
+      List.iter (fun a -> Pmem.clwb pm a) flushed;
+      ignore (Pmem.fence pm);
+      (* Capture current values of the flushed addresses (a later
+         duplicate store to the same line may still be cached). *)
+      let expect = List.map (fun a -> (a, Pmem.persisted pm a)) flushed in
+      Pmem.crash pm;
+      List.for_all (fun (a, v) -> Pmem.load pm a = v) expect)
+
+let prop_snapshot_matches_persisted =
+  QCheck.Test.make ~name:"snapshot equals persistence domain" ~count:30
+    QCheck.(small_int)
+    (fun seed ->
+      let pm = mk ~seed:(seed + 2) ~size:256 () in
+      for i = 0 to 255 do
+        Pmem.store pm i (Int64.of_int i);
+        if i mod 3 = 0 then Pmem.clwb pm i
+      done;
+      ignore (Pmem.fence pm);
+      let snap = Pmem.snapshot_persistent pm in
+      Array.to_list snap
+      |> List.mapi (fun i v -> Pmem.persisted pm i = v)
+      |> List.for_all (fun b -> b))
+
+(* ------------------------------------------------------------------ *)
+(* Vmem *)
+
+let test_vmem () =
+  let vm = Vmem.create () in
+  Vmem.store vm 5 42L;
+  Alcotest.(check int64) "read" 42L (Vmem.load vm 5);
+  Alcotest.(check int64) "unwritten" 0L (Vmem.load vm 100000);
+  let a = Vmem.alloc vm 10 in
+  let b = Vmem.alloc vm 10 in
+  Alcotest.(check bool) "disjoint" true (b >= a + 10);
+  Alcotest.(check bool) "size grows" true (Vmem.size vm >= b + 10)
+
+let test_vmem_grows () =
+  let vm = Vmem.create ~initial:4 () in
+  Vmem.store vm 1000 1L;
+  Alcotest.(check int64) "grown" 1L (Vmem.load vm 1000)
+
+let suites =
+  [
+    ( "nvm.pmem",
+      [
+        Alcotest.test_case "load/store" `Quick test_load_store;
+        Alcotest.test_case "volatile until flushed" `Quick
+          test_store_is_volatile_until_flushed;
+        Alcotest.test_case "crash drops unflushed" `Quick test_crash_drops_unflushed;
+        Alcotest.test_case "line-granular flush" `Quick test_line_granular_flush;
+        Alcotest.test_case "eviction writeback" `Quick test_eviction_forces_writeback;
+        Alcotest.test_case "arbitrary eviction order" `Quick
+          test_eviction_order_arbitrary;
+        Alcotest.test_case "pending accounting" `Quick test_pending_flush_accounting;
+        Alcotest.test_case "clwb clean noop" `Quick test_clwb_clean_line_noop;
+        Alcotest.test_case "poke" `Quick test_poke_bypasses_cache;
+        Alcotest.test_case "flush_all" `Quick test_flush_all;
+        Alcotest.test_case "bounds" `Quick test_bounds;
+        qtest prop_flushed_survives_crash;
+        qtest prop_snapshot_matches_persisted;
+      ] );
+    ( "nvm.vmem",
+      [
+        Alcotest.test_case "basic" `Quick test_vmem;
+        Alcotest.test_case "grows" `Quick test_vmem_grows;
+      ] );
+  ]

@@ -1,0 +1,454 @@
+open Ido_util
+open Ido_nvm
+open Ido_region
+open Ido_runtime
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let mk () =
+  let pm = Pmem.create ~rng:(Rng.create 1) (1 lsl 18) in
+  let region = Region.create pm in
+  let w = Pwriter.create pm Latency.default in
+  (pm, region, w)
+
+(* ------------------------------------------------------------------ *)
+(* Pwriter cost accounting *)
+
+let test_pwriter_costs () =
+  let pm, _, _ = mk () in
+  let lat = Latency.default in
+  let w = Pwriter.create pm lat in
+  Pwriter.store w 0 1L;
+  Alcotest.(check int) "store cost" lat.Latency.mem (Pwriter.take_cost w);
+  Pwriter.clwb w 0;
+  Alcotest.(check int) "clwb issue" lat.Latency.clwb_issue (Pwriter.take_cost w);
+  Alcotest.(check int) "pending" 1 (Pwriter.pending w);
+  Pwriter.fence w;
+  Alcotest.(check int) "fence with one pending"
+    (lat.Latency.fence_base + lat.Latency.persist_wait)
+    (Pwriter.take_cost w);
+  Pwriter.fence w;
+  Alcotest.(check int) "empty fence" lat.Latency.fence_base (Pwriter.take_cost w)
+
+let test_pwriter_coalescing () =
+  let pm, _, _ = mk () in
+  let w = Pwriter.create pm Latency.default in
+  (* Eight words in one line: a single write-back (Sec. IV-B). *)
+  Pwriter.clwb_lines w [ 64; 65; 66; 67; 68; 69; 70; 71 ];
+  Alcotest.(check int) "one line" 1 (Pwriter.pending w);
+  Pwriter.fence w;
+  Pwriter.clwb_lines w [ 64; 128 ];
+  Alcotest.(check int) "two lines" 2 (Pwriter.pending w)
+
+let test_pwriter_fences_independent () =
+  let pm, _, _ = mk () in
+  let w1 = Pwriter.create pm Latency.default in
+  let w2 = Pwriter.create pm Latency.default in
+  Pwriter.store w1 0 1L;
+  Pwriter.clwb w1 0;
+  (* w2's fence must not pay for w1's pending write-back. *)
+  ignore (Pwriter.take_cost w2);
+  Pwriter.fence w2;
+  Alcotest.(check int) "other writer unaffected"
+    Latency.default.Latency.fence_base (Pwriter.take_cost w2)
+
+let test_latency_knob () =
+  let l = Latency.with_nvm_extra Latency.default 500 in
+  Alcotest.(check int) "knob set" 500 l.Latency.nvm_extra;
+  Alcotest.(check int) "baseline zero" 0 Latency.default.Latency.nvm_extra
+
+(* ------------------------------------------------------------------ *)
+(* iDO log *)
+
+let test_ido_log_pc_epoch () =
+  let pm, region, w = mk () in
+  let node = Ido_log.create w region ~tid:3 ~nregs:8 in
+  Alcotest.(check int) "tid" 3 (Lognode.tid pm node);
+  Alcotest.(check int) "kind" Lognode.kind_ido (Lognode.kind pm node);
+  Alcotest.(check int) "pc initially none" 0 (Ido_log.recovery_pc pm node);
+  Ido_log.set_recovery_pc w node ~epoch:5 1234;
+  Pwriter.fence w;
+  Alcotest.(check int) "pc" 1234 (Ido_log.recovery_pc pm node);
+  Alcotest.(check int) "epoch" 5 (Ido_log.recovery_epoch pm node);
+  Ido_log.set_recovery_pc w node ~epoch:9 0;
+  Alcotest.(check int) "cleared" 0 (Ido_log.recovery_pc pm node)
+
+let prop_pc_epoch_roundtrip =
+  QCheck.Test.make ~name:"pc/epoch word packing roundtrips" ~count:200
+    QCheck.(pair (int_bound 1_000_000) (int_bound Ido_log.epoch_mask))
+    (fun (pc, epoch) ->
+      QCheck.assume (pc > 0);
+      let pm, region, w = mk () in
+      let node = Ido_log.create w region ~tid:0 ~nregs:2 in
+      Ido_log.set_recovery_pc w node ~epoch pc;
+      Ido_log.recovery_pc pm node = pc && Ido_log.recovery_epoch pm node = epoch)
+
+let test_ido_log_regs () =
+  let pm, region, w = mk () in
+  let node = Ido_log.create w region ~tid:0 ~nregs:16 in
+  Ido_log.write_out_regs w node [ (2, 22L); (7, 77L); (15, 155L) ];
+  Pwriter.fence w;
+  Alcotest.(check int64) "slot 2" 22L (Ido_log.read_reg pm node 2);
+  Alcotest.(check int64) "slot 7" 77L (Ido_log.read_reg pm node 7);
+  let all = Ido_log.read_all_regs pm node in
+  Alcotest.(check int) "sized by nregs" 16 (Array.length all);
+  Alcotest.(check int64) "slot 15 via array" 155L all.(15)
+
+let test_ido_log_lock_array () =
+  let pm, region, w = mk () in
+  let node = Ido_log.create w region ~tid:0 ~nregs:4 in
+  Ido_log.record_acquire w node ~holder:1000 ~epoch:1;
+  Ido_log.record_acquire w node ~holder:2000 ~epoch:2;
+  Alcotest.(check (list (pair int int))) "both held"
+    [ (1000, 1); (2000, 2) ]
+    (Ido_log.held_locks pm node);
+  Ido_log.record_release w node ~holder:1000;
+  Alcotest.(check (list (pair int int))) "one left" [ (2000, 2) ]
+    (Ido_log.held_locks pm node);
+  (* Releasing an absent holder must be a harmless no-op. *)
+  Ido_log.record_release w node ~holder:1000;
+  Alcotest.(check int) "still one" 1 (List.length (Ido_log.held_locks pm node))
+
+let test_ido_log_sim_stack () =
+  let pm, region, w = mk () in
+  let node = Ido_log.create w region ~tid:0 ~nregs:4 in
+  Ido_log.set_sim_stack pm node ~base:512 ~sp:17;
+  Alcotest.(check (pair int int)) "roundtrip" (512, 17) (Ido_log.sim_stack pm node)
+
+(* ------------------------------------------------------------------ *)
+(* JUSTDO log *)
+
+let test_justdo_log () =
+  let pm, region, w = mk () in
+  let node = Justdo_log.create w region ~tid:1 ~nregs:4 in
+  Alcotest.(check bool) "not armed" false (Justdo_log.armed pm node);
+  Justdo_log.log_store w node ~pc:77 ~addr:4000 ~value:42L;
+  Alcotest.(check bool) "armed" true (Justdo_log.armed pm node);
+  Alcotest.(check (triple int int int64)) "entry" (77, 4000, 42L)
+    (let a, b, c = Justdo_log.entry pm node in
+     (a, b, c));
+  Justdo_log.snapshot_regs pm node [| 1L; 2L; 3L; 4L |];
+  Alcotest.(check int64) "snapshot" 3L (Justdo_log.read_all_regs pm node).(2);
+  Justdo_log.clear w node;
+  Alcotest.(check bool) "cleared" false (Justdo_log.armed pm node)
+
+let test_justdo_log_survives_crash () =
+  let pm, region, w = mk () in
+  let node = Justdo_log.create w region ~tid:1 ~nregs:2 in
+  Justdo_log.log_store w node ~pc:5 ~addr:100 ~value:9L;
+  Pmem.crash pm;
+  Alcotest.(check bool) "armed after crash" true (Justdo_log.armed pm node)
+
+let test_justdo_two_fence_locks () =
+  let pm, region, w = mk () in
+  let node = Justdo_log.create w region ~tid:1 ~nregs:2 in
+  let before = (Pmem.counters pm).Pmem.fences in
+  Justdo_log.record_acquire w node ~holder:123;
+  let after = (Pmem.counters pm).Pmem.fences in
+  Alcotest.(check int) "two fences per acquire (intention + ownership)" 2
+    (after - before);
+  Alcotest.(check (list int)) "held" [ 123 ] (Justdo_log.held_locks pm node);
+  Justdo_log.record_release w node ~holder:123;
+  Alcotest.(check (list int)) "released" [] (Justdo_log.held_locks pm node)
+
+(* ------------------------------------------------------------------ *)
+(* UNDO log *)
+
+let test_undo_log_roundtrip () =
+  let pm, region, w = mk () in
+  let node = Undo_log.create w region ~kind:Lognode.kind_atlas ~tid:0 ~cap_records:64 in
+  Undo_log.append w node Undo_log.Fase_begin ~a:0L ~b:0L ~seq:1;
+  Undo_log.log_write w node ~addr:500 ~old:7L ~seq:2;
+  Undo_log.append w node Undo_log.Fase_end ~a:0L ~b:0L ~seq:3;
+  let records = Undo_log.records pm node in
+  Alcotest.(check int) "three records" 3 (List.length records);
+  (match records with
+  | [ b0; wr; e0 ] ->
+      Alcotest.(check bool) "begin" true (b0.Undo_log.tag = Undo_log.Fase_begin);
+      Alcotest.(check int64) "write addr" 500L wr.Undo_log.a;
+      Alcotest.(check int64) "write old" 7L wr.Undo_log.b;
+      Alcotest.(check int) "seq" 2 wr.Undo_log.seq;
+      Alcotest.(check bool) "end" true (e0.Undo_log.tag = Undo_log.Fase_end)
+  | _ -> Alcotest.fail "bad records");
+  Alcotest.(check bool) "not in fase" false (Undo_log.in_fase pm node);
+  Alcotest.(check int) "total" 3 (Undo_log.total pm node);
+  Undo_log.reset w node;
+  Alcotest.(check int) "reset keeps total count at zero" 0
+    (List.length (Undo_log.records pm node))
+
+let test_undo_log_open_fase () =
+  let pm, region, w = mk () in
+  let node = Undo_log.create w region ~kind:Lognode.kind_atlas ~tid:0 ~cap_records:64 in
+  Undo_log.append w node Undo_log.Fase_begin ~a:0L ~b:0L ~seq:1;
+  Undo_log.log_write w node ~addr:1 ~old:0L ~seq:2;
+  Alcotest.(check bool) "open fase detected" true (Undo_log.in_fase pm node)
+
+let test_undo_log_wrap () =
+  let pm, region, w = mk () in
+  let node = Undo_log.create w region ~kind:Lognode.kind_atlas ~tid:0 ~cap_records:8 in
+  for i = 1 to 20 do
+    Undo_log.log_write w node ~addr:i ~old:(Int64.of_int i) ~seq:i
+  done;
+  let records = Undo_log.records pm node in
+  Alcotest.(check int) "ring keeps the cap" 8 (List.length records);
+  Alcotest.(check int) "total counts everything" 20 (Undo_log.total pm node);
+  (* The survivors are the newest, in chronological order. *)
+  Alcotest.(check (list int)) "newest 8"
+    [ 13; 14; 15; 16; 17; 18; 19; 20 ]
+    (List.map (fun r -> r.Undo_log.seq) records)
+
+let test_undo_log_metadata_durable () =
+  (* The regression behind Atlas's objstore bug: head and total must
+     both persist with each append, even when they straddle lines. *)
+  let pm, region, w = mk () in
+  let node = Undo_log.create w region ~kind:Lognode.kind_atlas ~tid:0 ~cap_records:64 in
+  Undo_log.append w node Undo_log.Fase_begin ~a:0L ~b:0L ~seq:1;
+  for i = 2 to 11 do
+    Undo_log.log_write w node ~addr:i ~old:1L ~seq:i
+  done;
+  Pmem.crash pm;
+  Alcotest.(check int) "all records visible after crash" 11
+    (List.length (Undo_log.records pm node));
+  Alcotest.(check bool) "open fase visible after crash" true
+    (Undo_log.in_fase pm node)
+
+let prop_undo_records_roundtrip =
+  QCheck.Test.make ~name:"undo records roundtrip in order" ~count:60
+    QCheck.(list_of_size Gen.(int_range 1 30) (pair (int_bound 1000) (int_bound 9)))
+    (fun writes ->
+      let pm, region, w = mk () in
+      let node =
+        Undo_log.create w region ~kind:Lognode.kind_atlas ~tid:0 ~cap_records:64
+      in
+      List.iteri
+        (fun i (addr, old) ->
+          Undo_log.log_write w node ~addr ~old:(Int64.of_int old) ~seq:i)
+        writes;
+      let got =
+        List.map
+          (fun r -> (Int64.to_int r.Undo_log.a, Int64.to_int r.Undo_log.b))
+          (Undo_log.records pm node)
+      in
+      got = writes)
+
+(* ------------------------------------------------------------------ *)
+(* Atlas recovery: rollback with happens-before propagation *)
+
+let test_atlas_rollback_propagates () =
+  let pm, region, w = mk () in
+  (* Thread A: begins a FASE, writes addr 100 (old 0), releases lock 9
+     mid-FASE (hand-over-hand), keeps running -> crash (no Fase_end).
+     Thread B: acquires lock 9 after A's release, writes addr 200
+     (old 0), completes.  Atlas must roll back B too. *)
+  let a = Undo_log.create w region ~kind:Lognode.kind_atlas ~tid:0 ~cap_records:64 in
+  let b = Undo_log.create w region ~kind:Lognode.kind_atlas ~tid:1 ~cap_records:64 in
+  Undo_log.append w a Undo_log.Fase_begin ~a:0L ~b:0L ~seq:1;
+  Undo_log.log_write w a ~addr:100 ~old:0L ~seq:2;
+  Pwriter.store w 100 111L;
+  Undo_log.append w a Undo_log.Release ~a:9L ~b:0L ~seq:3;
+  Undo_log.append w b Undo_log.Fase_begin ~a:0L ~b:0L ~seq:4;
+  Undo_log.append w b Undo_log.Acquire ~a:9L ~b:0L ~seq:5;
+  Undo_log.log_write w b ~addr:200 ~old:0L ~seq:6;
+  Pwriter.store w 200 222L;
+  Undo_log.append w b Undo_log.Fase_end ~a:0L ~b:0L ~seq:7;
+  let st = Atlas_recovery.recover w region in
+  Alcotest.(check int) "both FASEs rolled back" 2 st.Atlas_recovery.fases_rolled_back;
+  Alcotest.(check int) "both writes undone" 2 st.Atlas_recovery.writes_undone;
+  Alcotest.(check int64) "A's write reverted" 0L (Pmem.load pm 100);
+  Alcotest.(check int64) "B's write reverted" 0L (Pmem.load pm 200)
+
+let test_atlas_independent_fase_survives () =
+  let pm, region, w = mk () in
+  let a = Undo_log.create w region ~kind:Lognode.kind_atlas ~tid:0 ~cap_records:64 in
+  let b = Undo_log.create w region ~kind:Lognode.kind_atlas ~tid:1 ~cap_records:64 in
+  (* A crashes mid-FASE on lock 9; B completed on unrelated lock 8. *)
+  Undo_log.append w a Undo_log.Fase_begin ~a:0L ~b:0L ~seq:1;
+  Undo_log.append w a Undo_log.Acquire ~a:9L ~b:0L ~seq:2;
+  Undo_log.log_write w a ~addr:100 ~old:0L ~seq:3;
+  Pwriter.store w 100 111L;
+  Undo_log.append w b Undo_log.Fase_begin ~a:0L ~b:0L ~seq:4;
+  Undo_log.append w b Undo_log.Acquire ~a:8L ~b:0L ~seq:5;
+  Undo_log.log_write w b ~addr:200 ~old:0L ~seq:6;
+  Pwriter.store w 200 222L;
+  Undo_log.append w b Undo_log.Release ~a:8L ~b:0L ~seq:7;
+  Undo_log.append w b Undo_log.Fase_end ~a:0L ~b:0L ~seq:8;
+  let st = Atlas_recovery.recover w region in
+  Alcotest.(check int) "only A rolled back" 1 st.Atlas_recovery.fases_rolled_back;
+  Alcotest.(check int64) "A reverted" 0L (Pmem.load pm 100);
+  Alcotest.(check int64) "B preserved" 222L (Pmem.load pm 200)
+
+let test_atlas_undo_order () =
+  (* Two writes to the same address in one interrupted FASE must be
+     undone newest-first, restoring the oldest value. *)
+  let pm, region, w = mk () in
+  let a = Undo_log.create w region ~kind:Lognode.kind_atlas ~tid:0 ~cap_records:64 in
+  Undo_log.append w a Undo_log.Fase_begin ~a:0L ~b:0L ~seq:1;
+  Undo_log.log_write w a ~addr:100 ~old:5L ~seq:2;
+  Pwriter.store w 100 10L;
+  Undo_log.log_write w a ~addr:100 ~old:10L ~seq:3;
+  Pwriter.store w 100 20L;
+  ignore (Atlas_recovery.recover w region);
+  Alcotest.(check int64) "original value restored" 5L (Pmem.load pm 100)
+
+(* ------------------------------------------------------------------ *)
+(* REDO log *)
+
+let test_redo_log () =
+  let pm, region, w = mk () in
+  let node = Redo_log.create w region ~tid:0 ~cap_entries:16 in
+  Redo_log.begin_txn w node;
+  Alcotest.(check bool) "filling" true (Redo_log.status pm node = Redo_log.Filling);
+  Redo_log.append w node ~addr:100 ~value:1L;
+  Redo_log.append w node ~addr:101 ~value:2L;
+  Alcotest.(check int) "count" 2 (Redo_log.count pm node);
+  Alcotest.(check (pair int int64)) "entry" (101, 2L) (Redo_log.entry pm node 1);
+  Redo_log.persist_entries w node;
+  Pwriter.fence w;
+  Redo_log.persist_status w node Redo_log.Committed;
+  Redo_log.apply w node;
+  Alcotest.(check int64) "applied" 1L (Pmem.load pm 100);
+  Alcotest.(check int64) "applied 2" 2L (Pmem.load pm 101);
+  Alcotest.(check int) "commits counted" 1 (Redo_log.total_commits pm node);
+  Redo_log.persist_status w node Redo_log.Idle;
+  Alcotest.(check bool) "idle" true (Redo_log.status pm node = Redo_log.Idle)
+
+let test_redo_overflow () =
+  let _, region, w = mk () in
+  let node = Redo_log.create w region ~tid:0 ~cap_entries:2 in
+  Redo_log.begin_txn w node;
+  Redo_log.append w node ~addr:1 ~value:1L;
+  Redo_log.append w node ~addr:2 ~value:1L;
+  Alcotest.check_raises "overflow"
+    (Failure "Redo_log: transaction write set overflow") (fun () ->
+      Redo_log.append w node ~addr:3 ~value:1L)
+
+(* ------------------------------------------------------------------ *)
+(* Page log *)
+
+let test_page_log_cow () =
+  let pm, region, w = mk () in
+  let node = Page_log.create w region ~tid:0 ~cap_pages:8 in
+  (* Prepare master data on one page. *)
+  let page = 100 in
+  let base = page * Page_log.page_words in
+  Pmem.poke pm base 7L;
+  Pmem.poke pm (base + 1) 8L;
+  Page_log.begin_fase w node ~seq:1;
+  let i = Page_log.log_page w node ~page in
+  Alcotest.(check (option int)) "find" (Some i) (Page_log.find_page pm node page);
+  (* The copy carries the master's contents. *)
+  Alcotest.(check int64) "copy word 0" 7L
+    (Pmem.load pm (Page_log.copy_word_addr node i ~off:0));
+  (* Write through the copy; master untouched until commit. *)
+  Pwriter.store w (Page_log.copy_word_addr node i ~off:1) 99L;
+  Page_log.mark_dirty w node i ~off:1;
+  Alcotest.(check int64) "master clean" 8L (Pmem.load pm (base + 1));
+  Page_log.commit w node;
+  Alcotest.(check int64) "dirty word applied" 99L (Pmem.load pm (base + 1));
+  Alcotest.(check int64) "clean word untouched" 7L (Pmem.load pm base);
+  Alcotest.(check bool) "idle after commit" false (Page_log.active pm node)
+
+let test_page_log_discard () =
+  let pm, region, w = mk () in
+  let node = Page_log.create w region ~tid:0 ~cap_pages:4 in
+  let page = 50 in
+  let base = page * Page_log.page_words in
+  Pmem.poke pm base 5L;
+  Page_log.begin_fase w node ~seq:1;
+  let i = Page_log.log_page w node ~page in
+  Pwriter.store w (Page_log.copy_word_addr node i ~off:0) 9L;
+  Page_log.mark_dirty w node i ~off:0;
+  Alcotest.(check bool) "active" true (Page_log.active pm node);
+  Page_log.discard w node;
+  Alcotest.(check int64) "master untouched" 5L (Pmem.load pm base);
+  Alcotest.(check bool) "inactive" false (Page_log.active pm node)
+
+let test_page_log_diff_only () =
+  (* Only dirty words are applied: a concurrent thread's committed
+     values on the same page are not clobbered by stale copy words. *)
+  let pm, region, w = mk () in
+  let node = Page_log.create w region ~tid:0 ~cap_pages:4 in
+  let page = 60 in
+  let base = page * Page_log.page_words in
+  Page_log.begin_fase w node ~seq:1;
+  let i = Page_log.log_page w node ~page in
+  (* Someone else updates word 2 of the master after our copy. *)
+  Pmem.poke pm (base + 2) 777L;
+  Pwriter.store w (Page_log.copy_word_addr node i ~off:3) 42L;
+  Page_log.mark_dirty w node i ~off:3;
+  Page_log.commit w node;
+  Alcotest.(check int64) "their word preserved" 777L (Pmem.load pm (base + 2));
+  Alcotest.(check int64) "our word applied" 42L (Pmem.load pm (base + 3))
+
+(* ------------------------------------------------------------------ *)
+(* Scheme metadata *)
+
+let test_scheme_names () =
+  List.iter
+    (fun s ->
+      Alcotest.(check (option string))
+        "name roundtrip"
+        (Some (Scheme.name s))
+        (Option.map Scheme.name (Scheme.of_name (Scheme.name s))))
+    Scheme.all;
+  Alcotest.(check bool) "unknown" true (Scheme.of_name "nope" = None);
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "table2 arity"
+        (List.length Scheme.table2_header)
+        (List.length (Scheme.table2_row s)))
+    Scheme.all
+
+let suites =
+  [
+    ( "runtime.pwriter",
+      [
+        Alcotest.test_case "costs" `Quick test_pwriter_costs;
+        Alcotest.test_case "coalescing" `Quick test_pwriter_coalescing;
+        Alcotest.test_case "independent fences" `Quick test_pwriter_fences_independent;
+        Alcotest.test_case "latency knob" `Quick test_latency_knob;
+      ] );
+    ( "runtime.ido_log",
+      [
+        Alcotest.test_case "pc/epoch" `Quick test_ido_log_pc_epoch;
+        qtest prop_pc_epoch_roundtrip;
+        Alcotest.test_case "intRF" `Quick test_ido_log_regs;
+        Alcotest.test_case "lock array" `Quick test_ido_log_lock_array;
+        Alcotest.test_case "sim stack" `Quick test_ido_log_sim_stack;
+      ] );
+    ( "runtime.justdo_log",
+      [
+        Alcotest.test_case "entry lifecycle" `Quick test_justdo_log;
+        Alcotest.test_case "survives crash" `Quick test_justdo_log_survives_crash;
+        Alcotest.test_case "two-fence locks" `Quick test_justdo_two_fence_locks;
+      ] );
+    ( "runtime.undo_log",
+      [
+        Alcotest.test_case "roundtrip" `Quick test_undo_log_roundtrip;
+        Alcotest.test_case "open fase" `Quick test_undo_log_open_fase;
+        Alcotest.test_case "ring wrap" `Quick test_undo_log_wrap;
+        Alcotest.test_case "metadata durable" `Quick test_undo_log_metadata_durable;
+        qtest prop_undo_records_roundtrip;
+      ] );
+    ( "runtime.atlas_recovery",
+      [
+        Alcotest.test_case "dependence propagation" `Quick
+          test_atlas_rollback_propagates;
+        Alcotest.test_case "independent FASE survives" `Quick
+          test_atlas_independent_fase_survives;
+        Alcotest.test_case "undo order" `Quick test_atlas_undo_order;
+      ] );
+    ( "runtime.redo_log",
+      [
+        Alcotest.test_case "lifecycle" `Quick test_redo_log;
+        Alcotest.test_case "overflow" `Quick test_redo_overflow;
+      ] );
+    ( "runtime.page_log",
+      [
+        Alcotest.test_case "copy-on-write" `Quick test_page_log_cow;
+        Alcotest.test_case "discard" `Quick test_page_log_discard;
+        Alcotest.test_case "diff-only commit" `Quick test_page_log_diff_only;
+      ] );
+    ( "runtime.scheme",
+      [ Alcotest.test_case "metadata" `Quick test_scheme_names ] );
+  ]

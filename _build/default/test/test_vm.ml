@@ -1,0 +1,347 @@
+open Ido_ir
+open Ido_runtime
+module Vm = Ido_vm.Vm
+module Wcommon = Ido_workloads.Wcommon
+
+(* Shared toy program: two-cell atomic increment under a lock. *)
+let counter_program () =
+  let b, _ = Builder.create ~name:"init" ~nparams:0 in
+  let cell = Wcommon.alloc_node b 8 [] in
+  Wcommon.set_root b 0 (Ir.Reg cell);
+  Builder.ret b None;
+  let init = Builder.finish b in
+  let b, ps = Builder.create ~name:"worker" ~nparams:1 in
+  let n = List.nth ps 0 in
+  let cell = Wcommon.get_root b 0 in
+  let lockid = Builder.bin b Ir.Add (Ir.Reg cell) (Ir.Imm 4L) in
+  Wcommon.for_loop b (Ir.Reg n) (fun _ ->
+      Builder.lock b (Ir.Reg lockid);
+      let c = Builder.load b Ir.Persistent (Ir.Reg cell) 0 in
+      let c1 = Builder.bin b Ir.Add (Ir.Reg c) (Ir.Imm 1L) in
+      Builder.store b Ir.Persistent (Ir.Reg cell) 0 (Ir.Reg c1);
+      Builder.unlock b (Ir.Reg lockid);
+      Wcommon.observe b (Ir.Imm 1L));
+  Builder.ret b None;
+  { Ir.funcs = [ ("init", init); ("worker", Builder.finish b) ] }
+
+let boot ?(scheme = Scheme.Ido) ?(seed = 42) prog =
+  let m = Vm.create { (Vm.config scheme) with seed } prog in
+  let _ = Vm.spawn m ~fname:"init" ~args:[] in
+  (match Vm.run m with `Idle -> () | _ -> Alcotest.fail "init stuck");
+  Vm.flush_all m;
+  m
+
+let counter_value m =
+  let cell = Int64.to_int (Ido_region.Region.get_root (Vm.region m) 0) in
+  Ido_nvm.Pmem.load (Vm.pmem m) cell
+
+let test_mutual_exclusion_all_schemes () =
+  (* Racy read-modify-write made atomic by the lock: the final count
+     must be exact under every scheme. *)
+  List.iter
+    (fun scheme ->
+      let m = boot ~scheme (counter_program ()) in
+      for _ = 1 to 4 do
+        ignore (Vm.spawn m ~fname:"worker" ~args:[ 250L ])
+      done;
+      (match Vm.run m with `Idle -> () | _ -> Alcotest.fail "stuck");
+      Alcotest.(check int64)
+        (Scheme.name scheme ^ " exact count")
+        1000L (counter_value m);
+      Alcotest.(check int) "ops observed" 1000 (Vm.total_ops m))
+    Scheme.all
+
+let test_determinism () =
+  let run () =
+    let m = boot (counter_program ()) in
+    ignore (Vm.spawn m ~fname:"worker" ~args:[ 100L ]);
+    ignore (Vm.spawn m ~fname:"worker" ~args:[ 100L ]);
+    ignore (Vm.run m);
+    Vm.clock m
+  in
+  Alcotest.(check int) "same seed, same simulated time" (run ()) (run ())
+
+let test_seed_changes_interleaving () =
+  let run seed =
+    let m = boot ~seed (counter_program ()) in
+    ignore (Vm.spawn m ~fname:"worker" ~args:[ 100L ]);
+    ignore (Vm.run m);
+    Vm.clock m
+  in
+  (* Different seeds change eviction patterns; the clock may differ
+     but correctness holds (checked above).  At minimum it must run. *)
+  Alcotest.(check bool) "clocks positive" true (run 1 > 0 && run 2 > 0)
+
+let test_run_until () =
+  let m = boot (counter_program ()) in
+  ignore (Vm.spawn m ~fname:"worker" ~args:[ 100_000L ]);
+  (match Vm.run ~until:50_000 m with
+  | `Until -> ()
+  | _ -> Alcotest.fail "expected `Until");
+  Alcotest.(check bool) "stopped near the bound" true (Vm.clock m < 70_000)
+
+let test_max_steps () =
+  let m = boot (counter_program ()) in
+  ignore (Vm.spawn m ~fname:"worker" ~args:[ 100_000L ]);
+  match Vm.run ~max_steps:100 m with
+  | `Max_steps -> ()
+  | _ -> Alcotest.fail "expected `Max_steps"
+
+let test_deadlock_detection () =
+  (* worker a: lock 1; lock 2 — worker b: lock 2; lock 1 with enough
+     spinning between to guarantee the interleaving. *)
+  let mk name first second =
+    let b, _ = Builder.create ~name ~nparams:1 in
+    Builder.lock b (Ir.Imm first);
+    Builder.intr_void b Ir.Work [ Ir.Imm 10_000L ];
+    Builder.lock b (Ir.Imm second);
+    Builder.unlock b (Ir.Imm second);
+    Builder.unlock b (Ir.Imm first);
+    Builder.ret b None;
+    Builder.finish b
+  in
+  let prog =
+    { Ir.funcs = [ ("a", mk "a" 1L 2L); ("b", mk "b" 2L 1L) ] }
+  in
+  let m = Vm.create (Vm.config Scheme.Origin) prog in
+  ignore (Vm.spawn m ~fname:"a" ~args:[ 0L ]);
+  ignore (Vm.spawn m ~fname:"b" ~args:[ 0L ]);
+  match Vm.run m with
+  | `Deadlock -> ()
+  | _ -> Alcotest.fail "expected deadlock"
+
+let test_unlock_foreign_lock_rejected () =
+  let b, _ = Builder.create ~name:"w" ~nparams:1 in
+  Builder.lock b (Ir.Imm 5L);
+  Builder.intr_void b Ir.Work [ Ir.Imm 10_000L ];
+  Builder.unlock b (Ir.Imm 5L);
+  Builder.ret b None;
+  let w = Builder.finish b in
+  let b, _ = Builder.create ~name:"rogue" ~nparams:1 in
+  Builder.intr_void b Ir.Work [ Ir.Imm 100L ];
+  (* Statically balanced (one acquire, one release) but the release
+     targets a mutex held by the other thread: a runtime error. *)
+  Builder.lock b (Ir.Imm 6L);
+  Builder.unlock b (Ir.Imm 5L);
+  Builder.ret b None;
+  let rogue = Builder.finish b in
+  let m = Vm.create (Vm.config Scheme.Origin) { Ir.funcs = [ ("w", w); ("rogue", rogue) ] } in
+  ignore (Vm.spawn m ~fname:"w" ~args:[ 0L ]);
+  ignore (Vm.spawn m ~fname:"rogue" ~args:[ 0L ]);
+  match Vm.run m with
+  | exception Vm.Vm_error _ -> ()
+  | _ -> Alcotest.fail "expected Vm_error"
+
+let test_stack_overflow_detected () =
+  let b, _ = Builder.create ~name:"w" ~nparams:1 in
+  ignore (Builder.alloca b 100_000);
+  Builder.ret b None;
+  let m = Vm.create (Vm.config Scheme.Origin) { Ir.funcs = [ ("w", Builder.finish b) ] } in
+  ignore (Vm.spawn m ~fname:"w" ~args:[ 0L ]);
+  match Vm.run m with
+  | exception Vm.Vm_error _ -> ()
+  | _ -> Alcotest.fail "expected stack overflow"
+
+let test_calls_and_stack () =
+  (* g(x) spills x to a stack slot and reloads it; f sums g(1)+g(2). *)
+  let b, ps = Builder.create ~name:"g" ~nparams:1 in
+  let x = List.nth ps 0 in
+  let slot = Builder.alloca b 2 in
+  Builder.store b Ir.Stack (Ir.Reg slot) 1 (Ir.Reg x);
+  let y = Builder.load b Ir.Stack (Ir.Reg slot) 1 in
+  let y2 = Builder.bin b Ir.Mul (Ir.Reg y) (Ir.Imm 10L) in
+  Builder.ret b (Some (Ir.Reg y2));
+  let g = Builder.finish b in
+  let b, _ = Builder.create ~name:"w" ~nparams:1 in
+  let a = Builder.call b "g" [ Ir.Imm 1L ] in
+  let c = Builder.call b "g" [ Ir.Imm 2L ] in
+  let s = Builder.bin b Ir.Add (Ir.Reg a) (Ir.Reg c) in
+  Wcommon.observe b (Ir.Reg s);
+  Builder.ret b None;
+  let w = Builder.finish b in
+  List.iter
+    (fun scheme ->
+      (* Stack lives in NVM for resumption schemes, DRAM otherwise. *)
+      let m = Vm.create (Vm.config scheme) { Ir.funcs = [ ("g", g); ("w", w) ] } in
+      let t = Vm.spawn m ~fname:"w" ~args:[ 0L ] in
+      (match Vm.run m with `Idle -> () | _ -> Alcotest.fail "stuck");
+      Alcotest.(check (list int64)) "g(1)*10 + g(2)*10" [ 30L ] (Vm.observations t))
+    Scheme.[ Ido; Atlas; Origin ]
+
+let test_intrinsics () =
+  let b, _ = Builder.create ~name:"w" ~nparams:1 in
+  let tid = Builder.intr b Ir.Thread_id [] in
+  Wcommon.observe b (Ir.Reg tid);
+  let r = Builder.intr b Ir.Rand [ Ir.Imm 10L ] in
+  let ok = Builder.bin b Ir.Lt (Ir.Reg r) (Ir.Imm 10L) in
+  Wcommon.assert_nz b (Ir.Reg ok);
+  let blk = Builder.intr b Ir.Nv_alloc [ Ir.Imm 4L ] in
+  Builder.store b Ir.Persistent (Ir.Reg blk) 3 (Ir.Imm 9L);
+  let v = Builder.load b Ir.Persistent (Ir.Reg blk) 3 in
+  Wcommon.observe b (Ir.Reg v);
+  Builder.intr_void b Ir.Nv_free [ Ir.Reg blk ];
+  Builder.ret b None;
+  let m = Vm.create (Vm.config Scheme.Origin) { Ir.funcs = [ ("w", Builder.finish b) ] } in
+  let t = Vm.spawn m ~fname:"w" ~args:[ 0L ] in
+  (match Vm.run m with `Idle -> () | _ -> Alcotest.fail "stuck");
+  Alcotest.(check (list int64)) "tid then stored value" [ 0L; 9L ] (Vm.observations t)
+
+let test_work_advances_clock () =
+  let b, _ = Builder.create ~name:"w" ~nparams:1 in
+  Builder.intr_void b Ir.Work [ Ir.Imm 5_000L ];
+  Builder.ret b None;
+  let m = Vm.create (Vm.config Scheme.Origin) { Ir.funcs = [ ("w", Builder.finish b) ] } in
+  ignore (Vm.spawn m ~fname:"w" ~args:[ 0L ]);
+  ignore (Vm.run m);
+  Alcotest.(check bool) "clock >= work" true (Vm.clock m >= 5_000)
+
+let test_div_by_zero_is_zero () =
+  let b, _ = Builder.create ~name:"w" ~nparams:1 in
+  let d = Builder.bin b Ir.Div (Ir.Imm 7L) (Ir.Imm 0L) in
+  let r = Builder.bin b Ir.Rem (Ir.Imm 7L) (Ir.Imm 0L) in
+  Wcommon.observe b (Ir.Reg d);
+  Wcommon.observe b (Ir.Reg r);
+  Builder.ret b None;
+  let m = Vm.create (Vm.config Scheme.Origin) { Ir.funcs = [ ("w", Builder.finish b) ] } in
+  let t = Vm.spawn m ~fname:"w" ~args:[ 0L ] in
+  ignore (Vm.run m);
+  Alcotest.(check (list int64)) "defined as zero" [ 0L; 0L ] (Vm.observations t)
+
+let test_assert_traps () =
+  let b, _ = Builder.create ~name:"w" ~nparams:1 in
+  Wcommon.assert_nz b (Ir.Imm 0L);
+  Builder.ret b None;
+  let m = Vm.create (Vm.config Scheme.Origin) { Ir.funcs = [ ("w", Builder.finish b) ] } in
+  ignore (Vm.spawn m ~fname:"w" ~args:[ 0L ]);
+  match Vm.run m with
+  | exception Vm.Vm_error _ -> ()
+  | _ -> Alcotest.fail "expected trap"
+
+let test_lock_handoff_fifo () =
+  (* Three contenders on one lock must all finish (no starvation). *)
+  let m = boot (counter_program ()) in
+  let ts = List.init 3 (fun _ -> Vm.spawn m ~fname:"worker" ~args:[ 50L ]) in
+  (match Vm.run m with `Idle -> () | _ -> Alcotest.fail "stuck");
+  List.iter
+    (fun t -> Alcotest.(check int) "each did its ops" 50 (Vm.thread_ops t))
+    ts
+
+let test_tracer () =
+  let m = boot (counter_program ()) in
+  let lines = ref [] in
+  Ido_vm.Vm.set_tracer m (Some (fun l -> lines := l :: !lines));
+  ignore (Vm.spawn m ~fname:"worker" ~args:[ 3L ]);
+  (match Vm.run m with `Idle -> () | _ -> Alcotest.fail "stuck");
+  Ido_vm.Vm.set_tracer m None;
+  let all = String.concat "\n" !lines in
+  let has frag =
+    let n = String.length frag in
+    let rec go i =
+      i + n <= String.length all && (String.sub all i n = frag || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "traced instructions" true (List.length !lines > 20);
+  Alcotest.(check bool) "shows locks" true (has "lock r");
+  Alcotest.(check bool) "shows hooks" true (has "!fase_enter");
+  Alcotest.(check bool) "marks FASE membership" true (has "[FASE]")
+
+let test_image_pc_roundtrip () =
+  (* Every instruction slot of an instrumented program encodes to a
+     dense pc and back. *)
+  let prog =
+    Ido_instrument.Instrument.instrument Scheme.Ido
+      (Ido_workloads.Workload.named "olist")
+  in
+  let image = Ido_vm.Image.build prog in
+  List.iter
+    (fun (fname, (f : Ir.func)) ->
+      Array.iteri
+        (fun b (blk : Ir.block) ->
+          for i = 0 to Array.length blk.Ir.instrs do
+            let pos = { Ir.blk = b; idx = i } in
+            let pc = Ido_vm.Image.pc_of_pos image ~fname pos in
+            Alcotest.(check bool) "pc positive" true (pc > 0);
+            let fname', pos' = Ido_vm.Image.pos_of_pc image pc in
+            Alcotest.(check string) "func roundtrip" fname fname';
+            Alcotest.(check bool) "pos roundtrip" true (pos = pos')
+          done)
+        f.Ir.blocks)
+    prog.Ir.funcs;
+  Alcotest.check_raises "pc 0 invalid"
+    (Invalid_argument "Image.pos_of_pc: bad pc 0") (fun () ->
+      ignore (Ido_vm.Image.pos_of_pc image 0))
+
+let test_lock_array_overflow () =
+  (* More simultaneously held locks than the lock_array has slots is a
+     runtime error, not silent corruption. *)
+  let b, _ = Builder.create ~name:"w" ~nparams:1 in
+  for i = 1 to 17 do
+    Builder.lock b (Ir.Imm (Int64.of_int i))
+  done;
+  for i = 17 downto 1 do
+    Builder.unlock b (Ir.Imm (Int64.of_int i))
+  done;
+  Builder.ret b None;
+  let m =
+    Vm.create (Vm.config Scheme.Ido) { Ir.funcs = [ ("w", Builder.finish b) ] }
+  in
+  ignore (Vm.spawn m ~fname:"w" ~args:[ 0L ]);
+  match Vm.run m with
+  | exception Failure msg ->
+      Alcotest.(check bool) "overflow reported" true
+        (String.length msg > 0)
+  | _ -> Alcotest.fail "expected lock_array overflow"
+
+let test_deep_nesting_within_capacity () =
+  (* Sixteen nested locks is exactly the capacity: must work and
+     recover. *)
+  let b, _ = Builder.create ~name:"w16" ~nparams:1 in
+  let cell = Wcommon.get_root b 0 in
+  for i = 1 to 16 do
+    Builder.lock b (Ir.Imm (Int64.of_int (1000 + i)))
+  done;
+  let c = Builder.load b Ir.Persistent (Ir.Reg cell) 0 in
+  let c1 = Builder.bin b Ir.Add (Ir.Reg c) (Ir.Imm 1L) in
+  Builder.store b Ir.Persistent (Ir.Reg cell) 0 (Ir.Reg c1);
+  for i = 16 downto 1 do
+    Builder.unlock b (Ir.Imm (Int64.of_int (1000 + i)))
+  done;
+  Builder.ret b None;
+  let w = Builder.finish b in
+  let prog = counter_program () in
+  let prog = { Ir.funcs = prog.Ir.funcs @ [ ("w16", w) ] } in
+  let m = Vm.create (Vm.config Scheme.Ido) prog in
+  let _ = Vm.spawn m ~fname:"init" ~args:[] in
+  ignore (Vm.run m);
+  Vm.flush_all m;
+  ignore (Vm.spawn m ~fname:"w16" ~args:[ 0L ]);
+  (match Vm.run m with `Idle -> () | _ -> Alcotest.fail "stuck");
+  Alcotest.(check int64) "increment applied" 1L (counter_value m)
+
+let suites =
+  [
+    ( "vm",
+      [
+        Alcotest.test_case "mutual exclusion (all schemes)" `Quick
+          test_mutual_exclusion_all_schemes;
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_interleaving;
+        Alcotest.test_case "run until" `Quick test_run_until;
+        Alcotest.test_case "max steps" `Quick test_max_steps;
+        Alcotest.test_case "deadlock detection" `Quick test_deadlock_detection;
+        Alcotest.test_case "foreign unlock rejected" `Quick
+          test_unlock_foreign_lock_rejected;
+        Alcotest.test_case "stack overflow" `Quick test_stack_overflow_detected;
+        Alcotest.test_case "calls and stack slots" `Quick test_calls_and_stack;
+        Alcotest.test_case "intrinsics" `Quick test_intrinsics;
+        Alcotest.test_case "work cost" `Quick test_work_advances_clock;
+        Alcotest.test_case "div by zero" `Quick test_div_by_zero_is_zero;
+        Alcotest.test_case "assert traps" `Quick test_assert_traps;
+        Alcotest.test_case "lock hand-off" `Quick test_lock_handoff_fifo;
+        Alcotest.test_case "tracer" `Quick test_tracer;
+        Alcotest.test_case "image pc roundtrip" `Quick test_image_pc_roundtrip;
+        Alcotest.test_case "lock array overflow" `Quick test_lock_array_overflow;
+        Alcotest.test_case "16 nested locks" `Quick test_deep_nesting_within_capacity;
+      ] );
+  ]

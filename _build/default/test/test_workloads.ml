@@ -1,0 +1,246 @@
+(* Sequential functional correctness of the benchmark data structures,
+   exercised through dedicated driver programs built on the same IR
+   functions the benchmarks use. *)
+
+open Ido_ir
+open Ido_runtime
+module Vm = Ido_vm.Vm
+module Wcommon = Ido_workloads.Wcommon
+
+(* Extend a workload program with an extra driver function. *)
+let with_driver prog name driver = { Ir.funcs = prog.Ir.funcs @ [ (name, driver) ] }
+
+let run_driver ?(scheme = Scheme.Origin) prog driver_name =
+  let m = Vm.create (Vm.config scheme) prog in
+  let _ = Vm.spawn m ~fname:"init" ~args:[] in
+  (match Vm.run m with `Idle -> () | _ -> Alcotest.fail "init stuck");
+  Vm.flush_all m;
+  let t = Vm.spawn m ~fname:driver_name ~args:[ 0L ] in
+  (match Vm.run m with
+  | `Idle -> ()
+  | `Deadlock -> Alcotest.fail "driver deadlocked"
+  | _ -> Alcotest.fail "driver stuck");
+  (m, Vm.observations t)
+
+(* ------------------------------------------------------------------ *)
+
+let test_stack_lifo () =
+  let prog = Ido_workloads.Workload.named "stack" in
+  let b, _ = Builder.create ~name:"driver" ~nparams:1 in
+  let desc = Wcommon.get_root b 0 in
+  List.iter
+    (fun v -> Builder.call_void b "stack_push" [ Ir.Reg desc; Ir.Imm v ])
+    [ 10L; 20L; 30L ];
+  for _ = 1 to 4 do
+    let v = Builder.call b "stack_pop" [ Ir.Reg desc ] in
+    Wcommon.observe b (Ir.Reg v)
+  done;
+  Builder.ret b None;
+  let _, obs = run_driver (with_driver prog "driver" (Builder.finish b)) "driver" in
+  Alcotest.(check (list int64)) "LIFO order, then empty" [ 30L; 20L; 10L; -1L ] obs
+
+let test_stack_check_counts () =
+  let prog = Ido_workloads.Workload.named "stack" in
+  let b, _ = Builder.create ~name:"driver" ~nparams:1 in
+  let desc = Wcommon.get_root b 0 in
+  for i = 1 to 5 do
+    Builder.call_void b "stack_push" [ Ir.Reg desc; Ir.Imm (Int64.of_int i) ]
+  done;
+  ignore (Builder.call b "stack_pop" [ Ir.Reg desc ]);
+  Builder.ret b None;
+  let m, _ = run_driver (with_driver prog "driver" (Builder.finish b)) "driver" in
+  let t = Vm.spawn m ~fname:"check" ~args:[] in
+  (match Vm.run m with `Idle -> () | _ -> Alcotest.fail "check stuck");
+  Alcotest.(check (list int64)) "check counts 4" [ 4L ] (Vm.observations t)
+
+let test_queue_fifo () =
+  let prog = Ido_workloads.Workload.named "queue" in
+  let b, _ = Builder.create ~name:"driver" ~nparams:1 in
+  let desc = Wcommon.get_root b 0 in
+  List.iter
+    (fun v -> Builder.call_void b "queue_enq" [ Ir.Reg desc; Ir.Imm v ])
+    [ 1L; 2L; 3L ];
+  for _ = 1 to 4 do
+    let v = Builder.call b "queue_deq" [ Ir.Reg desc ] in
+    Wcommon.observe b (Ir.Reg v)
+  done;
+  Builder.call_void b "queue_enq" [ Ir.Reg desc; Ir.Imm 9L ];
+  let v = Builder.call b "queue_deq" [ Ir.Reg desc ] in
+  Wcommon.observe b (Ir.Reg v);
+  Builder.ret b None;
+  let _, obs = run_driver (with_driver prog "driver" (Builder.finish b)) "driver" in
+  Alcotest.(check (list int64)) "FIFO order, empty, refill" [ 1L; 2L; 3L; -1L; 9L ] obs
+
+let test_olist_put_get () =
+  let prog = Ido_workloads.Workload.named "olist" in
+  let b, _ = Builder.create ~name:"driver" ~nparams:1 in
+  let head = Wcommon.get_root b 0 in
+  (* Insert out of order, read back, update in place. *)
+  List.iter
+    (fun (k, v) ->
+      Builder.call_void b "list_put" [ Ir.Reg head; Ir.Imm k; Ir.Imm v ])
+    [ (5L, 50L); (1L, 10L); (9L, 90L); (5L, 55L) ];
+  List.iter
+    (fun k ->
+      let v = Builder.call b "list_get" [ Ir.Reg head; Ir.Imm k ] in
+      Wcommon.observe b (Ir.Reg v))
+    [ 1L; 5L; 9L; 7L ];
+  let n = Builder.call b "list_count" [ Ir.Reg head ] in
+  Wcommon.observe b (Ir.Reg n);
+  Builder.ret b None;
+  let _, obs = run_driver (with_driver prog "driver" (Builder.finish b)) "driver" in
+  Alcotest.(check (list int64)) "gets + sorted count"
+    [ 10L; 55L; 90L; -1L; 3L ] obs
+
+let test_olist_remove () =
+  let prog = Ido_workloads.Workload.named "olist" in
+  let b, _ = Builder.create ~name:"driver" ~nparams:1 in
+  let head = Wcommon.get_root b 0 in
+  List.iter
+    (fun (k, v) ->
+      Builder.call_void b "list_put" [ Ir.Reg head; Ir.Imm k; Ir.Imm v ])
+    [ (1L, 10L); (2L, 20L); (3L, 30L) ];
+  let r1 = Builder.call b "list_remove" [ Ir.Reg head; Ir.Imm 2L ] in
+  Wcommon.observe b (Ir.Reg r1);
+  let r2 = Builder.call b "list_remove" [ Ir.Reg head; Ir.Imm 7L ] in
+  Wcommon.observe b (Ir.Reg r2);
+  let g = Builder.call b "list_get" [ Ir.Reg head; Ir.Imm 2L ] in
+  Wcommon.observe b (Ir.Reg g);
+  let n = Builder.call b "list_count" [ Ir.Reg head ] in
+  Wcommon.observe b (Ir.Reg n);
+  Builder.ret b None;
+  let _, obs = run_driver (with_driver prog "driver" (Builder.finish b)) "driver" in
+  Alcotest.(check (list int64)) "removed, miss on gone key, count"
+    [ 1L; 0L; -1L; 2L ] obs
+
+let test_hmap_routes_by_bucket () =
+  let prog = Ido_workloads.Workload.named "hmap" in
+  (* Drive through the worker once, then validate via check. *)
+  let m = Vm.create (Vm.config Scheme.Origin) prog in
+  let _ = Vm.spawn m ~fname:"init" ~args:[] in
+  ignore (Vm.run m);
+  Vm.flush_all m;
+  ignore (Vm.spawn m ~fname:"worker" ~args:[ 500L ]);
+  (match Vm.run m with `Idle -> () | _ -> Alcotest.fail "stuck");
+  let t = Vm.spawn m ~fname:"check" ~args:[] in
+  (match Vm.run m with `Idle -> () | _ -> Alcotest.fail "check stuck");
+  match Vm.observations t with
+  | [ n ] -> Alcotest.(check bool) "some keys present" true (Int64.to_int n > 0)
+  | _ -> Alcotest.fail "check must observe the count"
+
+let test_kvcache_set_get () =
+  let prog = Ido_workloads.Workload.named "kvcache50" in
+  let b, _ = Builder.create ~name:"driver" ~nparams:1 in
+  let desc = Wcommon.get_root b 0 in
+  Builder.call_void b "kv_set" [ Ir.Reg desc; Ir.Imm 7L; Ir.Imm 70L ];
+  Builder.call_void b "kv_set" [ Ir.Reg desc; Ir.Imm 8L; Ir.Imm 80L ];
+  Builder.call_void b "kv_set" [ Ir.Reg desc; Ir.Imm 7L; Ir.Imm 77L ];
+  List.iter
+    (fun k ->
+      let v = Builder.call b "kv_get" [ Ir.Reg desc; Ir.Imm k ] in
+      Wcommon.observe b (Ir.Reg v))
+    [ 7L; 8L; 9L ];
+  Builder.ret b None;
+  let m, obs = run_driver (with_driver prog "driver" (Builder.finish b)) "driver" in
+  Alcotest.(check (list int64)) "update-in-place and miss" [ 77L; 80L; -1L ] obs;
+  let t = Vm.spawn m ~fname:"check" ~args:[] in
+  (match Vm.run m with `Idle -> () | _ -> Alcotest.fail "check stuck");
+  Alcotest.(check (list int64)) "two distinct keys" [ 2L ] (Vm.observations t)
+
+let test_objstore_put_get () =
+  let prog = Ido_workloads.Workload.named "objstore" in
+  let b, _ = Builder.create ~name:"driver" ~nparams:1 in
+  let desc = Wcommon.get_root b 0 in
+  Builder.call_void b "obj_put" [ Ir.Reg desc; Ir.Imm 4242L ];
+  let v = Builder.call b "obj_get" [ Ir.Reg desc; Ir.Imm 4242L ] in
+  Wcommon.observe b (Ir.Reg v);
+  let miss = Builder.call b "obj_get" [ Ir.Reg desc; Ir.Imm 9999L ] in
+  Wcommon.observe b (Ir.Reg miss);
+  Builder.ret b None;
+  let _, obs = run_driver (with_driver prog "driver" (Builder.finish b)) "driver" in
+  (* checksum = 8k + 28 *)
+  Alcotest.(check (list int64)) "checksum and miss"
+    [ Int64.add (Int64.mul 4242L 8L) 28L; -1L ] obs
+
+let test_mlog_fifo_and_checksums () =
+  let prog = Ido_workloads.Workload.named "mlog" in
+  let b, _ = Builder.create ~name:"driver" ~nparams:1 in
+  let desc = Wcommon.get_root b 0 in
+  List.iter
+    (fun v -> Builder.call_void b "mlog_append" [ Ir.Reg desc; Ir.Imm v ])
+    [ 11L; 22L; 33L ];
+  for _ = 1 to 4 do
+    let v = Builder.call b "mlog_consume" [ Ir.Reg desc ] in
+    Wcommon.observe b (Ir.Reg v)
+  done;
+  Builder.ret b None;
+  let m, obs = run_driver (with_driver prog "driver" (Builder.finish b)) "driver" in
+  Alcotest.(check (list int64)) "FIFO with empty sentinel" [ 11L; 22L; 33L; -1L ] obs;
+  let t = Vm.spawn m ~fname:"check" ~args:[] in
+  (match Vm.run m with `Idle -> () | _ -> Alcotest.fail "check stuck");
+  Alcotest.(check (list int64)) "empty after drain" [ 0L ] (Vm.observations t)
+
+let test_mlog_overwrites_when_full () =
+  let prog = Ido_workloads.Mlog.program ~capacity:4 () in
+  let b, _ = Builder.create ~name:"driver" ~nparams:1 in
+  let desc = Wcommon.get_root b 0 in
+  for i = 1 to 6 do
+    Builder.call_void b "mlog_append" [ Ir.Reg desc; Ir.Imm (Int64.of_int (i * 10)) ]
+  done;
+  (* The two oldest records were overwritten: the ring holds 30..60. *)
+  for _ = 1 to 4 do
+    let v = Builder.call b "mlog_consume" [ Ir.Reg desc ] in
+    Wcommon.observe b (Ir.Reg v)
+  done;
+  Builder.ret b None;
+  let _, obs = run_driver (with_driver prog "driver" (Builder.finish b)) "driver" in
+  Alcotest.(check (list int64)) "oldest dropped" [ 30L; 40L; 50L; 60L ] obs
+
+let test_workers_under_every_scheme_are_equivalent () =
+  (* A workload's final check count must not depend on the
+     failure-atomicity scheme when no crash happens. *)
+  List.iter
+    (fun workload ->
+      let counts =
+        List.map
+          (fun scheme ->
+            let prog = Ido_workloads.Workload.named workload in
+            let m = Vm.create { (Vm.config scheme) with seed = 11 } prog in
+            let _ = Vm.spawn m ~fname:"init" ~args:[] in
+            ignore (Vm.run m);
+            Vm.flush_all m;
+            ignore (Vm.spawn m ~fname:"worker" ~args:[ 300L ]);
+            (match Vm.run m with `Idle -> () | _ -> Alcotest.fail "stuck");
+            let t = Vm.spawn m ~fname:"check" ~args:[] in
+            (match Vm.run m with `Idle -> () | _ -> Alcotest.fail "check stuck");
+            Vm.observations t)
+          Scheme.all
+      in
+      match counts with
+      | first :: rest ->
+          List.iter
+            (fun c ->
+              Alcotest.(check (list int64))
+                (workload ^ " same result under every scheme") first c)
+            rest
+      | [] -> ())
+    [ "stack"; "queue"; "olist"; "kvcache50"; "mlog" ]
+
+let suites =
+  [
+    ( "workloads",
+      [
+        Alcotest.test_case "stack LIFO" `Quick test_stack_lifo;
+        Alcotest.test_case "stack check" `Quick test_stack_check_counts;
+        Alcotest.test_case "queue FIFO" `Quick test_queue_fifo;
+        Alcotest.test_case "ordered list" `Quick test_olist_put_get;
+        Alcotest.test_case "ordered list remove" `Quick test_olist_remove;
+        Alcotest.test_case "hash map" `Quick test_hmap_routes_by_bucket;
+        Alcotest.test_case "kvcache" `Quick test_kvcache_set_get;
+        Alcotest.test_case "objstore" `Quick test_objstore_put_get;
+        Alcotest.test_case "mlog FIFO" `Quick test_mlog_fifo_and_checksums;
+        Alcotest.test_case "mlog overwrite" `Quick test_mlog_overwrites_when_full;
+        Alcotest.test_case "scheme-independent results" `Quick
+          test_workers_under_every_scheme_are_equivalent;
+      ] );
+  ]
