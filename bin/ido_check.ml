@@ -1,0 +1,170 @@
+(* Crash-matrix checker: enumerate (or sample) every power-failure
+   instant of a workload run, recover, and validate the image against
+   the workload's pure model.  Exit status 0 = no violations. *)
+
+open Cmdliner
+open Ido_runtime
+open Ido_check
+
+let scheme_arg =
+  let scheme_conv = Arg.enum (List.map (fun s -> (Scheme.name s, s)) Scheme.all) in
+  Arg.(
+    value
+    & opt scheme_conv Scheme.Ido
+    & info [ "scheme" ] ~doc:"Failure-atomicity scheme")
+
+let workload_arg =
+  Arg.(
+    value
+    & opt (enum (List.map (fun n -> (n, n)) Ido_workloads.Workload.names)) "queue"
+    & info [ "workload" ] ~doc:"Workload program")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed")
+
+let threads_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "threads" ] ~doc:"Worker threads (default 3; 1 for objstore)")
+
+let ops_arg =
+  Arg.(value & opt int 60 & info [ "ops" ] ~doc:"Operations per worker thread")
+
+let cache_lines_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "cache-lines" ] ~doc:"Volatile dirty-line capacity")
+
+let oracle_conv =
+  Arg.enum [ ("auto", `Auto); ("atomic", `Atomic); ("prefix", `Prefix) ]
+
+let oracle_arg =
+  Arg.(
+    value & opt oracle_conv `Auto
+    & info [ "oracle" ]
+        ~doc:
+          "Oracle strictness: auto (atomic for instrumented schemes, prefix \
+           for origin), atomic, or prefix")
+
+let strict_arg =
+  Arg.(
+    value & flag
+    & info [ "strict" ]
+        ~doc:"Shorthand for --oracle atomic (even for origin)")
+
+let spec_of scheme workload seed threads ops cache_lines oracle strict =
+  let spec =
+    Engine.defaults ?threads ~ops ~cache_lines ~strict ~seed ~scheme ~workload ()
+  in
+  match oracle with
+  | `Auto -> spec
+  | `Atomic -> { spec with oracle_mode = Ido_workloads.Oracle.Atomic }
+  | `Prefix -> { spec with oracle_mode = Ido_workloads.Oracle.Prefix }
+
+(* Bad spec combinations (unsupported scheme x workload pair,
+   nonsensical budget) surface as [Invalid_argument]; report them as
+   the usage errors they are rather than as uncaught exceptions. *)
+let guard f =
+  try f () with Invalid_argument msg ->
+    Printf.eprintf "ido_check: %s\n" msg;
+    Cmd.Exit.cli_error
+
+let pp_injection (inj : Engine.injection) =
+  Printf.printf "  index %d (%s): %s\n" inj.index
+    (Option.value inj.event ~default:"terminal; crash at idle")
+    (match inj.verdict with Ok () -> "ok" | Error m -> "VIOLATION: " ^ m)
+
+let explore_cmd =
+  let doc = "Explore the crash-point space of one scheme x workload pair." in
+  let budget_arg =
+    Arg.(value & opt int 500 & info [ "budget" ] ~doc:"Max injected crashes")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every injection")
+  in
+  let run scheme workload seed threads ops cache_lines oracle strict budget
+      verbose =
+    guard @@ fun () ->
+    let spec = spec_of scheme workload seed threads ops cache_lines oracle strict in
+    let last = ref 0 in
+    let progress k n =
+      (* One status line per ~5% on a terminal-unfriendly stream. *)
+      if verbose || (k * 20 / n) > (!last * 20 / n) || k = n then begin
+        Printf.eprintf "\r  injected %d/%d crashes" k n;
+        if k = n then prerr_newline ();
+        flush stderr
+      end;
+      last := k
+    in
+    let r = Engine.explore ~progress spec ~budget in
+    Printf.printf
+      "%s on %s: %d events in schedule; tested %d crash points (%s), %d \
+       violation(s)\n"
+      (Scheme.name scheme) workload r.Engine.total_events r.Engine.tested
+      (if r.Engine.exhaustive then "exhaustive" else "stratified sample")
+      (List.length r.Engine.violations);
+    if verbose then List.iter pp_injection r.Engine.violations;
+    match r.Engine.counterexample with
+    | None ->
+        print_endline "no oracle violations";
+        0
+    | Some inj ->
+        pp_injection inj;
+        Printf.printf "repro: %s\n" (Engine.repro_line spec inj.Engine.index);
+        1
+  in
+  Cmd.v
+    (Cmd.info "explore" ~doc)
+    Term.(
+      const run $ scheme_arg $ workload_arg $ seed_arg $ threads_arg $ ops_arg
+      $ cache_lines_arg $ oracle_arg $ strict_arg $ budget_arg $ verbose_arg)
+
+let replay_cmd =
+  let doc = "Replay a single crash index from a repro line." in
+  let index_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "index" ] ~doc:"Crash just before this event index")
+  in
+  let run scheme workload seed threads ops cache_lines oracle strict index =
+    guard @@ fun () ->
+    let spec = spec_of scheme workload seed threads ops cache_lines oracle strict in
+    let inj = Engine.inject spec index in
+    pp_injection inj;
+    match inj.Engine.verdict with Ok () -> 0 | Error _ -> 1
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc)
+    Term.(
+      const run $ scheme_arg $ workload_arg $ seed_arg $ threads_arg $ ops_arg
+      $ cache_lines_arg $ oracle_arg $ strict_arg $ index_arg)
+
+let schedule_cmd =
+  let doc = "Print the recorded persist-event schedule (for debugging)." in
+  let limit_arg =
+    Arg.(value & opt int 100 & info [ "limit" ] ~doc:"Events to print")
+  in
+  let run scheme workload seed threads ops cache_lines oracle strict limit =
+    guard @@ fun () ->
+    let spec = spec_of scheme workload seed threads ops cache_lines oracle strict in
+    let evs = Engine.record spec in
+    Printf.printf "%d events\n" (Array.length evs);
+    Array.iteri
+      (fun i e ->
+        if i < limit then Printf.printf "%6d %s\n" i (Ido_vm.Event.describe e))
+      evs;
+    0
+  in
+  Cmd.v
+    (Cmd.info "schedule" ~doc)
+    Term.(
+      const run $ scheme_arg $ workload_arg $ seed_arg $ threads_arg $ ops_arg
+      $ cache_lines_arg $ oracle_arg $ strict_arg $ limit_arg)
+
+let () =
+  let info =
+    Cmd.info "ido_check"
+      ~doc:"Systematic crash-point exploration with per-workload oracles"
+  in
+  exit (Cmd.eval' (Cmd.group info [ explore_cmd; replay_cmd; schedule_cmd ]))

@@ -1,0 +1,225 @@
+open Ido_util
+open Ido_runtime
+open Ido_vm
+open Ido_workloads
+
+type spec = {
+  scheme : Scheme.t;
+  workload : string;
+  seed : int;
+  threads : int;
+  ops : int;
+  cache_lines : int;
+  oracle_mode : Oracle.mode;
+}
+
+let supported scheme workload =
+  (match scheme with Scheme.Nvml -> workload = "objstore" | _ -> true)
+  && Oracle.known workload
+
+let defaults ?threads ?ops ?(cache_lines = 4096) ?(strict = false) ?(seed = 42)
+    ~scheme ~workload () =
+  if not (List.mem workload Workload.names) then
+    invalid_arg ("Engine.defaults: unknown workload " ^ workload);
+  if not (supported scheme workload) then
+    invalid_arg
+      (Printf.sprintf "Engine.defaults: %s does not support %s"
+         (Scheme.name scheme) workload);
+  let threads =
+    match threads with
+    | Some t -> t
+    | None -> if workload = "objstore" then 1 else 3
+  in
+  let oracle_mode =
+    if strict then Oracle.Atomic
+    else match scheme with Scheme.Origin -> Oracle.Prefix | _ -> Oracle.Atomic
+  in
+  { scheme; workload; seed; threads; ops = Option.value ops ~default:60;
+    cache_lines; oracle_mode }
+
+(* Build the machine and run the durable setup phase.  The event hook
+   is installed only after this returns, so recording and every
+   injection run observe the same worker-phase schedule. *)
+let setup spec =
+  let program = Workload.named spec.workload in
+  let cfg =
+    { (Vm.config spec.scheme) with
+      seed = spec.seed;
+      cache_lines = spec.cache_lines;
+      (* Every injection boots a fresh machine; the bounded check
+         workloads fit comfortably in 1M words (8 MiB), an 8x saving
+         over the benchmark default. *)
+      pmem_words = 1 lsl 20 }
+  in
+  let m = Vm.create cfg program in
+  ignore (Vm.spawn m ~fname:"init" ~args:[]);
+  (match Vm.run m with
+  | `Idle -> ()
+  | _ -> failwith "Engine.setup: init phase did not run to completion");
+  Vm.flush_all m;
+  for _ = 1 to spec.threads do
+    ignore (Vm.spawn m ~fname:"worker" ~args:[ Int64.of_int spec.ops ])
+  done;
+  m
+
+let finish_run m =
+  match Vm.run m with
+  | `Idle -> ()
+  | `Deadlock -> failwith "Engine: worker phase deadlocked"
+  | `Until | `Max_steps -> failwith "Engine: worker phase did not finish"
+
+let record spec =
+  let m = setup spec in
+  let evs = ref [] in
+  Vm.set_event_hook m (Some (fun e -> evs := e :: !evs));
+  finish_run m;
+  Vm.set_event_hook m None;
+  Array.of_list (List.rev !evs)
+
+let mem_of m =
+  let pm = Vm.pmem m in
+  { Oracle.load = Ido_nvm.Pmem.load pm; size = Ido_nvm.Pmem.size pm }
+
+let validate_now spec ~mode m =
+  let root = Ido_region.Region.get_root (Vm.region m) 0 in
+  Oracle.validate ~workload:spec.workload ~mode ~root (mem_of m)
+
+type injection = {
+  index : int;
+  event : string option;
+  verdict : (unit, string) result;
+}
+
+exception Crash_injected
+
+let inject spec index =
+  if index < 0 then invalid_arg "Engine.inject: negative crash index";
+  let m = setup spec in
+  let count = ref 0 in
+  let crashed_event = ref None in
+  Vm.set_event_hook m
+    (Some
+       (fun e ->
+         if !count = index then begin
+           crashed_event := Some (Event.describe e);
+           raise Crash_injected
+         end;
+         incr count));
+  (try finish_run m with Crash_injected -> ());
+  (* Recovery itself generates pmem traffic; stop observing before it
+     starts or the injected crash would fire again. *)
+  Vm.set_event_hook m None;
+  Vm.crash m;
+  let verdict =
+    (* A recovery that itself raises (bad log tag, failed scan) is a
+       scheme defect at this crash point, not an engine failure. *)
+    match Vm.recover m with
+    | _stats ->
+        Vm.flush_all m;
+        validate_now spec ~mode:spec.oracle_mode m
+    | exception e ->
+        Error (Printf.sprintf "recovery raised: %s" (Printexc.to_string e))
+  in
+  { index; event = !crashed_event; verdict }
+
+type report = {
+  spec : spec;
+  total_events : int;
+  tested : int;
+  exhaustive : bool;
+  violations : injection list;
+  counterexample : injection option;
+}
+
+let mode_name = function Oracle.Atomic -> "atomic" | Oracle.Prefix -> "prefix"
+
+let repro_line spec index =
+  Printf.sprintf
+    "ido_check replay --scheme %s --workload %s --seed %d --threads %d \
+     --ops %d --cache-lines %d --oracle %s --index %d"
+    (Scheme.name spec.scheme) spec.workload spec.seed spec.threads spec.ops
+    spec.cache_lines (mode_name spec.oracle_mode) index
+
+(* Crash indices to visit: ascending, so the first violation of an
+   exhaustive run is already minimal.  Sampled mode picks one index
+   per stratum of a [budget]-way split of [0, total]; the picks come
+   from a generator derived from the spec seed, making the sample (and
+   hence the whole report) reproducible. *)
+let plan_indices spec ~total ~budget =
+  let candidates = total + 1 in
+  if candidates <= budget then (Array.init candidates (fun i -> i), true)
+  else begin
+    let rng = Rng.create (Hashtbl.hash (spec.seed, spec.ops, "ido-check-plan")) in
+    let picks =
+      Array.init budget (fun s ->
+          let lo = s * candidates / budget in
+          let hi = ((s + 1) * candidates / budget) - 1 in
+          lo + Rng.int rng (hi - lo + 1))
+    in
+    (picks, false)
+  end
+
+(* Bound on the extra runs spent minimising a sampled counterexample. *)
+let shrink_budget = 512
+
+let shrink spec ~tested_ok ~first_fail =
+  let best = ref first_fail in
+  let runs = ref 0 in
+  (try
+     for k = 0 to first_fail.index - 1 do
+       if (not (Hashtbl.mem tested_ok k)) && !runs < shrink_budget then begin
+         incr runs;
+         let inj = inject spec k in
+         match inj.verdict with
+         | Error _ ->
+             best := inj;
+             raise Exit
+         | Ok () -> Hashtbl.replace tested_ok k ()
+       end
+     done
+   with Exit -> ());
+  !best
+
+let explore ?(progress = fun _ _ -> ()) spec ~budget =
+  if budget < 1 then invalid_arg "Engine.explore: budget must be positive";
+  (* Harness sanity: a run that never crashes must satisfy the full
+     model under every scheme, Origin included. *)
+  (let m = setup spec in
+   finish_run m;
+   Vm.flush_all m;
+   match validate_now spec ~mode:Oracle.Atomic m with
+   | Ok () -> ()
+   | Error msg ->
+       failwith
+         (Printf.sprintf "Engine.explore: crash-free %s/%s run fails oracle: %s"
+            (Scheme.name spec.scheme) spec.workload msg));
+  let schedule = record spec in
+  let total = Array.length schedule in
+  let indices, exhaustive = plan_indices spec ~total ~budget in
+  let planned = Array.length indices in
+  let tested_ok = Hashtbl.create (planned * 2) in
+  let violations = ref [] in
+  Array.iteri
+    (fun i k ->
+      let inj = inject spec k in
+      (match inj.verdict with
+      | Ok () -> Hashtbl.replace tested_ok k ()
+      | Error _ -> violations := inj :: !violations);
+      progress (i + 1) planned)
+    indices;
+  let violations = List.rev !violations in
+  let counterexample =
+    match violations with
+    | [] -> None
+    | first :: _ ->
+        Some (if exhaustive then first else shrink spec ~tested_ok ~first_fail:first)
+  in
+  { spec; total_events = total; tested = planned; exhaustive; violations;
+    counterexample }
+
+let final_digest spec =
+  let m = setup spec in
+  finish_run m;
+  Vm.flush_all m;
+  let root = Ido_region.Region.get_root (Vm.region m) 0 in
+  Oracle.digest ~workload:spec.workload ~root (mem_of m)

@@ -1,0 +1,104 @@
+(** Systematic crash-point exploration.
+
+    The simulator is fully deterministic under a fixed config and seed,
+    so the schedule of persist-relevant events ({!Ido_vm.Event.t}) of a
+    run names every interesting power-failure instant: "just before the
+    k-th event".  This engine
+
+    + runs a workload once, recording that schedule;
+    + re-executes from scratch for each chosen index [k], aborting the
+      machine at event [k] via a raising event hook, then crashes,
+      recovers, and validates the image against the workload's pure
+      model ({!Ido_workloads.Oracle});
+    + enumerates all [N + 1] crash points when they fit the budget, and
+      falls back to seeded stratified sampling when they do not;
+    + shrinks any violation to the smallest failing index it can
+      afford and prints a replayable repro line.
+
+    Index [k] with [k < N] crashes just before event [k]; index [N]
+    (the terminal index) lets the run finish and crashes at idle,
+    covering the "power fails before the caches drain" case. *)
+
+open Ido_runtime
+open Ido_workloads
+
+type spec = {
+  scheme : Scheme.t;
+  workload : string;  (** a {!Workload.names} entry *)
+  seed : int;
+  threads : int;
+  ops : int;  (** operations per worker thread *)
+  cache_lines : int;
+  oracle_mode : Oracle.mode;
+}
+
+val supported : Scheme.t -> string -> bool
+(** NVML protects only programmer-delineated durable regions, so it is
+    meaningful only on [objstore]; every other scheme covers every
+    workload. *)
+
+val defaults :
+  ?threads:int ->
+  ?ops:int ->
+  ?cache_lines:int ->
+  ?strict:bool ->
+  ?seed:int ->
+  scheme:Scheme.t ->
+  workload:string ->
+  unit ->
+  spec
+(** Sensible bounded defaults: 3 worker threads (1 for the
+    single-threaded [objstore]), 60 ops per thread, the VM's default
+    cache geometry, seed 42.  The oracle mode is [Atomic] for every
+    instrumented scheme and [Prefix] for Origin; [~strict:true] forces
+    [Atomic] even for Origin (used to demonstrate a real
+    counterexample).
+    @raise Invalid_argument on an unsupported scheme/workload pair. *)
+
+val record : spec -> Ido_vm.Event.t array
+(** Run once, crash-free, and return the persist-event schedule of the
+    worker phase (setup/init events are excluded; they are made
+    durable before workers start). *)
+
+type injection = {
+  index : int;
+  event : string option;
+      (** description of the event the crash preceded; [None] for the
+          terminal index *)
+  verdict : (unit, string) result;
+}
+
+val inject : spec -> int -> injection
+(** Re-execute deterministically, crash just before event [index]
+    (or at idle if [index] is past the schedule), recover, validate. *)
+
+type report = {
+  spec : spec;
+  total_events : int;
+  tested : int;  (** distinct crash indices actually injected *)
+  exhaustive : bool;
+  violations : injection list;  (** failing injections, ascending *)
+  counterexample : injection option;
+      (** smallest failing index found after shrinking *)
+}
+
+val explore : ?progress:(int -> int -> unit) -> spec -> budget:int -> report
+(** Record, then inject at up to [budget] distinct indices (all of
+    them when [total_events + 1 <= budget], else one per stratum of a
+    [budget]-way split, chosen by a generator derived from the spec
+    seed).  Indices are visited in ascending order.  If any violation
+    surfaces in sampled mode, untested indices below the first failure
+    are scanned (ascending, bounded) to shrink the counterexample.
+    [progress] receives [(done, planned)] after each injection.
+
+    Before exploring, a crash-free run is validated against the
+    [Atomic] oracle; a failure there means the harness or workload
+    itself is broken and raises [Failure]. *)
+
+val repro_line : spec -> int -> string
+(** The exact [ido_check replay ...] invocation reproducing one
+    injection. *)
+
+val final_digest : spec -> string
+(** Crash-free run to completion, then {!Oracle.digest} of the
+    durable image — the cross-scheme differential signature. *)

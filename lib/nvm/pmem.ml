@@ -12,6 +12,12 @@ type counters = {
   mutable evictions : int;
 }
 
+type event =
+  | Ev_store of addr
+  | Ev_clwb of addr
+  | Ev_fence
+  | Ev_evict of addr
+
 type t = {
   nvm : int64 array;  (* the persistence domain *)
   overlay : (int, int64 array) Hashtbl.t;  (* dirty lines: line -> 8 words *)
@@ -19,6 +25,7 @@ type t = {
   rng : Rng.t;
   counters : counters;
   mutable pending : int;
+  mutable event_hook : (event -> unit) option;
 }
 
 let create ?(cache_lines = 1024) ~rng size =
@@ -30,10 +37,19 @@ let create ?(cache_lines = 1024) ~rng size =
     rng;
     counters = { loads = 0; stores = 0; clwbs = 0; fences = 0; evictions = 0 };
     pending = 0;
+    event_hook = None;
   }
 
 let size t = Array.length t.nvm
 let counters t = t.counters
+
+let set_event_hook t f = t.event_hook <- f
+
+(* The hook fires BEFORE the operation takes effect, so a hook that
+   raises leaves the persistence domain exactly as a power failure at
+   that instant would.  Simulator-side channels ([poke], [flush_all])
+   never fire it. *)
+let emit t ev = match t.event_hook with Some f -> f ev | None -> ()
 
 let check t addr =
   if addr < 0 || addr >= Array.length t.nvm then
@@ -77,6 +93,7 @@ let evict_random t =
      with Exit -> ());
     match !picked with
     | Some (line, words) ->
+        emit t (Ev_evict (line * words_per_line));
         write_back t line words;
         t.counters.evictions <- t.counters.evictions + 1
     | None -> ()
@@ -97,6 +114,7 @@ let dirty_line t addr =
 
 let store t addr v =
   check t addr;
+  emit t (Ev_store addr);
   t.counters.stores <- t.counters.stores + 1;
   let words = dirty_line t addr in
   words.(offset_of addr) <- v
@@ -113,11 +131,13 @@ let clwb t addr =
   t.counters.clwbs <- t.counters.clwbs + 1;
   (match Hashtbl.find_opt t.overlay (line_of addr) with
   | Some words ->
+      emit t (Ev_clwb addr);
       write_back t (line_of addr) words;
       t.pending <- t.pending + 1
   | None -> ())
 
 let fence t =
+  emit t Ev_fence;
   t.counters.fences <- t.counters.fences + 1;
   let pending = t.pending in
   t.pending <- 0;

@@ -39,6 +39,29 @@ val create : ?cache_lines:int -> rng:Rng.t -> int -> t
 val size : t -> int
 val counters : t -> counters
 
+(** {1 Persist-event observation}
+
+    Every action that can change (or is ordered with respect to) the
+    persistence domain raises one event: a store into the overlay, an
+    explicit write-back of a dirty line, a persist fence, or a random
+    eviction.  The event fires {e before} the action takes effect, so a
+    hook that raises an exception stops the machine in a state whose
+    persistent image is exactly what a power failure at that instant
+    would leave — the basis of the crash-point exploration engine
+    ({!Ido_check}).  [poke] / [flush_all] / [crash] are simulator-side
+    and never fire events. *)
+
+type event =
+  | Ev_store of addr  (** a store is about to enter the overlay *)
+  | Ev_clwb of addr  (** a dirty line is about to be written back *)
+  | Ev_fence  (** a persist fence is about to complete *)
+  | Ev_evict of addr
+      (** a dirty line (base address given) is about to be evicted *)
+
+val set_event_hook : t -> (event -> unit) option -> unit
+(** Install (or remove) the observation hook.  At most one is active;
+    the VM multiplexes it (see {!Ido_vm.Vm.set_event_hook}). *)
+
 val load : t -> addr -> int64
 (** Read through the overlay (newest value, persisted or not). *)
 

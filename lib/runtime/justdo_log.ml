@@ -22,7 +22,25 @@ let create w region ~tid ~nregs =
   Pwriter.fence w;
   node
 
+(* Arming must be crash-atomic together with the register/stack
+   snapshot (see {!snapshot_regs}): real JUSTDO keeps every word of
+   this resumption state permanently in NVM (the no-register-caching
+   rule it pays for per instruction), so there is no instant at which
+   recovery could observe a new pc with stale locals.  The simulator
+   compresses that continuously-durable state into one update per
+   store, so the update itself must not expose intermediate states:
+   [arm] pokes the entry directly into the persistence domain
+   (simulator-side, no events), and [log_store] then replays the same
+   writes through the Pwriter so the machine still pays the log's
+   store/write-back/fence costs. *)
+let arm pm node ~pc ~addr ~value =
+  Pmem.poke pm (node + off_pc) (Int64.of_int pc);
+  Pmem.poke pm (node + off_addr) (Int64.of_int addr);
+  Pmem.poke pm (node + off_val) value;
+  Pmem.poke pm (node + off_valid) 1L
+
 let log_store w node ~pc ~addr ~value =
+  arm (Pwriter.pmem w) node ~pc ~addr ~value;
   Pwriter.store w (node + off_pc) (Int64.of_int pc);
   Pwriter.store w (node + off_addr) (Int64.of_int addr);
   Pwriter.store w (node + off_val) value;
@@ -102,11 +120,10 @@ let held_locks pm node =
   go 0 []
 
 let snapshot_regs pm node regs =
-  Array.iteri (fun r v -> Pmem.store pm (node + off_regs + r) v) regs;
-  (* Make the snapshot crash-proof without charging the writer: real
-     JUSTDO keeps this state memory-resident by construction. *)
-  Array.iteri (fun r _ -> Pmem.clwb pm (node + off_regs + r)) regs;
-  Pmem.drain_pending pm
+  (* Crash-proof and free of crash windows: real JUSTDO keeps this
+     state memory-resident by construction, so the simulator writes it
+     straight into the persistence domain without surfacing events. *)
+  Array.iteri (fun r v -> Pmem.poke pm (node + off_regs + r) v) regs
 
 let read_all_regs pm node =
   let nregs = Int64.to_int (Pmem.load pm (node + off_nregs)) in
@@ -115,12 +132,10 @@ let read_all_regs pm node =
 let sim_off pm node = off_regs + Int64.to_int (Pmem.load pm (node + off_nregs))
 
 let set_sim_stack pm node ~base ~sp =
+  (* Same crash-atomicity argument as {!snapshot_regs}. *)
   let o = node + sim_off pm node in
-  Pmem.store pm o (Int64.of_int base);
-  Pmem.store pm (o + 1) (Int64.of_int sp);
-  Pmem.clwb pm o;
-  Pmem.clwb pm (o + 1);
-  Pmem.drain_pending pm
+  Pmem.poke pm o (Int64.of_int base);
+  Pmem.poke pm (o + 1) (Int64.of_int sp)
 
 let sim_stack pm node =
   let o = node + sim_off pm node in

@@ -30,11 +30,20 @@ let clwb t a =
   end;
   Pmem.clwb t.pm a
 
+(* One write-back per distinct line, in first-occurrence order: in this
+   machine model a write-back is durable at issue, so callers sequence
+   their addresses write-ahead (log payload before publish word) and a
+   crash between any two write-backs still sees a consistent prefix. *)
 let clwb_lines t addrs =
-  let lines =
-    List.sort_uniq compare (List.map (fun a -> a / Pmem.words_per_line) addrs)
-  in
-  List.iter (fun line -> clwb t (line * Pmem.words_per_line)) lines
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun a ->
+      let line = a / Pmem.words_per_line in
+      if not (Hashtbl.mem seen line) then begin
+        Hashtbl.replace seen line ();
+        clwb t (line * Pmem.words_per_line)
+      end)
+    addrs
 
 let fence t =
   ignore (Pmem.fence t.pm);

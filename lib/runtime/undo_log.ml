@@ -47,12 +47,16 @@ let append_unfenced w node tag ~a ~b ~seq =
   Pwriter.store w (base + 1) a;
   Pwriter.store w (base + 2) b;
   Pwriter.store w (base + 3) (Int64.of_int seq);
+  (* Write-ahead order: the record's words must be durable before head
+     and total publish it, or a crash between the write-backs (or an
+     eviction of the counter line) makes recovery read an unwritten
+     record.  head and total usually share a line; when they straddle
+     one, both must reach the persistence domain or recovery sees a
+     truncated log. *)
+  Pwriter.clwb_lines w [ base; base + 3 ];
   Pwriter.store w (node + off_head) (Int64.of_int ((h + record_words) mod c));
   Pwriter.store w (node + off_total) (Int64.of_int (total pm node + 1));
-  (* head and total usually share a line; when they straddle one, both
-     must reach the persistence domain or recovery sees a truncated
-     log. *)
-  Pwriter.clwb_lines w [ base; base + 3; node + off_head; node + off_total ]
+  Pwriter.clwb_lines w [ node + off_head; node + off_total ]
 
 let append w node tag ~a ~b ~seq =
   append_unfenced w node tag ~a ~b ~seq;

@@ -1,0 +1,23 @@
+type t =
+  | Store of int
+  | Clwb of int
+  | Fence
+  | Evict of int
+  | Lock_acquire of int
+  | Lock_release of int
+
+let of_pmem = function
+  | Ido_nvm.Pmem.Ev_store a -> Store a
+  | Ido_nvm.Pmem.Ev_clwb a -> Clwb a
+  | Ido_nvm.Pmem.Ev_fence -> Fence
+  | Ido_nvm.Pmem.Ev_evict a -> Evict a
+
+let describe = function
+  | Store a -> Printf.sprintf "store @%d" a
+  | Clwb a -> Printf.sprintf "clwb @%d" a
+  | Fence -> "fence"
+  | Evict a -> Printf.sprintf "evict line@%d" a
+  | Lock_acquire id -> Printf.sprintf "lock %d" id
+  | Lock_release id -> Printf.sprintf "unlock %d" id
+
+let pp ppf e = Format.pp_print_string ppf (describe e)

@@ -1,0 +1,23 @@
+(** Persist-relevant events, as observed by {!Vm.set_event_hook}.
+
+    The schedule of these events is the crash-point space explored by
+    {!Ido_check}: under a fixed config and seed the simulator is fully
+    deterministic, so "the k-th event of the run" names one precise
+    power-failure instant, reproducible across processes.
+
+    Memory events ([Store]/[Clwb]/[Fence]/[Evict]) are forwarded from
+    {!Ido_nvm.Pmem} and fire {e before} the action takes effect; lock
+    events fire when a simulated thread acquires or releases a mutex
+    (persist-ordering windows for the indirect-locking protocols). *)
+
+type t =
+  | Store of int  (** store of the given word address *)
+  | Clwb of int  (** explicit write-back of the line covering address *)
+  | Fence  (** persist fence *)
+  | Evict of int  (** random eviction of the line at base address *)
+  | Lock_acquire of int  (** mutex id *)
+  | Lock_release of int  (** mutex id *)
+
+val of_pmem : Ido_nvm.Pmem.event -> t
+val describe : t -> string
+val pp : Format.formatter -> t -> unit

@@ -48,7 +48,23 @@ let create (config : config) (program : Ir.program) =
     total_ops = 0;
     crashed = false;
     tracer = None;
+    event_hook = None;
   }
+
+let create config program =
+  let m = create config program in
+  (* Forward pmem traffic to the machine-level hook so one subscriber
+     sees memory and lock events in a single stream. *)
+  Ido_nvm.Pmem.set_event_hook m.pmem
+    (Some
+       (fun ev ->
+         match m.event_hook with
+         | Some f -> f (Event.of_pmem ev)
+         | None -> ()));
+  m
+
+let emit_event m ev =
+  match m.event_hook with Some f -> f ev | None -> ()
 
 let stack_in_pmem (config : config) =
   match config.scheme with
@@ -501,11 +517,14 @@ let exec_justdo_store m (t : thread) fr =
     in
     Image.pc_of_pos m.image ~fname:fr.fname { Ir.blk = fr.blk; idx = find (fr.idx + 1) }
   in
-  Justdo_log.log_store t.writer t.log_node ~pc:store_pc ~addr:a
-    ~value:(eval fr src);
-  (* Simulator-side snapshot: memory-resident state in real JUSTDO. *)
+  (* Simulator-side snapshot: memory-resident state in real JUSTDO.
+     It must land before [log_store] arms the new pc so the whole
+     resumption tuple (pc, registers, stack) changes in one eventless
+     window — a crash on either side observes a consistent tuple. *)
   Justdo_log.snapshot_regs m.pmem t.log_node fr.regs;
-  Justdo_log.set_sim_stack m.pmem t.log_node ~base:t.stack_base ~sp:t.sp
+  Justdo_log.set_sim_stack m.pmem t.log_node ~base:t.stack_base ~sp:t.sp;
+  Justdo_log.log_store t.writer t.log_node ~pc:store_pc ~addr:a
+    ~value:(eval fr src)
 
 let exec_undo_store m (t : thread) fr =
   let space, base, off, _src = upcoming_store m t fr in
@@ -666,8 +685,11 @@ let exec_lock m (t : thread) fr op =
   let l = lock_of m id in
   cost t (lat m).Latency.lock_op;
   match l.holder with
-  | Some h when h = t.tid -> fr.idx <- fr.idx + 1 (* recovery re-acquire *)
+  | Some h when h = t.tid ->
+      emit_event m (Event.Lock_acquire id);
+      fr.idx <- fr.idx + 1 (* recovery re-acquire / post-hand-off re-run *)
   | None ->
+      emit_event m (Event.Lock_acquire id);
       l.holder <- Some t.tid;
       l.acquired_at <- t.clock;
       fr.idx <- fr.idx + 1
@@ -682,6 +704,7 @@ let exec_unlock m (t : thread) fr op =
   let id = eval_int fr op in
   t.last_lock <- id;
   let l = lock_of m id in
+  emit_event m (Event.Lock_release id);
   cost t (lat m).Latency.lock_op;
   (match l.holder with
   | Some h when h = t.tid ->

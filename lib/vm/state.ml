@@ -125,6 +125,10 @@ type t = {
   mutable crashed : bool;
   mutable tracer : (string -> unit) option;
       (* when set, receives one line per executed instruction *)
+  mutable event_hook : (Event.t -> unit) option;
+      (* when set, receives every persist-relevant event (pmem traffic
+         forwarded by Interp.create, lock ops emitted by the
+         interpreter); may raise to stop the machine mid-flight *)
 }
 
 let next_seq m =

@@ -47,6 +47,7 @@ let image (m : t) = m.State.image
 let region_stats (m : t) = (m.State.stores_per_region, m.State.livein_per_region)
 
 let set_tracer (m : t) f = m.State.tracer <- f
+let set_event_hook (m : t) f = m.State.event_hook <- f
 
 let undo_records_total (m : t) =
   let pm = m.State.pmem in

@@ -98,6 +98,14 @@ val set_tracer : t -> (string -> unit) option -> unit
     membership, instruction text.  Survives across crash/recovery, so
     resumption can be watched. *)
 
+val set_event_hook : t -> (Event.t -> unit) option -> unit
+(** Install (or remove) the persist-event observer (see {!Event}).
+    The hook fires {e before} each event takes effect; raising from it
+    aborts {!run} with the persistent image exactly as a power failure
+    at that instant would leave it — the crash-injection mechanism used
+    by [Ido_check].  Events fire regardless of scheme; the stream is
+    deterministic under a fixed config and seed. *)
+
 val region_stats : t -> Cdf.t * Cdf.t
 (** (stores per dynamic idempotent region, live-in registers per
     region) — the Fig. 8 distributions; populated under the iDO

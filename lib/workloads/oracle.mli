@@ -1,0 +1,47 @@
+(** Pure reference models ("oracles") of the workload structures.
+
+    Each workload in this directory maintains one persistent structure;
+    the functions here re-derive that structure's invariants from a raw
+    memory image, independently of the VM and of the workload's own
+    [check] entry point.  The crash-point engine ([Ido_check]) calls
+    [validate] on the persistence domain after every injected crash and
+    recovery.
+
+    Two strictness levels:
+
+    - {b Atomic} — full structural integrity {e and} bookkeeping
+      consistency (counters match reachable elements, payload checksums
+      hold, hash-chain membership is correct).  This is what the
+      instrumented schemes (iDO, Atlas, Mnemosyne, JUSTDO, NVML,
+      NVThreads) guarantee after recovery from {e any} crash point.
+    - {b Prefix} — only memory safety of the image: pointers are null
+      or in-bounds and every chain walk terminates within a generous
+      bound.  Torn, half-applied operations are accepted.  This is the
+      honest bar for Origin, which persists nothing deliberately; its
+      image after a crash is an arbitrary cache-eviction prefix of the
+      run. *)
+
+type mem = { load : int -> int64; size : int }
+(** A read-only memory image.  [load] must be total on
+    [\[0, size)]; the oracle never reads outside that interval. *)
+
+type mode = Atomic | Prefix
+
+val known : string -> bool
+(** Whether a workload name (from {!Workload.names}) has an oracle.
+    All nine do. *)
+
+val validate :
+  workload:string -> mode:mode -> root:int64 -> mem -> (unit, string) result
+(** [validate ~workload ~mode ~root mem] checks the structure hanging
+    off root-slot value [root] against the model.  Never raises and
+    never loops: walks are bounded and all loads are bounds-checked.
+    [Error msg] pinpoints the first violated invariant.
+    @raise Invalid_argument on an unknown workload name. *)
+
+val digest : workload:string -> root:int64 -> mem -> string
+(** Canonical rendering of the structure's logical content (element
+    sequences, counters) for cross-scheme differential comparison:
+    two crash-free runs with the same op stream must digest equally
+    under every scheme.  On a malformed image the digest starts with
+    ["malformed:"] instead of raising. *)

@@ -280,6 +280,48 @@ let prop_structured_recovery =
           else got = reference || got = initial_cells)
         [ 1; 2; 4; 6; 8; 10; 11 ])
 
+(* ------------------------------------------------------------------ *)
+(* Static counterpart of the dynamic properties above: region
+   formation must never leave a memory antidependence (WAR) inside a
+   region, or re-execution from the region entry could observe its own
+   writes (Sec. II-C).  Checked over a seeded, deterministic corpus of
+   random control-flow shapes via the analysis's own exhaustive
+   path-bounded verifier. *)
+
+module Rng = Ido_util.Rng
+
+let rng_op rng =
+  match Rng.int rng 10 with
+  | 0 | 1 | 2 -> Load (Rng.int rng cells)
+  | 3 | 4 | 5 | 6 -> Store (Rng.int rng cells, Rng.int rng 50)
+  | 7 | 8 -> Addi (Rng.int rng 7)
+  | _ -> Mix
+
+let rng_ops rng n = List.init (1 + Rng.int rng n) (fun _ -> rng_op rng)
+
+let rng_tree rng =
+  match Rng.int rng 7 with
+  | 0 | 1 | 2 -> Seq (rng_ops rng 6)
+  | 3 | 4 -> If (rng_ops rng 6, rng_ops rng 6)
+  | _ -> Loop (1 + Rng.int rng 4, rng_ops rng 6)
+
+let regions_war_free () =
+  let rng = Rng.create 0xC0FFEE in
+  for i = 1 to 150 do
+    let trees = List.init (1 + Rng.int rng 5) (fun _ -> rng_tree rng) in
+    let prog = program_of_trees trees in
+    let f = List.assoc "worker" prog.Ir.funcs in
+    let cfg = Ido_analysis.Cfg.build f in
+    let fase = Ido_analysis.Fase.compute_exn cfg in
+    let lv = Ido_analysis.Liveness.compute cfg in
+    let alias = Ido_analysis.Alias.compute f in
+    let plan = Ido_analysis.Regions.compute cfg fase lv alias in
+    Alcotest.(check bool)
+      (Printf.sprintf "corpus function %d has no intra-region WAR" i)
+      true
+      (Ido_analysis.Regions.verify_no_war_within_regions cfg fase alias plan)
+  done
+
 let suites =
   [
     ( "idempotence",
@@ -287,5 +329,7 @@ let suites =
         qtest prop_recovery_reaches_reference;
         qtest prop_all_schemes_atomic;
         qtest prop_structured_recovery;
+        Alcotest.test_case "random CFG corpus: regions are WAR-free" `Quick
+          regions_war_free;
       ] );
   ]
