@@ -21,6 +21,16 @@ let scale =
   | Some "full" -> Ido_harness.Exp.Full
   | _ -> Ido_harness.Exp.Quick
 
+(* BENCH_JOBS=N spreads the sweep cells of Part 1 over a domain pool;
+   panels are identical at every N (see Ido_util.Pool).  Part 2 stays
+   serial: Bechamel needs a quiet machine for its per-iteration fits. *)
+let jobs =
+  match Sys.getenv_opt "BENCH_JOBS" with
+  | Some s -> ( match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | _ -> 1)
+  | None -> 1
+
 (* ------------------------------------------------------------------ *)
 (* Part 1: the paper's tables and figures *)
 
@@ -31,11 +41,17 @@ let regenerate () =
     (" scale: " ^ (match scale with Ido_harness.Exp.Quick -> "quick" | _ -> "full"));
   print_endline "==========================================================";
   print_newline ();
+  let panels =
+    if jobs = 1 then Ido_harness.Figures.all scale
+    else
+      Ido_util.Pool.with_pool jobs (fun pool ->
+          Ido_harness.Figures.all ~pool scale)
+  in
   List.iter
     (fun (name, panel) ->
       Printf.printf "---- %s ----\n%s\n" name panel;
       flush stdout)
-    (Ido_harness.Figures.all scale)
+    panels
 
 (* ------------------------------------------------------------------ *)
 (* Part 2: Bechamel micro-measurements *)

@@ -31,12 +31,29 @@ let ops_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Ido_util.Pool.default_jobs ())
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Worker domains for the sweep cells (default: the machine's \
+           recommended domain count; 1 = serial).  Panels are identical \
+           at every -j.")
+
+(* [f None] when serial, else [f (Some pool)] inside with_pool. *)
+let with_jobs jobs f =
+  if jobs < 1 then invalid_arg "ido_bench: -j must be >= 1"
+  else if jobs = 1 then f None
+  else Ido_util.Pool.with_pool jobs (fun pool -> f (Some pool))
+
 let figure_cmd name doc render =
-  let run scale =
-    print_string (render scale);
-    print_newline ()
+  let run scale jobs =
+    with_jobs jobs (fun pool ->
+        print_string (render ?pool scale);
+        print_newline ())
   in
-  Cmd.v (Cmd.info name ~doc) Term.(const run $ scale_arg)
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ scale_arg $ jobs_arg)
 
 let run_cmd =
   let doc = "One throughput run: workload x scheme x threads." in
@@ -151,14 +168,86 @@ let dump_cmd =
 
 let all_cmd =
   let doc = "Regenerate every table and figure." in
-  let run scale =
-    List.iter
-      (fun (_, panel) ->
-        print_string panel;
-        print_newline ())
-      (Figures.all scale)
+  let run scale jobs =
+    with_jobs jobs (fun pool ->
+        List.iter
+          (fun (_, panel) ->
+            print_string panel;
+            print_newline ())
+          (Figures.all ?pool scale))
   in
-  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ scale_arg)
+  Cmd.v (Cmd.info "all" ~doc) Term.(const run $ scale_arg $ jobs_arg)
+
+let selftime_cmd =
+  let doc =
+    "Time the drivers serial vs parallel and write the results as JSON \
+     (the CI drivers benchmark)."
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_drivers.json"
+      & info [ "out" ] ~doc:"Output path for the JSON record")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 120
+      & info [ "budget" ] ~doc:"Crash-injection budget for the explore timing")
+  in
+  let run jobs out budget =
+    let time f =
+      let t0 = Unix.gettimeofday () in
+      ignore (f ());
+      Unix.gettimeofday () -. t0
+    in
+    let spec =
+      Ido_check.Engine.defaults ~scheme:Scheme.Ido ~workload:"queue" ()
+    in
+    Printf.eprintf "selftime: explore budget=%d serial...\n%!" budget;
+    let explore_serial =
+      time (fun () -> Ido_check.Engine.explore spec ~budget)
+    in
+    Printf.eprintf "selftime: explore budget=%d -j %d...\n%!" budget jobs;
+    let explore_par =
+      time (fun () ->
+          with_jobs jobs (fun pool ->
+              Ido_check.Engine.explore ?pool spec ~budget))
+    in
+    Printf.eprintf "selftime: fig7 quick serial...\n%!";
+    let fig7_serial = time (fun () -> Figures.fig7 Exp.Quick) in
+    Printf.eprintf "selftime: fig7 quick -j %d...\n%!" jobs;
+    let fig7_par =
+      time (fun () -> with_jobs jobs (fun pool -> Figures.fig7 ?pool Exp.Quick))
+    in
+    let speedup a b = a /. Float.max 1e-9 b in
+    let oc = open_out out in
+    Printf.fprintf oc
+      "{\n\
+      \  \"jobs\": %d,\n\
+      \  \"recommended_domains\": %d,\n\
+      \  \"explore_budget\": %d,\n\
+      \  \"explore_serial_s\": %.3f,\n\
+      \  \"explore_parallel_s\": %.3f,\n\
+      \  \"explore_speedup\": %.2f,\n\
+      \  \"fig7_quick_serial_s\": %.3f,\n\
+      \  \"fig7_quick_parallel_s\": %.3f,\n\
+      \  \"fig7_quick_speedup\": %.2f\n\
+       }\n"
+      jobs
+      (Ido_util.Pool.default_jobs ())
+      budget explore_serial explore_par
+      (speedup explore_serial explore_par)
+      fig7_serial fig7_par
+      (speedup fig7_serial fig7_par);
+    close_out oc;
+    Printf.printf "wrote %s: explore %.2fx, fig7 %.2fx at -j %d\n" out
+      (speedup explore_serial explore_par)
+      (speedup fig7_serial fig7_par)
+      jobs
+  in
+  Cmd.v
+    (Cmd.info "selftime" ~doc)
+    Term.(const run $ jobs_arg $ out_arg $ budget_arg)
 
 let () =
   let cmds =
@@ -169,7 +258,8 @@ let () =
       figure_cmd "fig8" "Region characteristics (Fig. 8)" Figures.fig8;
       figure_cmd "table1" "Recovery time ratios (Table I)" Figures.table1;
       figure_cmd "fig9" "NVM latency sensitivity (Fig. 9)" Figures.fig9;
-      figure_cmd "table2" "System properties (Table II)" (fun _ -> Figures.table2 ());
+      figure_cmd "table2" "System properties (Table II)"
+        (fun ?pool:_ _ -> Figures.table2 ());
       figure_cmd "ablation" "Design-choice and machine-model ablations" Figures.ablation;
       run_cmd;
       crash_cmd;
@@ -177,6 +267,7 @@ let () =
       regions_cmd;
       dump_cmd;
       all_cmd;
+      selftime_cmd;
     ]
   in
   let info = Cmd.info "ido_bench" ~doc:"iDO reproduction experiment driver" in

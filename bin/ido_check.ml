@@ -52,6 +52,22 @@ let strict_arg =
     & info [ "strict" ]
         ~doc:"Shorthand for --oracle atomic (even for origin)")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int (Ido_util.Pool.default_jobs ())
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Worker domains for parallel crash injection (default: the \
+           machine's recommended domain count; 1 = serial).  Reports are \
+           byte-identical at every -j.")
+
+(* [f None] when serial, else [f (Some pool)] inside with_pool. *)
+let with_jobs jobs f =
+  if jobs < 1 then invalid_arg "jobs must be >= 1"
+  else if jobs = 1 then f None
+  else Ido_util.Pool.with_pool jobs (fun pool -> f (Some pool))
+
 let spec_of scheme workload seed threads ops cache_lines oracle strict =
   let spec =
     Engine.defaults ?threads ~ops ~cache_lines ~strict ~seed ~scheme ~workload ()
@@ -83,7 +99,7 @@ let explore_cmd =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every injection")
   in
   let run scheme workload seed threads ops cache_lines oracle strict budget
-      verbose =
+      verbose jobs =
     guard @@ fun () ->
     let spec = spec_of scheme workload seed threads ops cache_lines oracle strict in
     let last = ref 0 in
@@ -96,7 +112,9 @@ let explore_cmd =
       end;
       last := k
     in
-    let r = Engine.explore ~progress spec ~budget in
+    let r =
+      with_jobs jobs (fun pool -> Engine.explore ~progress ?pool spec ~budget)
+    in
     Printf.printf
       "%s on %s: %d events in schedule; tested %d crash points (%s), %d \
        violation(s)\n"
@@ -117,7 +135,8 @@ let explore_cmd =
     (Cmd.info "explore" ~doc)
     Term.(
       const run $ scheme_arg $ workload_arg $ seed_arg $ threads_arg $ ops_arg
-      $ cache_lines_arg $ oracle_arg $ strict_arg $ budget_arg $ verbose_arg)
+      $ cache_lines_arg $ oracle_arg $ strict_arg $ budget_arg $ verbose_arg
+      $ jobs_arg)
 
 let replay_cmd =
   let doc = "Replay a single crash index from a repro line." in

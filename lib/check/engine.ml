@@ -180,7 +180,7 @@ let shrink spec ~tested_ok ~first_fail =
    with Exit -> ());
   !best
 
-let explore ?(progress = fun _ _ -> ()) spec ~budget =
+let explore ?(progress = fun _ _ -> ()) ?pool spec ~budget =
   if budget < 1 then invalid_arg "Engine.explore: budget must be positive";
   (* Harness sanity: a run that never crashes must satisfy the full
      model under every scheme, Origin included. *)
@@ -199,14 +199,37 @@ let explore ?(progress = fun _ _ -> ()) spec ~budget =
   let planned = Array.length indices in
   let tested_ok = Hashtbl.create (planned * 2) in
   let violations = ref [] in
-  Array.iteri
-    (fun i k ->
-      let inj = inject spec k in
-      (match inj.verdict with
-      | Ok () -> Hashtbl.replace tested_ok k ()
-      | Error _ -> violations := inj :: !violations);
-      progress (i + 1) planned)
-    indices;
+  (* Each injection boots a fresh machine and shares nothing, so the
+     runs can spread over a domain pool.  Results are merged in
+     event-index order (awaits follow submission order), keeping the
+     report — violations, shrinking, repro lines — byte-identical to
+     the serial path. *)
+  let injections =
+    match pool with
+    | Some pool when Pool.size pool > 1 ->
+        let futures =
+          Array.map (fun k -> Pool.submit pool (fun () -> inject spec k)) indices
+        in
+        Array.mapi
+          (fun i fut ->
+            let inj = Pool.await fut in
+            progress (i + 1) planned;
+            inj)
+          futures
+    | _ ->
+        Array.mapi
+          (fun i k ->
+            let inj = inject spec k in
+            progress (i + 1) planned;
+            inj)
+          indices
+  in
+  Array.iter
+    (fun inj ->
+      match inj.verdict with
+      | Ok () -> Hashtbl.replace tested_ok inj.index ()
+      | Error _ -> violations := inj :: !violations)
+    injections;
   let violations = List.rev !violations in
   let counterexample =
     match violations with

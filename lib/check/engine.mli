@@ -82,7 +82,12 @@ type report = {
       (** smallest failing index found after shrinking *)
 }
 
-val explore : ?progress:(int -> int -> unit) -> spec -> budget:int -> report
+val explore :
+  ?progress:(int -> int -> unit) ->
+  ?pool:Ido_util.Pool.t ->
+  spec ->
+  budget:int ->
+  report
 (** Record, then inject at up to [budget] distinct indices (all of
     them when [total_events + 1 <= budget], else one per stratum of a
     [budget]-way split, chosen by a generator derived from the spec
@@ -90,6 +95,13 @@ val explore : ?progress:(int -> int -> unit) -> spec -> budget:int -> report
     surfaces in sampled mode, untested indices below the first failure
     are scanned (ascending, bounded) to shrink the counterexample.
     [progress] receives [(done, planned)] after each injection.
+
+    With [?pool] (size > 1) the injection runs are dispatched to the
+    domain pool — every injection boots a private machine, so runs
+    share nothing — and merged back in event-index order, making the
+    report byte-identical to a serial exploration of the same spec.
+    Recording, the crash-free sanity run and counterexample shrinking
+    stay on the calling domain.
 
     Before exploring, a crash-free run is validated against the
     [Atomic] oracle; a failure there means the harness or workload

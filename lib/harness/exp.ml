@@ -5,6 +5,12 @@ module Vm = Ido_vm.Vm
 
 type scale = Quick | Full
 
+(* Order-preserving parallel map over independent experiment cells.
+   Every cell boots its own machine (programs are immutable IR), so
+   cells can run on a domain pool; results come back in input order,
+   keeping rendered panels identical to a serial run. *)
+let pmap ?pool f xs = Pool.opt_map_list pool f xs
+
 let thread_counts = function
   | Quick -> [ 1; 2; 4; 8; 16; 32 ]
   | Full -> [ 1; 2; 4; 8; 16; 32; 64 ]

@@ -11,6 +11,13 @@ open Ido_runtime
     machine. *)
 type scale = Quick | Full
 
+val pmap : ?pool:Pool.t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving map over independent experiment cells: on a pool
+    of size > 1 the cells run on worker domains (each boots a private
+    machine), and results return in input order, so rendered panels
+    are identical to a serial run.  Without a pool this is
+    [List.map]. *)
+
 val thread_counts : scale -> int list
 (** Worker counts for the scalability sweeps. *)
 

@@ -5,11 +5,31 @@ open Ido_workloads
 
 let scheme_label s = Scheme.name s
 
-let sweep ~x_label ~title ~schemes ~xs ~run =
+(* Split a flat cell list back into rows of [n] (the scheme count):
+   sweeps evaluate their (x-point × scheme) grid as one flat list so a
+   domain pool can run every cell concurrently, then reassemble. *)
+let rec chunks n = function
+  | [] -> []
+  | xs ->
+      let rec take k = function
+        | x :: rest when k > 0 ->
+            let taken, rest = take (k - 1) rest in
+            (x :: taken, rest)
+        | rest -> ([], rest)
+      in
+      let row, rest = take n xs in
+      row :: chunks n rest
+
+let sweep ?pool ~x_label ~title ~schemes ~xs run =
+  let cells =
+    List.concat_map (fun x -> List.map (fun s -> (x, s)) schemes) xs
+  in
+  let vals = Exp.pmap ?pool (fun (x, s) -> run s x) cells in
   let rows =
-    List.map
-      (fun x -> (string_of_int x, List.map (fun s -> run s x) schemes))
+    List.map2
+      (fun x row -> (string_of_int x, row))
       xs
+      (chunks (List.length schemes) vals)
   in
   Render.series ~title ~x_label ~columns:(List.map scheme_label schemes) rows
 
@@ -19,7 +39,7 @@ let sweep ~x_label ~title ~schemes ~xs ~run =
    Mnemosyne above iDO (the coarse cache lock favours its speculation),
    nothing scaling much past 8 threads. *)
 
-let fig5 scale =
+let fig5 ?pool scale =
   let schemes =
     Scheme.[ Origin; Ido; Mnemosyne; Atlas; Justdo; Nvthreads ]
   in
@@ -27,10 +47,10 @@ let fig5 scale =
   let total_ops = Exp.app_total_ops scale in
   let panel insert_pct name =
     let program = Kvcache.program ~insert_pct () in
-    sweep ~x_label:"threads"
+    sweep ?pool ~x_label:"threads"
       ~title:(Printf.sprintf "Fig 5 (%s): Memcached-like throughput (Mops/s)" name)
       ~schemes ~xs:threads
-      ~run:(fun scheme n ->
+      (fun scheme n ->
         (Exp.throughput ~scheme ~threads:n ~total_ops program).Exp.mops)
   in
   panel 50 "insertion-intensive 50/50"
@@ -50,26 +70,34 @@ let fig6_sizes = function
   | Exp.Full ->
       [ ("10K", 10_000, 2_000); ("100K", 100_000, 20_000); ("1M", 1_000_000, 60_000) ]
 
-let fig6 scale =
+let fig6 ?pool scale =
   let schemes = Scheme.[ Origin; Ido; Nvml; Atlas; Justdo ] in
   let total_ops = Exp.app_total_ops scale in
-  let rows =
-    List.map
-      (fun (label, key_range, prefill) ->
+  let sizes = fig6_sizes scale in
+  let cells =
+    List.concat_map
+      (fun (_, key_range, prefill) ->
         let program = Objstore.program ~key_range ~prefill () in
-        ( label,
-          List.map
-            (fun scheme ->
-              (Exp.throughput ~scheme ~threads:1 ~total_ops program).Exp.mops)
-            schemes ))
-      (fig6_sizes scale)
+        List.map (fun scheme -> (program, scheme)) schemes)
+      sizes
+  in
+  let vals =
+    Exp.pmap ?pool
+      (fun (program, scheme) ->
+        (Exp.throughput ~scheme ~threads:1 ~total_ops program).Exp.mops)
+      cells
+  in
+  let rows =
+    List.map2
+      (fun (label, _, _) row -> (label, row))
+      sizes
+      (chunks (List.length schemes) vals)
   in
   Render.series
     ~title:
       "Fig 6: Redis-like throughput (Mops/s), 80% get / 20% put,\n\
        power-law keys; rows are key ranges (prefilled with the hot set)"
-    ~x_label:"keys" ~columns:(List.map scheme_label schemes)
-    (List.map (fun (l, v) -> (l, v)) rows)
+    ~x_label:"keys" ~columns:(List.map scheme_label schemes) rows
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 7: microbenchmark scalability.  Expected: iDO matches or beats
@@ -77,15 +105,15 @@ let fig6 scale =
    map; Mnemosyne wins at low thread counts on the ordered list with an
    iDO crossover at high counts; the stack serialises for everyone. *)
 
-let fig7 scale =
+let fig7 ?pool scale =
   let schemes = Scheme.[ Ido; Atlas; Mnemosyne; Justdo ] in
   let threads = Exp.thread_counts scale in
   let total_ops = Exp.micro_total_ops scale in
   let panel name program =
-    sweep ~x_label:"threads"
+    sweep ?pool ~x_label:"threads"
       ~title:(Printf.sprintf "Fig 7 (%s): throughput (Mops/s)" name)
       ~schemes ~xs:threads
-      ~run:(fun scheme n ->
+      (fun scheme n ->
         (Exp.throughput ~scheme ~threads:n ~total_ops program).Exp.mops)
   in
   String.concat "\n"
@@ -111,10 +139,10 @@ let fig8_benchmarks =
     ("redis", Objstore.program ~key_range:10_000 ~prefill:1_000 (), 1);
   ]
 
-let fig8 scale =
+let fig8 ?pool scale =
   let total_ops = Exp.micro_total_ops scale / 2 in
   let stats =
-    List.map
+    Exp.pmap ?pool
       (fun (name, program, threads) ->
         (name, Exp.region_stats ~threads ~total_ops program))
       fig8_benchmarks
@@ -139,7 +167,7 @@ let fig8 scale =
    near or below 1 at 1 s, growing into the tens-hundreds by 50 s,
    largest for the ordered list and smallest for the hash map. *)
 
-let table1 scale =
+let table1 ?pool scale =
   let threads = match scale with Exp.Quick -> 8 | Exp.Full -> 32 in
   let window = Timebase.ms 3 in
   let kill_times = [ 1; 10; 20; 30; 40; 50 ] in
@@ -154,7 +182,7 @@ let table1 scale =
   let atlas_base = Timebase.ms 50 in
   let atlas_per_record = 75 in
   let rows =
-    List.map
+    Exp.pmap ?pool
       (fun (name, program) ->
         let atlas =
           Exp.crash_recover_check ~scheme:Scheme.Atlas ~threads
@@ -200,23 +228,27 @@ let table1 scale =
    JUSTDO loses 1.5-2x already at small delays (it fences at every
    store). *)
 
-let fig9 scale =
+let fig9 ?pool scale =
   let schemes = Scheme.[ Ido; Atlas; Justdo ] in
   let delays = [ 20; 50; 100; 200; 500; 1000; 2000 ] in
   let threads = match scale with Exp.Quick -> 8 | Exp.Full -> 32 in
   let total_ops = Exp.app_total_ops scale in
   let panel name program threads =
-    let rows =
-      List.map
-        (fun d ->
+    let cells =
+      List.concat_map (fun d -> List.map (fun s -> (d, s)) schemes) delays
+    in
+    let vals =
+      Exp.pmap ?pool
+        (fun (d, scheme) ->
           let latency = Latency.with_nvm_extra Latency.default d in
-          ( string_of_int d,
-            List.map
-              (fun scheme ->
-                (Exp.throughput ~latency ~scheme ~threads ~total_ops program)
-                  .Exp.mops)
-              schemes ))
+          (Exp.throughput ~latency ~scheme ~threads ~total_ops program).Exp.mops)
+        cells
+    in
+    let rows =
+      List.map2
+        (fun d row -> (string_of_int d, row))
         delays
+        (chunks (List.length schemes) vals)
     in
     Render.series
       ~title:(Printf.sprintf "Fig 9 (%s): throughput (Mops/s) vs extra NVM latency (ns)" name)
@@ -237,7 +269,7 @@ let fig9 scale =
    models: the volatile-cache baseline and the NV-cache machine JUSTDO
    assumed, on which the paper argues iDO still wins. *)
 
-let ablation scale =
+let ablation ?pool scale =
   let total_ops = Exp.micro_total_ops scale / 2 in
   let threads = 8 in
   let base = Ido_vm.Vm.config Scheme.Ido in
@@ -279,11 +311,17 @@ let ablation scale =
     /. float_of_int (Ido_vm.Vm.clock m - t0)
     *. 1000.0
   in
-  let rows =
-    List.map
-      (fun (vname, cfg) ->
-        (vname, List.map (fun (_, program) -> run_with cfg program) workloads))
+  let cells =
+    List.concat_map
+      (fun (_, cfg) -> List.map (fun (_, program) -> (cfg, program)) workloads)
       variants
+  in
+  let vals = Exp.pmap ?pool (fun (cfg, program) -> run_with cfg program) cells in
+  let rows =
+    List.map2
+      (fun (vname, _) row -> (vname, row))
+      variants
+      (chunks (List.length workloads) vals)
   in
   let panel1 =
     Render.series
@@ -296,20 +334,29 @@ let ablation scale =
   (* Machine model comparison on the hash map: every scheme, volatile
      vs nonvolatile caches. *)
   let schemes = Scheme.[ Ido; Atlas; Mnemosyne; Justdo ] in
+  let machines =
+    [
+      ("volatile caches (ADR)", Latency.default);
+      ("nonvolatile caches", Latency.nv_cache_machine);
+    ]
+  in
+  let machine_cells =
+    List.concat_map
+      (fun (_, latency) -> List.map (fun s -> (latency, s)) schemes)
+      machines
+  in
+  let machine_vals =
+    Exp.pmap ?pool
+      (fun (latency, scheme) ->
+        (Exp.throughput ~latency ~scheme ~threads ~total_ops (Hmap.program ()))
+          .Exp.mops)
+      machine_cells
+  in
   let machine_rows =
-    List.map
-      (fun (mname, latency) ->
-        ( mname,
-          List.map
-            (fun scheme ->
-              (Exp.throughput ~latency ~scheme ~threads ~total_ops
-                 (Hmap.program ()))
-                .Exp.mops)
-            schemes ))
-      [
-        ("volatile caches (ADR)", Latency.default);
-        ("nonvolatile caches", Latency.nv_cache_machine);
-      ]
+    List.map2
+      (fun (mname, _) row -> (mname, row))
+      machines
+      (chunks (List.length schemes) machine_vals)
   in
   let panel2 =
     Render.series
@@ -330,14 +377,14 @@ let table2 () =
     (List.map Scheme.table2_row
        Scheme.[ Ido; Atlas; Mnemosyne; Nvthreads; Justdo; Nvml ])
 
-let all scale =
+let all ?pool scale =
   [
-    ("fig5", fig5 scale);
-    ("fig6", fig6 scale);
-    ("fig7", fig7 scale);
-    ("fig8", fig8 scale);
-    ("table1", table1 scale);
-    ("fig9", fig9 scale);
+    ("fig5", fig5 ?pool scale);
+    ("fig6", fig6 ?pool scale);
+    ("fig7", fig7 ?pool scale);
+    ("fig8", fig8 ?pool scale);
+    ("table1", table1 ?pool scale);
+    ("fig9", fig9 ?pool scale);
     ("table2", table2 ());
-    ("ablation", ablation scale);
+    ("ablation", ablation ?pool scale);
   ]

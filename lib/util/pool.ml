@@ -1,0 +1,144 @@
+(* A fixed-size pool of worker domains.
+
+   The drivers of this repository (crash-matrix exploration, figure
+   sweeps) decompose into many independent deterministic simulations;
+   the pool runs them on OCaml 5 domains while keeping every observable
+   ordering identical to a serial run: [map_list]/[map_array] return
+   results indexed by submission order, never completion order, and a
+   serial pool ([jobs <= 1]) executes each task synchronously at
+   [submit] time on the calling domain — byte-identical to today's
+   loops, including the interleaving of any output the tasks produce.
+
+   Tasks must not share mutable state; each exploration/sweep cell
+   boots its own machine, so nothing is shared in practice. *)
+
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fmut : Mutex.t;
+  fcond : Condition.t;
+  mutable state : 'a state;
+}
+
+type t = {
+  jobs : int;
+  mut : Mutex.t;
+  nonempty : Condition.t;
+  queue : (unit -> unit) Queue.t;
+  mutable closed : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let worker pool =
+  let rec loop () =
+    Mutex.lock pool.mut;
+    while Queue.is_empty pool.queue && not pool.closed do
+      Condition.wait pool.nonempty pool.mut
+    done;
+    match Queue.take_opt pool.queue with
+    | Some task ->
+        Mutex.unlock pool.mut;
+        task ();
+        loop ()
+    | None ->
+        (* closed and drained *)
+        Mutex.unlock pool.mut
+  in
+  loop ()
+
+let create jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let pool =
+    {
+      jobs;
+      mut = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      domains = [];
+    }
+  in
+  if jobs > 1 then
+    pool.domains <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let size pool = pool.jobs
+
+let resolved state = { fmut = Mutex.create (); fcond = Condition.create (); state }
+
+let run_to_state f =
+  match f () with
+  | v -> Done v
+  | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+
+let submit pool f =
+  if pool.jobs <= 1 then resolved (run_to_state f)
+  else begin
+    let fut = resolved Pending in
+    let task () =
+      let st = run_to_state f in
+      Mutex.lock fut.fmut;
+      fut.state <- st;
+      Condition.broadcast fut.fcond;
+      Mutex.unlock fut.fmut
+    in
+    Mutex.lock pool.mut;
+    if pool.closed then begin
+      Mutex.unlock pool.mut;
+      invalid_arg "Pool.submit: pool is shut down"
+    end;
+    Queue.add task pool.queue;
+    Condition.signal pool.nonempty;
+    Mutex.unlock pool.mut;
+    fut
+  end
+
+let is_pending fut = match fut.state with Pending -> true | _ -> false
+
+let await fut =
+  Mutex.lock fut.fmut;
+  while is_pending fut do
+    Condition.wait fut.fcond fut.fmut
+  done;
+  let st = fut.state in
+  Mutex.unlock fut.fmut;
+  match st with
+  | Done v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false
+
+let shutdown pool =
+  Mutex.lock pool.mut;
+  pool.closed <- true;
+  Condition.broadcast pool.nonempty;
+  Mutex.unlock pool.mut;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+let with_pool jobs f =
+  let pool = create jobs in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Order-preserving maps.  All tasks are submitted before any await, so
+   a pool of [n] domains keeps [n] tasks in flight; results are awaited
+   (and any exception re-raised) in submission order, making the result
+   independent of completion order. *)
+
+let map_array pool f xs =
+  let futs = Array.map (fun x -> submit pool (fun () -> f x)) xs in
+  Array.map await futs
+
+let map_list pool f xs =
+  List.map await (List.map (fun x -> submit pool (fun () -> f x)) xs)
+
+(* [None] means "no pool": run serially without any queue machinery. *)
+
+let opt_map_list pool f xs =
+  match pool with
+  | Some pool when pool.jobs > 1 -> map_list pool f xs
+  | _ -> List.map f xs

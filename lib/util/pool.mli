@@ -1,0 +1,52 @@
+(** A fixed-size pool of worker domains for independent deterministic
+    tasks.
+
+    The crash-matrix explorer and the figure sweeps decompose into
+    hundreds of independent simulations (each boots its own machine);
+    the pool spreads them over OCaml 5 domains while keeping results
+    {e deterministic}: maps return results in submission order, never
+    completion order, and a serial pool ([jobs <= 1]) spawns no domains
+    at all — every task runs synchronously at {!submit} on the calling
+    domain, byte-identical to a plain loop.
+
+    Tasks must not share mutable state with each other. *)
+
+type t
+
+val create : int -> t
+(** [create jobs] starts [jobs] worker domains ([jobs > 1]), or a
+    serial pool with no domains ([jobs = 1]).
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — the [-j] default. *)
+
+val size : t -> int
+(** The [jobs] the pool was created with. *)
+
+type 'a future
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task (serial pool: run it now).  Exceptions raised by the
+    task are captured and re-raised by {!await}. *)
+
+val await : 'a future -> 'a
+(** Block until the task completes; return its result or re-raise its
+    exception (with the original backtrace). *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map: submits every element, then awaits
+    in submission order.  On a serial pool this is exactly
+    [List.map]. *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+
+val opt_map_list : t option -> ('a -> 'b) -> 'a list -> 'b list
+(** [List.map] when the pool is [None] or serial. *)
+
+val shutdown : t -> unit
+(** Drain the queue, stop and join the workers.  Idempotent.  Further
+    {!submit}s raise. *)
+
+val with_pool : int -> (t -> 'a) -> 'a
+(** [create] / run / [shutdown] (also on exception). *)

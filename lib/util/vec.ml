@@ -1,0 +1,54 @@
+(* A growable array with amortised O(1) append, preserving insertion
+   order.  Replaces the quadratic [xs <- xs @ [x]] accumulation pattern
+   in hot paths (the VM's thread table grows by one per spawn, and the
+   harness spawns a worker per measured iteration). *)
+
+type 'a t = { mutable data : 'a array; mutable len : int }
+
+let create () = { data = [||]; len = 0 }
+
+let length v = v.len
+
+let get v i =
+  if i < 0 || i >= v.len then invalid_arg "Vec.get: index out of bounds";
+  v.data.(i)
+
+let push v x =
+  let cap = Array.length v.data in
+  if v.len = cap then begin
+    let data = Array.make (max 8 (2 * cap)) x in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let clear v =
+  v.data <- [||];
+  v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let exists p v =
+  let rec go i = i < v.len && (p v.data.(i) || go (i + 1)) in
+  go 0
+
+let find_opt p v =
+  let rec go i =
+    if i >= v.len then None
+    else if p v.data.(i) then Some v.data.(i)
+    else go (i + 1)
+  in
+  go 0
+
+let to_list v = List.init v.len (fun i -> v.data.(i))

@@ -1,0 +1,23 @@
+(** Growable array with amortised O(1) append, preserving insertion
+    order (iteration visits elements oldest first, exactly like the
+    append-at-tail lists it replaces). *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument out of bounds. *)
+
+val push : 'a t -> 'a -> unit
+(** Append at the tail. *)
+
+val clear : 'a t -> unit
+(** Drop every element (and the backing storage). *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val exists : ('a -> bool) -> 'a t -> bool
+val find_opt : ('a -> bool) -> 'a t -> 'a option
+val to_list : 'a t -> 'a list

@@ -1,17 +1,39 @@
 open Ido_ir
 
+(* Per-region register sets precomputed at image build, so the hot
+   boundary path (exec_region_boundary runs once per region entry)
+   does no sorting or linear membership scans. *)
+type region_meta = {
+  n_live_in : int;
+  live_in_sorted : int array;  (* ascending, deduped *)
+  first_regs : int list;  (* sort_uniq (live_in @ out_regs) *)
+  out_sorted : int list;  (* sort_uniq out_regs *)
+}
+
 type t = {
   program : Ir.program;
   table : (string * Ir.pos) array;  (* pc - 1 -> position *)
   index : (string, (Ir.pos, int) Hashtbl.t) Hashtbl.t;
   funcs : (string, Ir.func) Hashtbl.t;
+  regions : (string, (int, region_meta) Hashtbl.t) Hashtbl.t;
+      (* fname -> region_id -> meta (region ids are per-function) *)
   max_regs : int;
 }
+
+let meta_of_hook (rh : Ir.region_hook) =
+  {
+    n_live_in = List.length rh.live_in;
+    live_in_sorted =
+      Array.of_list (List.sort_uniq compare rh.live_in);
+    first_regs = List.sort_uniq compare (rh.live_in @ rh.out_regs);
+    out_sorted = List.sort_uniq compare rh.out_regs;
+  }
 
 let build (program : Ir.program) =
   let table = ref [] in
   let index = Hashtbl.create 16 in
   let funcs = Hashtbl.create 16 in
+  let regions = Hashtbl.create 16 in
   let count = ref 0 in
   let max_regs = ref 0 in
   List.iter
@@ -20,8 +42,16 @@ let build (program : Ir.program) =
       if f.nregs > !max_regs then max_regs := f.nregs;
       let fidx = Hashtbl.create 64 in
       Hashtbl.replace index name fidx;
+      let fregions = Hashtbl.create 8 in
+      Hashtbl.replace regions name fregions;
       Array.iteri
         (fun b (blk : Ir.block) ->
+          Array.iter
+            (function
+              | Ir.Hook (Ir.Hregion rh) ->
+                  Hashtbl.replace fregions rh.region_id (meta_of_hook rh)
+              | _ -> ())
+            blk.instrs;
           for i = 0 to Array.length blk.instrs do
             let pos = { Ir.blk = b; idx = i } in
             incr count;
@@ -35,6 +65,7 @@ let build (program : Ir.program) =
     table = Array.of_list (List.rev !table);
     index;
     funcs;
+    regions;
     max_regs = !max_regs;
   }
 
@@ -60,5 +91,30 @@ let func t name =
   match Hashtbl.find_opt t.funcs name with
   | Some f -> f
   | None -> invalid_arg ("Image.func: unknown function " ^ name)
+
+let region_meta t ~fname region_id =
+  match Hashtbl.find_opt t.regions fname with
+  | None -> invalid_arg ("Image.region_meta: unknown function " ^ fname)
+  | Some fregions -> (
+      match Hashtbl.find_opt fregions region_id with
+      | Some meta -> meta
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Image.region_meta: unknown region %d in %s"
+               region_id fname))
+
+(* Membership in the sorted live-in set, for filtering owed OutputSets
+   at a persisted boundary. *)
+let live_in_mem meta r =
+  let a = meta.live_in_sorted in
+  let rec go lo hi =
+    if lo >= hi then false
+    else
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = r then true
+      else if a.(mid) < r then go (mid + 1) hi
+      else go lo mid
+  in
+  go 0 (Array.length a)
 
 let max_regs t = t.max_regs

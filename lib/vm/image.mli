@@ -24,5 +24,25 @@ val pos_of_pc : t -> int -> string * Ir.pos
 val func : t -> string -> Ir.func
 (** @raise Invalid_argument when absent. *)
 
+(** {1 Region-boundary metadata}
+
+    Register sets a boundary persist needs, precomputed once per static
+    region at build time so the per-entry hot path does no sorting. *)
+
+type region_meta = {
+  n_live_in : int;  (** [List.length live_in] (Fig. 8 statistic) *)
+  live_in_sorted : int array;  (** ascending, deduped *)
+  first_regs : int list;
+      (** [sort_uniq (live_in @ out_regs)] — the first-boundary log set *)
+  out_sorted : int list;  (** [sort_uniq out_regs] *)
+}
+
+val region_meta : t -> fname:string -> int -> region_meta
+(** Metadata of a region hook by its per-function [region_id].
+    @raise Invalid_argument when absent. *)
+
+val live_in_mem : region_meta -> int -> bool
+(** Binary-search membership in the sorted live-in set. *)
+
 val max_regs : t -> int
 (** Largest [nregs] over all functions (sizes the intRF image). *)

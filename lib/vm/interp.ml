@@ -37,7 +37,7 @@ let create (config : config) (program : Ir.program) =
     vmem = Vmem.create ();
     locks = Hashtbl.create 64;
     rng;
-    threads = [];
+    threads = Vec.create ();
     next_tid = 0;
     seq = 0;
     commit_version = 0;
@@ -141,7 +141,7 @@ let spawn m ~fname ~args =
   (* A thread spawned now begins at the machine's current time, not at
      zero — setup work precedes measurement. *)
   t.clock <- max_clock m;
-  m.threads <- m.threads @ [ t ];
+  Vec.push m.threads t;
   t
 
 (* ------------------------------------------------------------------ *)
@@ -211,6 +211,7 @@ let txn_load m (t : thread) txn a =
       v
 
 let txn_store m (t : thread) txn a v =
+  if not (Hashtbl.mem txn.writes a) then Vec.push txn.write_order a;
   Hashtbl.replace txn.writes a v;
   Redo_log.append t.writer t.log_node ~addr:a ~value:v;
   cost t (lat m).Latency.alu
@@ -331,10 +332,22 @@ let record_region_stats m (t : thread) live_in_count =
   if live_in_count >= 0 then Cdf.add m.livein_per_region live_in_count;
   t.region_stores <- 0
 
+(* Union of two sorted deduped lists — equal to
+   [List.sort_uniq compare (a @ b)] without re-sorting [b]. *)
+let rec merge_uniq a b =
+  match (a, b) with
+  | [], ys -> ys
+  | xs, [] -> xs
+  | x :: xs, y :: ys ->
+      if x < y then x :: merge_uniq xs b
+      else if x > y then y :: merge_uniq a ys
+      else x :: merge_uniq xs ys
+
 let exec_region_boundary m (t : thread) fr (rh : Ir.region_hook) =
   let w = t.writer in
   let node = t.log_node in
-  record_region_stats m t (List.length rh.live_in);
+  let meta = Image.region_meta m.image ~fname:fr.fname rh.region_id in
+  record_region_stats m t meta.Image.n_live_in;
   let clean = Hashtbl.length t.region_lines = 0 in
   if
     m.config.elide_clean_boundaries && rh.skippable && clean
@@ -354,13 +367,13 @@ let exec_region_boundary m (t : thread) fr (rh : Ir.region_hook) =
        boundaries (filtered to registers still live here), and the
        run-time-tracked memory lines. *)
     let regs_to_log =
-      if t.first_boundary then List.sort_uniq compare (rh.live_in @ rh.out_regs)
-      else begin
-        let owed =
-          List.filter (fun r -> List.mem r rh.live_in) t.pending_out_regs
-        in
-        List.sort_uniq compare (owed @ rh.out_regs)
-      end
+      if t.first_boundary then meta.Image.first_regs
+      else
+        match t.pending_out_regs with
+        | [] -> meta.Image.out_sorted
+        | pending ->
+            let owed = List.filter (Image.live_in_mem meta) pending in
+            merge_uniq (List.sort_uniq compare owed) meta.Image.out_sorted
     in
     t.first_boundary <- false;
     t.pending_out_regs <- [];
@@ -555,6 +568,7 @@ let exec_txn_begin m (t : thread) fr =
         start_version = m.commit_version;
         reads = Hashtbl.create 16;
         writes = Hashtbl.create 16;
+        write_order = Vec.create ();
         snap_regs = Array.copy fr.regs;
         snap_blk = blk;
         snap_idx = idx;
@@ -595,11 +609,10 @@ let exec_txn_commit m (t : thread) _fr =
         Pwriter.fence w;
         Redo_log.persist_status w t.log_node Redo_log.Committed;
         Redo_log.apply w t.log_node;
-        (* Flush the applied data before truncating the redo log. *)
-        let lines =
-          Hashtbl.fold (fun a _ acc -> a :: acc) txn.writes []
-        in
-        Pwriter.clwb_lines w lines;
+        (* Flush the applied data before truncating the redo log — in
+           first-store order, so the write-back schedule is a property
+           of the program, not of Hashtbl iteration order. *)
+        Pwriter.clwb_lines w (Vec.to_list txn.write_order);
         Pwriter.fence w;
         Redo_log.persist_status w t.log_node Redo_log.Idle;
         m.commit_version <- m.commit_version + 1;
@@ -873,7 +886,7 @@ let step m (t : thread) =
   t.clock <- t.clock + Pwriter.take_cost t.writer
 
 let min_runnable m =
-  List.fold_left
+  Vec.fold_left
     (fun acc t ->
       if t.status <> Runnable then acc
       else
@@ -883,7 +896,7 @@ let min_runnable m =
     None m.threads
 
 let second_min_clock m (chosen : thread) =
-  List.fold_left
+  Vec.fold_left
     (fun acc t ->
       if t.status = Runnable && t.tid <> chosen.tid && t.clock < acc then t.clock
       else acc)
@@ -896,7 +909,7 @@ let run ?until ?(max_steps = max_int) m : run_outcome =
     else
       match min_runnable m with
       | None ->
-          if List.exists (fun t -> t.status = Blocked) m.threads then `Deadlock
+          if Vec.exists (fun t -> t.status = Blocked) m.threads then `Deadlock
           else `Idle
       | Some t -> (
           match until with
@@ -928,5 +941,5 @@ let crash m =
   m.locks <- Hashtbl.create 64;
   m.write_versions <- Hashtbl.create 64;
   m.commit_token_free_at <- 0;
-  List.iter (fun t -> t.status <- Done) m.threads;
-  m.threads <- []
+  Vec.iter (fun t -> t.status <- Done) m.threads;
+  Vec.clear m.threads

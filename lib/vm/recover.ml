@@ -98,7 +98,7 @@ let resume_thread m ~node ~fname ~(pos : Ir.pos) ~regs ~stack ~held =
                "recovery: lock %d claimed by two recovery threads (%d, %d)"
                holder other tid))
     held;
-  m.threads <- m.threads @ [ t ];
+  Vec.push m.threads t;
   t
 
 (* Under iDO, a lock stamped with the pc's own epoch was acquired after

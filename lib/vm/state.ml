@@ -57,6 +57,9 @@ type txn = {
   start_version : int;
   reads : (int, unit) Hashtbl.t;
   writes : (int, int64) Hashtbl.t;
+  write_order : int Vec.t;
+      (* distinct written addresses in first-store order: the commit
+         write-back schedule, independent of Hashtbl iteration order *)
   snap_regs : int64 array;
   snap_blk : int;
   snap_idx : int;
@@ -113,7 +116,7 @@ type t = {
   mutable vmem : Vmem.t;
   mutable locks : (int, lock_state) Hashtbl.t;
   rng : Rng.t;
-  mutable threads : thread list;  (* in spawn order *)
+  threads : thread Vec.t;  (* in spawn order *)
   mutable next_tid : int;
   mutable seq : int;  (* global sequence for happens-before records *)
   mutable commit_version : int;  (* Mnemosyne global commit clock *)
@@ -143,7 +146,10 @@ let lock_of m id =
       Hashtbl.replace m.locks id l;
       l
 
-let find_thread m tid = List.find (fun t -> t.tid = tid) m.threads
+let find_thread m tid =
+  match Vec.find_opt (fun t -> t.tid = tid) m.threads with
+  | Some t -> t
+  | None -> raise Not_found
 
 let current_frame t =
   match t.frames with
@@ -151,6 +157,7 @@ let current_frame t =
   | [] -> failwith "thread has no frame"
 
 let max_clock m =
-  List.fold_left (fun acc t -> Stdlib.max acc t.clock) 0 m.threads
+  Vec.fold_left (fun acc t -> Stdlib.max acc t.clock) 0 m.threads
 
-let runnable m = List.filter (fun t -> t.status = Runnable) m.threads
+let runnable m =
+  List.filter (fun t -> t.status = Runnable) (Vec.to_list m.threads)

@@ -5,4 +5,5 @@ let () =
     (Test_util.suites @ Test_nvm.suites @ Test_region.suites @ Test_ir.suites
    @ Test_analysis.suites @ Test_idempotence.suites @ Test_instrument.suites
    @ Test_vm.suites @ Test_runtime.suites @ Test_recovery.suites
-   @ Test_workloads.suites @ Test_harness.suites @ Test_check.suites)
+   @ Test_workloads.suites @ Test_harness.suites @ Test_check.suites
+   @ Test_pool.suites)

@@ -1,0 +1,153 @@
+(* Tier-1 coverage for the domain pool (lib/util/pool.ml) and the
+   parallel drivers built on it: results come back in submission
+   order, task exceptions re-raise at await, a serial pool runs tasks
+   synchronously, and a pooled exploration produces a report
+   digest-identical to the serial path. *)
+
+open Ido_util
+open Ido_runtime
+open Ido_check
+
+let ordering () =
+  Pool.with_pool 4 (fun pool ->
+      let xs = List.init 64 Fun.id in
+      let ys =
+        Pool.map_list pool
+          (fun i ->
+            (* Uneven per-task work so completion order differs from
+               submission order on a real multicore. *)
+            if i mod 7 = 0 then
+              ignore (Sys.opaque_identity (Array.init 10_000 Fun.id));
+            i * i)
+          xs
+      in
+      Alcotest.(check (list int))
+        "squares in submission order"
+        (List.map (fun i -> i * i) xs)
+        ys)
+
+let map_array_ordering () =
+  Pool.with_pool 3 (fun pool ->
+      let xs = Array.init 33 Fun.id in
+      let ys = Pool.map_array pool (fun i -> i + 1) xs in
+      Alcotest.(check (array int))
+        "array in submission order"
+        (Array.map (fun i -> i + 1) xs)
+        ys)
+
+exception Boom of int
+
+let exception_propagation () =
+  Pool.with_pool 3 (fun pool ->
+      let good = Pool.submit pool (fun () -> 41) in
+      let bad = Pool.submit pool (fun () -> raise (Boom 7)) in
+      Alcotest.(check int) "good future" 41 (Pool.await good);
+      (match Pool.await bad with
+      | _ -> Alcotest.fail "await should re-raise the task's exception"
+      | exception Boom 7 -> ());
+      (* A failed task must not poison the pool. *)
+      Alcotest.(check int)
+        "pool survives a failed task" 5
+        (Pool.await (Pool.submit pool (fun () -> 5))))
+
+let serial_runs_at_submit () =
+  let pool = Pool.create 1 in
+  Alcotest.(check int) "size" 1 (Pool.size pool);
+  let touched = ref false in
+  let fut =
+    Pool.submit pool (fun () ->
+        touched := true;
+        3)
+  in
+  Alcotest.(check bool) "task ran synchronously at submit" true !touched;
+  Alcotest.(check int) "result" 3 (Pool.await fut);
+  (match Pool.await (Pool.submit pool (fun () -> raise (Boom 1))) with
+  | _ -> Alcotest.fail "serial await should re-raise"
+  | exception Boom 1 -> ());
+  Pool.shutdown pool
+
+let opt_map_none () =
+  Alcotest.(check (list int))
+    "opt_map_list None is List.map" [ 2; 4; 6 ]
+    (Pool.opt_map_list None (fun x -> 2 * x) [ 1; 2; 3 ])
+
+let invalid_jobs () =
+  Alcotest.check_raises "jobs = 0 rejected"
+    (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Pool.create 0))
+
+let submit_after_shutdown () =
+  let pool = Pool.create 2 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* idempotent *)
+  Alcotest.check_raises "submit after shutdown rejected"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      ignore (Pool.submit pool (fun () -> 0)))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel exploration determinism: the whole report — schedule
+   length, sampled indices, verdicts, counterexample — must be
+   digest-identical between a serial and a pooled run. *)
+
+let report_digest (r : Engine.report) =
+  let inj (i : Engine.injection) =
+    Printf.sprintf "%d:%s:%s" i.Engine.index
+      (Option.value i.Engine.event ~default:"terminal")
+      (match i.Engine.verdict with Ok () -> "ok" | Error m -> m)
+  in
+  String.concat "|"
+    ([
+       string_of_int r.Engine.total_events;
+       string_of_int r.Engine.tested;
+       string_of_bool r.Engine.exhaustive;
+     ]
+    @ List.map inj r.Engine.violations
+    @ [ (match r.Engine.counterexample with None -> "-" | Some i -> inj i) ])
+  |> Digest.string |> Digest.to_hex
+
+let parallel_explore_identical scheme workload () =
+  let s = Engine.defaults ~ops:10 ~scheme ~workload () in
+  let serial = Engine.explore s ~budget:20 in
+  let pooled =
+    Pool.with_pool 4 (fun pool -> Engine.explore ~pool s ~budget:20)
+  in
+  Alcotest.(check string)
+    "report digest matches serial" (report_digest serial)
+    (report_digest pooled)
+
+(* The figure sweeps route their cells through Exp.pmap; a pooled
+   panel must render byte-identically to the serial one. *)
+let parallel_sweep_identical () =
+  let serial = Ido_harness.Figures.fig6 Ido_harness.Exp.Quick in
+  let pooled =
+    Pool.with_pool 3 (fun pool ->
+        Ido_harness.Figures.fig6 ~pool Ido_harness.Exp.Quick)
+  in
+  Alcotest.(check string) "fig6 panel identical" serial pooled
+
+let suites =
+  [
+    ( "pool",
+      [
+        Alcotest.test_case "map_list preserves order" `Quick ordering;
+        Alcotest.test_case "map_array preserves order" `Quick map_array_ordering;
+        Alcotest.test_case "exceptions re-raise at await" `Quick
+          exception_propagation;
+        Alcotest.test_case "serial pool runs at submit" `Quick
+          serial_runs_at_submit;
+        Alcotest.test_case "opt_map_list without a pool" `Quick opt_map_none;
+        Alcotest.test_case "create rejects jobs < 1" `Quick invalid_jobs;
+        Alcotest.test_case "submit after shutdown rejected" `Quick
+          submit_after_shutdown;
+      ] );
+    ( "pool-drivers",
+      [
+        Alcotest.test_case "explore ido/queue: -j4 = serial" `Quick
+          (parallel_explore_identical Scheme.Ido "queue");
+        Alcotest.test_case "explore atlas/stack: -j4 = serial" `Quick
+          (parallel_explore_identical Scheme.Atlas "stack");
+        Alcotest.test_case "fig6 sweep: pooled = serial" `Quick
+          parallel_sweep_identical;
+      ] );
+  ]
