@@ -181,9 +181,146 @@ let schedule_cmd =
       const run $ scheme_arg $ workload_arg $ seed_arg $ threads_arg $ ops_arg
       $ cache_lines_arg $ oracle_arg $ strict_arg $ limit_arg)
 
+let pp_diag d = print_endline ("  " ^ Ido_analysis.Diag.render d)
+
+let lint_cmd =
+  let doc =
+    "Statically lint instrumented workloads: hook-contract conformance, \
+     persist-order abstract interpretation, lockset checking.  With no \
+     selection, sweeps every supported scheme x workload pair.  Exit \
+     status 0 = no diagnostics."
+  in
+  let all_scheme_arg =
+    let sconv = Arg.enum (List.map (fun s -> (Scheme.name s, s)) Scheme.all) in
+    Arg.(
+      value
+      & opt (some sconv) None
+      & info [ "scheme" ] ~doc:"Restrict to one scheme (default: all)")
+  in
+  let all_workload_arg =
+    Arg.(
+      value
+      & opt
+          (some (enum (List.map (fun n -> (n, n)) Ido_workloads.Workload.names)))
+          None
+      & info [ "workload" ] ~doc:"Restrict to one workload (default: all)")
+  in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ] ~doc:"Append the code table to the report")
+  in
+  let mutant_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutant" ]
+          ~doc:
+            "Lint the named seeded-bug mutant instead of the shipped \
+             program (the exit status then demonstrates the failure \
+             path)")
+  in
+  let run scheme workload explain mutant jobs =
+    guard @@ fun () ->
+    match mutant with
+    | Some n -> (
+        match Ido_lint.Mutate.find n with
+        | None -> invalid_arg (Printf.sprintf "unknown mutant %S" n)
+        | Some m ->
+            let o = Lintrun.run_mutant m in
+            Printf.printf "%s on %s (mutant %s): %d diagnostic(s)\n"
+              (Scheme.name m.Ido_lint.Mutate.scheme)
+              m.Ido_lint.Mutate.workload m.Ido_lint.Mutate.name
+              (List.length o.Lintrun.mdiags);
+            List.iter pp_diag o.Lintrun.mdiags;
+            if o.Lintrun.mdiags = [] then 0 else 1)
+    | None ->
+    let schemes = match scheme with Some s -> [ s ] | None -> Scheme.all in
+    let workloads =
+      match workload with
+      | Some w -> [ w ]
+      | None -> Ido_workloads.Workload.names
+    in
+    let pairs =
+      with_jobs jobs (fun pool -> Lintrun.sweep ?pool ~schemes ~workloads ())
+    in
+    let dirty = List.filter (fun p -> p.Lintrun.diags <> []) pairs in
+    List.iter
+      (fun (p : Lintrun.pair) ->
+        Printf.printf "%s on %s: %d diagnostic(s)\n" (Scheme.name p.scheme)
+          p.workload
+          (List.length p.diags);
+        List.iter pp_diag p.diags)
+      dirty;
+    Printf.printf "linted %d pair(s): %d clean, %d with diagnostics\n"
+      (List.length pairs)
+      (List.length pairs - List.length dirty)
+      (List.length dirty);
+    if explain then
+      List.iter
+        (fun (c, s) -> Printf.printf "  %s  %s\n" c s)
+        Ido_lint.Lint.codes;
+    if dirty = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "lint" ~doc)
+    Term.(
+      const run $ all_scheme_arg $ all_workload_arg $ explain_arg $ mutant_arg
+      $ jobs_arg)
+
+let mutants_cmd =
+  let doc =
+    "Run the seeded-bug mutation corpus through the linter and check that \
+     every mutant is reported with its expected error code.  Exit status 0 \
+     = all caught."
+  in
+  let name_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "name" ] ~doc:"Run a single mutant by name (default: all)")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ] ~doc:"Print every mutant's diagnostics")
+  in
+  let run name verbose jobs =
+    guard @@ fun () ->
+    let outcomes =
+      match name with
+      | Some n -> (
+          match Ido_lint.Mutate.find n with
+          | Some m -> [ Lintrun.run_mutant m ]
+          | None -> invalid_arg (Printf.sprintf "unknown mutant %S" n))
+      | None -> with_jobs jobs (fun pool -> Lintrun.run_corpus ?pool ())
+    in
+    List.iter
+      (fun (o : Lintrun.outcome) ->
+        Printf.printf "%-28s %s on %-8s expect %s: %s\n" o.mutant.Ido_lint.Mutate.name
+          (Scheme.name o.mutant.Ido_lint.Mutate.scheme)
+          o.mutant.Ido_lint.Mutate.workload o.mutant.Ido_lint.Mutate.expect
+          (if o.caught then "caught" else "MISSED");
+        if verbose || not o.caught then List.iter pp_diag o.mdiags)
+      outcomes;
+    let missed = List.filter (fun o -> not o.Lintrun.caught) outcomes in
+    Printf.printf "%d mutant(s): %d caught, %d missed\n" (List.length outcomes)
+      (List.length outcomes - List.length missed)
+      (List.length missed);
+    if missed = [] then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "mutants" ~doc)
+    Term.(const run $ name_arg $ verbose_arg $ jobs_arg)
+
 let () =
   let info =
     Cmd.info "ido_check"
-      ~doc:"Systematic crash-point exploration with per-workload oracles"
+      ~doc:
+        "Systematic crash-point exploration and static crash-consistency \
+         linting with per-workload oracles"
   in
-  exit (Cmd.eval' (Cmd.group info [ explore_cmd; replay_cmd; schedule_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ explore_cmd; replay_cmd; schedule_cmd; lint_cmd; mutants_cmd ]))

@@ -1,34 +1,48 @@
 open Ido_ir
 
-let check_func ?(allow_hooks = false) (f : Ir.func) =
-  let errs = ref [] in
-  let err fmt = Printf.ksprintf (fun s -> errs := (f.name ^ ": " ^ s) :: !errs) fmt in
+(* Structural and programming-model checks, reported as structured
+   {!Diag.t} values with stable codes; the [string list] API below is a
+   rendering of them. *)
+
+let check_func_diags ?(allow_hooks = false) (f : Ir.func) =
+  let diags = ref [] in
+  let err ?pos ~code fmt =
+    Printf.ksprintf
+      (fun s -> diags := Diag.v ?pos ~func:f.name ~code s :: !diags)
+      fmt
+  in
   let nb = Array.length f.blocks in
-  if nb = 0 then err "no blocks";
-  let check_reg r = if r < 0 || r >= f.nregs then err "register r%d out of range" r in
+  if nb = 0 then err ~code:"V101" "no blocks";
+  let check_reg ?pos r =
+    if r < 0 || r >= f.nregs then err ?pos ~code:"V102" "register r%d out of range" r
+  in
   List.iter check_reg f.params;
   Array.iteri
     (fun b (blk : Ir.block) ->
       Array.iteri
         (fun i instr ->
-          List.iter check_reg (Ir.instr_defs instr);
-          List.iter check_reg (Ir.instr_uses instr);
+          let pos = { Ir.blk = b; idx = i } in
+          List.iter (check_reg ~pos) (Ir.instr_defs instr);
+          List.iter (check_reg ~pos) (Ir.instr_uses instr);
           match instr with
-          | Hook _ when not allow_hooks -> err "unexpected hook at (%d,%d)" b i
-          | Alloca _ when b <> 0 -> err "alloca outside entry block at (%d,%d)" b i
+          | Hook _ when not allow_hooks -> err ~pos ~code:"V103" "unexpected hook"
+          | Alloca _ when b <> 0 -> err ~pos ~code:"V104" "alloca outside entry block"
           | _ -> ())
         blk.instrs;
-      List.iter check_reg (Ir.term_uses blk.term);
+      let tpos = { Ir.blk = b; idx = Array.length blk.instrs } in
+      List.iter (check_reg ~pos:tpos) (Ir.term_uses blk.term);
       List.iter
-        (fun s -> if s < 0 || s >= nb then err "branch target .%d out of range" s)
+        (fun s ->
+          if s < 0 || s >= nb then
+            err ~pos:tpos ~code:"V105" "branch target .%d out of range" s)
         (Ir.successors blk.term))
     f.blocks;
-  if !errs <> [] then Error (List.rev !errs)
+  if !diags <> [] then List.rev !diags
   else begin
     (* Structural checks passed; run the dataflow-based checks. *)
     let cfg = Cfg.build f in
     (match Fase.compute cfg with
-    | Error e -> errs := e :: !errs
+    | Error e -> err ~code:"V113" "%s" e
     | Ok fase ->
         (try
            ignore
@@ -37,25 +51,23 @@ let check_func ?(allow_hooks = false) (f : Ir.func) =
                   let inside = Fase.in_fase fase pos in
                   match instr with
                   | Call _ when inside ->
-                      err "call inside FASE at (%d,%d) (FASEs are single-function)"
-                        pos.blk pos.idx
+                      err ~pos ~code:"V106"
+                        "call inside FASE (FASEs are single-function)"
                   | Intrinsic { intr = Rand; _ } when inside ->
-                      err "non-idempotent rand inside FASE at (%d,%d)" pos.blk pos.idx
+                      err ~pos ~code:"V107" "non-idempotent rand inside FASE"
                   | Intrinsic { intr = Observe; _ } when inside ->
-                      err "non-idempotent observe inside FASE at (%d,%d)" pos.blk
-                        pos.idx
+                      err ~pos ~code:"V108" "non-idempotent observe inside FASE"
                   | Intrinsic { intr = Nv_free; _ } when inside ->
-                      err "nv_free inside FASE would double-free on resumption at (%d,%d)"
-                        pos.blk pos.idx
+                      err ~pos ~code:"V109"
+                        "nv_free inside FASE would double-free on resumption"
                   | Load { space = Transient; _ } when inside ->
-                      err "transient load inside FASE at (%d,%d)" pos.blk pos.idx
+                      err ~pos ~code:"V110" "transient load inside FASE"
                   | Store { space = Transient; _ } when inside ->
-                      err "transient store inside FASE at (%d,%d)" pos.blk pos.idx
-                  | Alloca _ when inside ->
-                      err "alloca inside FASE at (%d,%d)" pos.blk pos.idx
+                      err ~pos ~code:"V111" "transient store inside FASE"
+                  | Alloca _ when inside -> err ~pos ~code:"V112" "alloca inside FASE"
                   | _ -> ())
                 () f)
-         with Failure e -> errs := e :: !errs));
+         with Failure e -> err ~code:"V113" "%s" e));
     (* Reducibility, reported via Regions.check on a lock-free fase. *)
     (try
        let rpo_index = Array.make nb max_int in
@@ -67,49 +79,72 @@ let check_func ?(allow_hooks = false) (f : Ir.func) =
                (fun dst ->
                  if rpo_index.(dst) <= rpo_index.(src)
                     && not (Cfg.dominates cfg dst src)
-                 then err "irreducible control flow (edge %d -> %d)" src dst)
+                 then
+                   err
+                     ~pos:{ Ir.blk = src; idx = Array.length blk.instrs }
+                     ~code:"V120" "irreducible control flow (edge %d -> %d)" src dst)
                (Ir.successors blk.term))
          f.blocks
-     with Failure e -> errs := e :: !errs);
-    if !errs = [] then Ok () else Error (List.rev !errs)
+     with Failure e -> err ~code:"V120" "%s" e);
+    List.rev !diags
   end
 
-let check_program ?allow_hooks (p : Ir.program) =
-  let errs = ref [] in
+(* The historical rendering: function name, message, position appended
+   with Printf's "(b,i)" form.  Kept byte-compatible via Diag.render
+   modulo the added [code] tag. *)
+let render_legacy (d : Diag.t) =
+  match d.pos with
+  | None -> d.func ^ ": " ^ d.message
+  | Some p -> Printf.sprintf "%s: %s at (%d,%d)" d.func d.message p.Ir.blk p.Ir.idx
+
+let check_func ?allow_hooks (f : Ir.func) =
+  match check_func_diags ?allow_hooks f with
+  | [] -> Ok ()
+  | ds -> Error (List.map render_legacy ds)
+
+let check_program_diags ?allow_hooks (p : Ir.program) =
+  let diags = ref [] in
+  let err ~func ~code fmt =
+    Printf.ksprintf (fun s -> diags := Diag.v ~func ~code s :: !diags) fmt
+  in
   let names = Hashtbl.create 8 in
   List.iter
     (fun (name, (f : Ir.func)) ->
-      if Hashtbl.mem names name then
-        errs := Printf.sprintf "duplicate function %s" name :: !errs;
+      if Hashtbl.mem names name then err ~func:name ~code:"V130" "duplicate function";
       Hashtbl.replace names name (List.length f.params);
       if name <> f.name then
-        errs := Printf.sprintf "function %s registered under name %s" f.name name :: !errs)
+        err ~func:f.name ~code:"V133" "function registered under name %s" name)
     p.funcs;
   List.iter
     (fun (_, f) ->
-      (match check_func ?allow_hooks f with
-      | Ok () -> ()
-      | Error es -> errs := List.rev_append es !errs);
+      diags := List.rev_append (check_func_diags ?allow_hooks f) !diags;
       ignore
         (Ir.fold_instrs
-           (fun () _ instr ->
+           (fun () pos instr ->
              match instr with
-             | Call { func; args; _ } -> (
+             | Ir.Call { func; args; _ } -> (
                  match Hashtbl.find_opt names func with
                  | None ->
-                     errs :=
-                       Printf.sprintf "%s: call to unknown function %s" f.name func
-                       :: !errs
+                     diags :=
+                       Diag.vf ~pos ~func:f.Ir.name ~code:"V131"
+                         "call to unknown function %s" func
+                       :: !diags
                  | Some arity ->
                      if List.length args <> arity then
-                       errs :=
-                         Printf.sprintf "%s: call to %s with %d args (expects %d)"
-                           f.name func (List.length args) arity
-                         :: !errs)
+                       diags :=
+                         Diag.vf ~pos ~func:f.Ir.name ~code:"V132"
+                           "call to %s with %d args (expects %d)" func
+                           (List.length args) arity
+                         :: !diags)
              | _ -> ())
            () f))
     p.funcs;
-  if !errs = [] then Ok () else Error (List.rev !errs)
+  List.rev !diags
+
+let check_program ?allow_hooks (p : Ir.program) =
+  match check_program_diags ?allow_hooks p with
+  | [] -> Ok ()
+  | ds -> Error (List.map render_legacy ds)
 
 let check_program_exn ?allow_hooks p =
   match check_program ?allow_hooks p with

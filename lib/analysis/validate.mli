@@ -16,14 +16,21 @@
 
 open Ido_ir
 
+val check_func_diags : ?allow_hooks:bool -> Ir.func -> Diag.t list
+(** All violations found in one function, as structured diagnostics
+    with stable codes (V101–V120).  [allow_hooks] (default false)
+    permits instrumentation hooks — used to re-validate instrumented
+    output. *)
+
+val check_program_diags : ?allow_hooks:bool -> Ir.program -> Diag.t list
+(** Per-function checks plus call-graph checks (targets exist, arity
+    matches, function names unique; V130–V133). *)
+
 val check_func : ?allow_hooks:bool -> Ir.func -> (unit, string list) result
-(** All violations found in one function.  [allow_hooks] (default
-    false) permits instrumentation hooks — used to re-validate
-    instrumented output. *)
+(** {!check_func_diags} rendered to the legacy message strings. *)
 
 val check_program : ?allow_hooks:bool -> Ir.program -> (unit, string list) result
-(** Per-function checks plus call-graph checks (targets exist, arity
-    matches, function names unique). *)
+(** {!check_program_diags} rendered to the legacy message strings. *)
 
 val check_program_exn : ?allow_hooks:bool -> Ir.program -> unit
 (** @raise Failure with all messages joined. *)

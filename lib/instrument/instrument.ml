@@ -190,5 +190,17 @@ let instrument_func scheme (f : Ir.func) =
         rewrite f ~cut_at:no_cuts ~pre ~post:enter_exit_post ~replace:keep
   end
 
-let instrument scheme (p : Ir.program) =
-  { Ir.funcs = List.map (fun (name, f) -> (name, instrument_func scheme f)) p.funcs }
+let instrument ?(lint = false) scheme (p : Ir.program) =
+  let p' =
+    { Ir.funcs = List.map (fun (name, f) -> (name, instrument_func scheme f)) p.funcs }
+  in
+  if lint then begin
+    match Ido_lint.Lint.lint_program scheme p' with
+    | [] -> ()
+    | diags ->
+        failwith
+          (Printf.sprintf "instrumentation lint (%s): %s" (Scheme.name scheme)
+             (String.concat "; "
+                (List.map Ido_analysis.Diag.render diags)))
+  end;
+  p'

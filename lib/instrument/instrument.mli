@@ -32,7 +32,12 @@ open Ido_runtime
 
 val instrument_func : Scheme.t -> Ir.func -> Ir.func
 
-val instrument : Scheme.t -> Ir.program -> Ir.program
+val instrument : ?lint:bool -> Scheme.t -> Ir.program -> Ir.program
+(** Instrument every function.  With [~lint:true] the result is passed
+    through the static crash-consistency linter
+    ({!Ido_lint.Lint.lint_program}) as a post-pass and [Failure] is
+    raised if any diagnostic fires — a self-check that the hooks just
+    inserted satisfy their own contract. *)
 
 val region_plan : Ir.func -> Ido_analysis.Regions.t
 (** The iDO region plan of a function (exposed for region statistics

@@ -1,0 +1,39 @@
+(** The linter driver: persist-order abstract interpretation
+    ({!Transfer}), instrumentation-contract conformance
+    ({!Regioncheck}) and lockset checking ({!Lockset}) over an
+    instrumented program, composed into one diagnostic report.
+
+    A clean report means: every path of every function satisfies the
+    scheme's hook contract from instrument.mli, every publish point
+    obeys the write-ahead discipline the recovery procedure assumes,
+    and the worker threads' shared persistent accesses follow a
+    consistent locking discipline.  The crash-matrix engine (PR 1)
+    validates the same properties dynamically on explored schedules;
+    the linter proves the ordering ones on all paths and catches the
+    static placement bugs the matrix can only witness. *)
+
+open Ido_ir
+open Ido_analysis
+open Ido_runtime
+
+val lint_func :
+  ?variant:string -> Scheme.t -> Ir.func -> Diag.t list * Transfer.result
+(** Lint one instrumented function.  The {!Transfer.result} carries
+    the accesses and lock-order edges the caller can feed to
+    {!Lockset.check}. *)
+
+val lint_program :
+  ?variant:string -> ?entries:string list -> Scheme.t -> Ir.program -> Diag.t list
+(** Lint every function and run the lockset pass over [entries] (their
+    reachable call graphs).  Defaults to [\["worker"\]] per the
+    workload convention; entries missing from the program are dropped,
+    and if none remain every function is checked.  Diagnostics are
+    sorted and deduplicated.  [variant] substitutes a named buggy hook
+    protocol ({!Hook_model.variants}). *)
+
+val explain : string -> string
+(** One-line explanation of a stable error code (["L201"], ...);
+    useful for CLI output and docs. *)
+
+val codes : (string * string) list
+(** All stable codes with their explanations, in order. *)

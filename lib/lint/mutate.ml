@@ -1,0 +1,319 @@
+open Ido_ir
+open Ido_runtime
+
+type stage = Before_instrument | After_instrument
+
+type t = {
+  name : string;
+  descr : string;
+  scheme : Scheme.t;
+  workload : string;
+  expect : string;
+  stage : stage;
+  variant : string option;
+  transform : Ir.program -> Ir.program;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Pure program surgery.  All helpers act on the first match in
+   function-list order, so mutants are deterministic. *)
+
+let map_block fn (blk : Ir.block) =
+  { blk with Ir.instrs = Array.of_list (fn (Array.to_list blk.Ir.instrs)) }
+
+let map_program fn (p : Ir.program) =
+  { Ir.funcs = List.map (fun (n, f) -> (n, fn f)) p.Ir.funcs }
+
+(* Apply [edit] (instr -> instr list option) to the first instruction
+   it accepts, program-wide. *)
+let edit_first edit (p : Ir.program) =
+  let hit = ref false in
+  map_program
+    (fun f ->
+      {
+        f with
+        Ir.blocks =
+          Array.map
+            (map_block
+               (List.concat_map (fun i ->
+                    if !hit then [ i ]
+                    else
+                      match edit i with
+                      | Some repl ->
+                          hit := true;
+                          repl
+                      | None -> [ i ])))
+            f.Ir.blocks;
+      })
+    p
+
+let delete_first pred =
+  edit_first (fun i -> if pred i then Some [] else None)
+
+let duplicate_first pred =
+  edit_first (fun i -> if pred i then Some [ i; i ] else None)
+
+let is_hook h = function Ir.Hook h' -> h' = h | _ -> false
+
+(* Mark the first required (non-elidable) region cut as elidable. *)
+let elide_required_cut =
+  edit_first (function
+    | Ir.Hook (Ir.Hregion rh) when not rh.Ir.skippable ->
+        Some [ Ir.Hook (Ir.Hregion { rh with Ir.skippable = true }) ]
+    | _ -> None)
+
+let delete_required_cut =
+  delete_first (function
+    | Ir.Hook (Ir.Hregion rh) -> not rh.Ir.skippable
+    | _ -> false)
+
+(* Hoist a copy of a critical section's store above its lock: in the
+   first function that takes a lock, find a later persistent store
+   whose base register is a function parameter and replay it (with a
+   distinguishable value) just before the lock — the classic
+   "forgot the lock on the fast path" race. *)
+let hoist_store_above_lock (p : Ir.program) =
+  let done_ = ref false in
+  map_program
+    (fun f ->
+      if !done_ then f
+      else begin
+        let lock_at = ref None in
+        Array.iteri
+          (fun b (blk : Ir.block) ->
+            if !lock_at = None then
+              Array.iteri
+                (fun i instr ->
+                  match instr with
+                  | Ir.Lock _ when !lock_at = None -> lock_at := Some (b, i)
+                  | _ -> ())
+                blk.Ir.instrs)
+          f.Ir.blocks;
+        match !lock_at with
+        | None -> f
+        | Some (lb, li) ->
+            let target = ref None in
+            Array.iteri
+              (fun b (blk : Ir.block) ->
+                if b >= lb && !target = None then
+                  Array.iteri
+                    (fun i instr ->
+                      if (b > lb || i > li) && !target = None then
+                        match instr with
+                        | Ir.Store
+                            { space = Ir.Persistent; base = Ir.Reg r; off; _ }
+                          when List.mem r f.Ir.params ->
+                            target := Some (r, off)
+                        | _ -> ())
+                    blk.Ir.instrs)
+              f.Ir.blocks;
+            (match !target with
+            | None -> f
+            | Some (r, off) ->
+                done_ := true;
+                let hoisted =
+                  Ir.Store
+                    {
+                      space = Ir.Persistent;
+                      base = Ir.Reg r;
+                      off;
+                      src = Ir.Imm 7777L;
+                    }
+                in
+                let blocks =
+                  Array.mapi
+                    (fun b blk ->
+                      if b <> lb then blk
+                      else
+                        map_block
+                          (fun instrs ->
+                            List.concat
+                              (List.mapi
+                                 (fun i instr ->
+                                   if i = li then [ hoisted; instr ]
+                                   else [ instr ])
+                                 instrs))
+                          blk)
+                    f.Ir.blocks
+                in
+                { f with Ir.blocks })
+      end)
+    p
+
+let id p = p
+
+(* ------------------------------------------------------------------ *)
+
+let corpus =
+  [
+    (* -- per-store log coverage (L201) -- *)
+    {
+      name = "drop-justdo-log";
+      descr = "delete one justdo_store hook: its store is logged on no path";
+      scheme = Scheme.Justdo;
+      workload = "queue";
+      expect = "L201";
+      stage = After_instrument;
+      variant = None;
+      transform = delete_first (is_hook Ir.Hjustdo_store);
+    };
+    {
+      name = "drop-undo-log";
+      descr = "delete one undo_store hook: the old value is never logged";
+      scheme = Scheme.Atlas;
+      workload = "queue";
+      expect = "L201";
+      stage = After_instrument;
+      variant = None;
+      transform = delete_first (is_hook Ir.Hundo_store);
+    };
+    {
+      name = "drop-redo-log";
+      descr = "delete one redo_store hook inside a transaction";
+      scheme = Scheme.Mnemosyne;
+      workload = "queue";
+      expect = "L201";
+      stage = After_instrument;
+      variant = None;
+      transform = delete_first (is_hook Ir.Hredo_store);
+    };
+    {
+      name = "drop-page-log";
+      descr = "delete one page_log hook: the page is modified uncopied";
+      scheme = Scheme.Nvthreads;
+      workload = "queue";
+      expect = "L201";
+      stage = After_instrument;
+      variant = None;
+      transform = delete_first (is_hook Ir.Hpage_log);
+    };
+    {
+      name = "drop-nvml-log";
+      descr = "delete one undo_store hook in a durable region";
+      scheme = Scheme.Nvml;
+      workload = "objstore";
+      expect = "L201";
+      stage = After_instrument;
+      variant = None;
+      transform = delete_first (is_hook Ir.Hundo_store);
+    };
+    (* -- hook structure (L105/L106/L202) -- *)
+    {
+      name = "drop-fase-enter";
+      descr = "delete one fase_enter hook";
+      scheme = Scheme.Justdo;
+      workload = "queue";
+      expect = "L105";
+      stage = After_instrument;
+      variant = None;
+      transform = delete_first (is_hook Ir.Hfase_enter);
+    };
+    {
+      name = "drop-lock-record";
+      descr = "delete one lock_acquired record hook";
+      scheme = Scheme.Ido;
+      workload = "mlog";
+      expect = "L106";
+      stage = After_instrument;
+      variant = None;
+      transform = delete_first (is_hook Ir.Hlock_acquired);
+    };
+    {
+      name = "orphan-log-hook";
+      descr = "duplicate a justdo_store grant: the first is never consumed";
+      scheme = Scheme.Justdo;
+      workload = "queue";
+      expect = "L202";
+      stage = After_instrument;
+      variant = None;
+      transform = duplicate_first (is_hook Ir.Hjustdo_store);
+    };
+    (* -- region plan conformance (L401/L402) -- *)
+    {
+      name = "drop-region-cut";
+      descr = "delete a required region boundary: a WAR pair shares a region";
+      scheme = Scheme.Ido;
+      workload = "mlog";
+      expect = "L401";
+      stage = After_instrument;
+      variant = None;
+      transform = delete_required_cut;
+    };
+    {
+      name = "elide-required-cut";
+      descr = "mark a required (WAR-separating) cut elidable";
+      scheme = Scheme.Ido;
+      workload = "mlog";
+      expect = "L402";
+      stage = After_instrument;
+      variant = None;
+      transform = elide_required_cut;
+    };
+    (* -- locking discipline (L501) -- *)
+    {
+      name = "unlocked-store";
+      descr = "hoist a critical-section store above its lock";
+      scheme = Scheme.Justdo;
+      workload = "mlog";
+      expect = "L501";
+      stage = Before_instrument;
+      variant = None;
+      transform = hoist_store_above_lock;
+    };
+    (* -- runtime protocol variants (L301/L303) -- *)
+    {
+      name = "early-publish-justdo";
+      descr =
+        "JUSTDO valid flag durable before the entry words (PR 1 seeded bug)";
+      scheme = Scheme.Justdo;
+      workload = "queue";
+      expect = "L301";
+      stage = After_instrument;
+      variant = Some "early-publish-justdo";
+      transform = id;
+    };
+    {
+      name = "unfenced-undo-append";
+      descr =
+        "undo ring head/total published before the record write-backs \
+         (PR 1 seeded bug)";
+      scheme = Scheme.Atlas;
+      workload = "queue";
+      expect = "L301";
+      stage = After_instrument;
+      variant = Some "unfenced-undo-append";
+      transform = id;
+    };
+    {
+      name = "reorder-region-writeback";
+      descr = "iDO boundary issues data write-backs after its fence";
+      scheme = Scheme.Ido;
+      workload = "mlog";
+      expect = "L301";
+      stage = After_instrument;
+      variant = Some "reorder-region-writeback";
+      transform = id;
+    };
+    {
+      name = "drop-release-fence";
+      descr = "iDO lock release skips its closing fence";
+      scheme = Scheme.Ido;
+      workload = "mlog";
+      expect = "L303";
+      stage = After_instrument;
+      variant = Some "drop-release-fence";
+      transform = id;
+    };
+    {
+      name = "drop-commit-fence";
+      descr = "Mnemosyne commit publishes status without fencing the entries";
+      scheme = Scheme.Mnemosyne;
+      workload = "queue";
+      expect = "L301";
+      stage = After_instrument;
+      variant = Some "drop-commit-fence";
+      transform = id;
+    };
+  ]
+
+let find name = List.find_opt (fun m -> m.name = name) corpus

@@ -1,0 +1,38 @@
+(** Mutation corpus: seeded crash-consistency bugs with the diagnostic
+    the linter must report for each.
+
+    Every mutant names a workload, a scheme, and the stable error code
+    the linter is expected to emit — the linter's regression suite and
+    the [ido_check mutants] CLI assert exactly that.  Two mutants
+    re-seed the bugs PR 1's crash matrix caught dynamically
+    ([early-publish-justdo], [unfenced-undo-append]); a third
+    ([reorder-region-writeback]) seeds the same class in iDO's boundary
+    flush.
+
+    Mutants come in three shapes:
+    - [Before_instrument] program transforms (source-level bugs, e.g. a
+      store hoisted out of its critical section);
+    - [After_instrument] program transforms (instrumentation bugs:
+      dropped or duplicated hooks, a required cut marked elidable);
+    - hook-model variants ([variant <> None], with [transform] the
+      identity): runtime protocol bugs, checked by linting the intact
+      program against the buggy protocol model. *)
+
+open Ido_ir
+open Ido_runtime
+
+type stage = Before_instrument | After_instrument
+
+type t = {
+  name : string;
+  descr : string;
+  scheme : Scheme.t;
+  workload : string;  (** workload the mutant targets *)
+  expect : string;  (** error code the linter must report *)
+  stage : stage;
+  variant : string option;  (** hook-model variant, see {!Hook_model} *)
+  transform : Ir.program -> Ir.program;
+}
+
+val corpus : t list
+val find : string -> t option

@@ -1,0 +1,122 @@
+open Ido_ir
+open Ido_analysis
+
+type base =
+  | Alloca of int
+  | Heap of int
+  | Const of int64
+  | Param of int
+  | Root of int
+  | Loaded of expr * int
+  | Unknown
+
+and expr = { base : base; delta : int }
+
+type t = {
+  func : Ir.func;
+  reaching : Reaching.t;
+  memo : (Ir.pos * int, expr) Hashtbl.t;
+}
+
+let create (func : Ir.func) =
+  let cfg = Cfg.build func in
+  { func; reaching = Reaching.compute cfg; memo = Hashtbl.create 64 }
+
+let unknown = { base = Unknown; delta = 0 }
+
+let site_of (p : Ir.pos) = (p.blk * 0x100000) + p.idx
+
+let instr_at t (p : Ir.pos) =
+  if p.blk < 0 || p.blk >= Array.length t.func.blocks then None
+  else begin
+    let blk = t.func.blocks.(p.blk) in
+    if p.idx < Array.length blk.instrs then Some blk.instrs.(p.idx) else None
+  end
+
+let max_load_depth = 2
+
+(* Mirrors Alias.resolve_reg, with two extra chases: [Root_get k] and
+   bounded-depth pointer loads. *)
+let rec resolve_reg t ~seen ~depth ~at r =
+  match Hashtbl.find_opt t.memo (at, r) with
+  | Some e -> e
+  | None ->
+      let e =
+        if List.mem (at, r) seen then unknown
+        else begin
+          let seen = (at, r) :: seen in
+          match Reaching.unique_def t.reaching at r with
+          | None -> unknown
+          | Some d when d.Ir.blk = -1 -> { base = Param d.Ir.idx; delta = 0 }
+          | Some d -> (
+              match instr_at t d with
+              | Some (Alloca (_, _)) -> { base = Alloca (site_of d); delta = 0 }
+              | Some (Intrinsic { intr = Nv_alloc; _ }) ->
+                  { base = Heap (site_of d); delta = 0 }
+              | Some (Intrinsic { intr = Root_get; args = [ Imm k ]; _ }) ->
+                  { base = Root (Int64.to_int k); delta = 0 }
+              | Some (Mov (_, op)) -> resolve t ~seen ~depth ~at:d op
+              | Some (Bin (_, Add, a, Imm k)) | Some (Bin (_, Add, Imm k, a)) ->
+                  let e = resolve t ~seen ~depth ~at:d a in
+                  if e.base = Unknown then unknown
+                  else { e with delta = e.delta + Int64.to_int k }
+              | Some (Bin (_, Sub, a, Imm k)) ->
+                  let e = resolve t ~seen ~depth ~at:d a in
+                  if e.base = Unknown then unknown
+                  else { e with delta = e.delta - Int64.to_int k }
+              | Some (Load { space = Persistent; base; off; _ })
+                when depth < max_load_depth -> (
+                  let a = resolve t ~seen ~depth:(depth + 1) ~at:d base in
+                  match a.base with
+                  | Unknown -> unknown
+                  | _ -> { base = Loaded (a, off); delta = 0 })
+              | _ -> unknown)
+        end
+      in
+      Hashtbl.replace t.memo (at, r) e;
+      e
+
+and resolve t ~seen ~depth ~at = function
+  | Ir.Reg r -> resolve_reg t ~seen ~depth ~at r
+  | Ir.Imm i -> { base = Const i; delta = 0 }
+
+let resolve_operand t ~at op = resolve t ~seen:[] ~depth:0 ~at op
+
+let resolve_store_addr t pos =
+  match instr_at t pos with
+  | Some (Load { base; off; _ }) | Some (Store { base; off; _ }) ->
+      let e = resolve_operand t ~at:pos base in
+      Some (if e.base = Unknown then e else { e with delta = e.delta + off })
+  | _ -> None
+
+let rec stable_base = function
+  | Alloca _ | Heap _ | Const _ | Param _ | Root _ -> true
+  | Loaded _ | Unknown -> false
+
+and is_stable e = stable_base e.base
+
+let rec compare_base a b =
+  match (a, b) with
+  | Loaded (e1, o1), Loaded (e2, o2) ->
+      let c = compare e1 e2 in
+      if c <> 0 then c else Stdlib.compare o1 o2
+  | _ -> Stdlib.compare a b
+
+and compare a b =
+  let c = compare_base a.base b.base in
+  if c <> 0 then c else Stdlib.compare a.delta b.delta
+
+let equal a b = compare a b = 0
+
+let rec base_to_string = function
+  | Alloca s -> Printf.sprintf "alloca@%d" s
+  | Heap s -> Printf.sprintf "heap@%d" s
+  | Const k -> Int64.to_string k
+  | Param i -> Printf.sprintf "param%d" i
+  | Root k -> Printf.sprintf "root[%d]" k
+  | Loaded (e, off) -> Printf.sprintf "*(%s+%d)" (to_string e) off
+  | Unknown -> "?"
+
+and to_string e =
+  if e.delta = 0 then base_to_string e.base
+  else Printf.sprintf "%s+%d" (base_to_string e.base) e.delta
