@@ -178,6 +178,69 @@ let all_cmd =
   in
   Cmd.v (Cmd.info "all" ~doc) Term.(const run $ scale_arg $ jobs_arg)
 
+let profile_cmd =
+  let doc =
+    "One observed run: per-event rollups (flushes, fences, log bytes, \
+     boundaries, lock traffic) tagged by FASE, reconciled against the pmem \
+     counters, written as JSON."
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_obs.json"
+      & info [ "out" ] ~doc:"Output path for the JSON record")
+  in
+  let run scheme workload threads ops seed out =
+    let program = Ido_workloads.Workload.named workload in
+    let p = Exp.profile ~seed ~scheme ~threads ~total_ops:ops program in
+    let r = p.Exp.prun in
+    let roll = p.Exp.rollup in
+    let per_op n = float_of_int n /. float_of_int (max 1 r.Exp.ops) in
+    let consistency =
+      match p.Exp.consistency with Ok () -> "ok" | Error m -> m
+    in
+    let oc = open_out out in
+    Printf.fprintf oc
+      "{\n\
+      \  \"scheme\": %S,\n\
+      \  \"workload\": %S,\n\
+      \  \"threads\": %d,\n\
+      \  \"ops\": %d,\n\
+      \  \"sim_ns\": %d,\n\
+      \  \"mops\": %.3f,\n\
+      \  \"fases\": %d,\n\
+      \  \"rollup\": %s,\n\
+      \  \"per_op\": {\"flushes\": %.3f, \"fences\": %.3f, \"log_bytes\": \
+       %.1f},\n\
+      \  \"consistency\": %S\n\
+       }\n"
+      (Scheme.name scheme) workload threads r.Exp.ops r.Exp.sim_ns r.Exp.mops
+      p.Exp.fases
+      (Ido_obs.Obs.rollup_to_json roll)
+      (per_op roll.Ido_obs.Obs.flushes)
+      (per_op roll.Ido_obs.Obs.fences)
+      (per_op roll.Ido_obs.Obs.log_bytes)
+      consistency;
+    close_out oc;
+    Printf.printf
+      "%s on %s, %d threads: %d ops, %d FASEs; %.2f flushes/op, %.2f \
+       fences/op, %.1f log bytes/op; obs/counters %s; wrote %s\n"
+      (Scheme.name scheme) workload threads r.Exp.ops p.Exp.fases
+      (per_op roll.Ido_obs.Obs.flushes)
+      (per_op roll.Ido_obs.Obs.fences)
+      (per_op roll.Ido_obs.Obs.log_bytes)
+      (match p.Exp.consistency with
+      | Ok () -> "consistent"
+      | Error m -> "MISMATCH: " ^ m)
+      out;
+    if p.Exp.consistency <> Ok () then exit 1
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc)
+    Term.(
+      const run $ scheme_arg $ workload_arg $ threads_arg $ ops_arg $ seed_arg
+      $ out_arg)
+
 let selftime_cmd =
   let doc =
     "Time the drivers serial vs parallel and write the results as JSON \
@@ -267,8 +330,21 @@ let () =
       regions_cmd;
       dump_cmd;
       all_cmd;
+      profile_cmd;
       selftime_cmd;
     ]
   in
   let info = Cmd.info "ido_bench" ~doc:"iDO reproduction experiment driver" in
-  exit (Cmd.eval (Cmd.group info cmds))
+  (* A scheme log overflowing its fixed capacity is a bounded-resource
+     verdict on the requested run, not a driver crash: render the
+     typed diagnostic instead of a backtrace. *)
+  exit
+    (try Cmd.eval ~catch:false (Cmd.group info cmds)
+     with Lognode.Log_overflow ov ->
+       Printf.eprintf "ido_bench: %s\n"
+         (Ido_analysis.Diag.render
+            (Ido_analysis.Diag.vf ~func:"runtime" ~code:"R601"
+               "%s: %s log overflow on thread %d (capacity %d)"
+               ov.Lognode.scheme ov.Lognode.log ov.Lognode.tid
+               ov.Lognode.capacity));
+       3)

@@ -77,13 +77,25 @@ let spec_of scheme workload seed threads ops cache_lines oracle strict =
   | `Atomic -> { spec with oracle_mode = Ido_workloads.Oracle.Atomic }
   | `Prefix -> { spec with oracle_mode = Ido_workloads.Oracle.Prefix }
 
+let overflow_diag (ov : Lognode.overflow) =
+  Ido_analysis.Diag.vf ~func:"runtime" ~code:"R601"
+    "%s: %s log overflow on thread %d (capacity %d)" ov.Lognode.scheme
+    ov.Lognode.log ov.Lognode.tid ov.Lognode.capacity
+
 (* Bad spec combinations (unsupported scheme x workload pair,
    nonsensical budget) surface as [Invalid_argument]; report them as
-   the usage errors they are rather than as uncaught exceptions. *)
+   the usage errors they are rather than as uncaught exceptions.  A
+   scheme log overflowing its fixed capacity is a bounded-resource
+   verdict on the run, not a crash: render it as a diagnostic. *)
 let guard f =
-  try f () with Invalid_argument msg ->
-    Printf.eprintf "ido_check: %s\n" msg;
-    Cmd.Exit.cli_error
+  try f () with
+  | Invalid_argument msg ->
+      Printf.eprintf "ido_check: %s\n" msg;
+      Cmd.Exit.cli_error
+  | Lognode.Log_overflow ov ->
+      Printf.eprintf "ido_check: %s\n"
+        (Ido_analysis.Diag.render (overflow_diag ov));
+      3
 
 let pp_injection (inj : Engine.injection) =
   Printf.printf "  index %d (%s): %s\n" inj.index
@@ -180,6 +192,92 @@ let schedule_cmd =
     Term.(
       const run $ scheme_arg $ workload_arg $ seed_arg $ threads_arg $ ops_arg
       $ cache_lines_arg $ oracle_arg $ strict_arg $ limit_arg)
+
+let pp_traced (tr : Engine.traced) =
+  Printf.printf "%s on %s: %d events%s\n"
+    (Scheme.name tr.Engine.t_spec.Engine.scheme)
+    tr.Engine.t_spec.Engine.workload
+    (Ido_obs.Obs.count tr.Engine.t_obs)
+    (match tr.Engine.t_index with
+    | None -> " (crash-free)"
+    | Some k -> Printf.sprintf ", crash injected at index %d" k);
+  (match tr.Engine.t_injection with Some inj -> pp_injection inj | None -> ());
+  Printf.printf "digest %s\n" tr.Engine.t_digest;
+  Printf.printf "obs/counters: %s\n"
+    (match tr.Engine.t_consistency with
+    | Ok () -> "consistent"
+    | Error m -> "MISMATCH: " ^ m)
+
+let traced_ok (tr : Engine.traced) =
+  tr.Engine.t_consistency = Ok ()
+  && match tr.Engine.t_injection with
+     | Some { Engine.verdict = Error _; _ } -> false
+     | _ -> true
+
+let trace_cmd =
+  let doc =
+    "Record one fully-observed run as an NDJSON trace (events tagged with \
+     thread and FASE ids, digest and obs/counters reconciliation in the \
+     footer), or replay a trace from its header alone and check the digest \
+     reproduces."
+  in
+  let index_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "index" ]
+          ~doc:
+            "Crash just before this event index (omit for a crash-free \
+             run)")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~doc:"Write the NDJSON trace to this file")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ]
+          ~doc:
+            "Ignore the spec options: re-run the spec recorded in this \
+             trace file's header and compare digests (exit 0 iff they \
+             match and the rollup reconciles)")
+  in
+  let run scheme workload seed threads ops cache_lines oracle strict index
+      replay_file out =
+    guard @@ fun () ->
+    match replay_file with
+    | Some path ->
+        let s = Trace.load path in
+        let tr = Trace.replay s in
+        (match out with Some o -> Trace.save tr o | None -> ());
+        pp_traced tr;
+        let matches = String.equal s.Trace.digest tr.Engine.t_digest in
+        Printf.printf "recorded digest %s: %s\n" s.Trace.digest
+          (if matches then "match" else "MISMATCH");
+        if matches && tr.Engine.t_consistency = Ok () then 0 else 1
+    | None ->
+        let spec =
+          spec_of scheme workload seed threads ops cache_lines oracle strict
+        in
+        let tr = Engine.run_traced ?index spec in
+        (match out with
+        | Some o ->
+            Trace.save tr o;
+            Printf.printf "wrote %s\n" o
+        | None -> ());
+        pp_traced tr;
+        if traced_ok tr then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ scheme_arg $ workload_arg $ seed_arg $ threads_arg $ ops_arg
+      $ cache_lines_arg $ oracle_arg $ strict_arg $ index_arg $ replay_arg
+      $ out_arg)
 
 let pp_diag d = print_endline ("  " ^ Ido_analysis.Diag.render d)
 
@@ -323,4 +421,7 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ explore_cmd; replay_cmd; schedule_cmd; lint_cmd; mutants_cmd ]))
+          [
+            explore_cmd; replay_cmd; schedule_cmd; trace_cmd; lint_cmd;
+            mutants_cmd;
+          ]))

@@ -246,3 +246,78 @@ let final_digest spec =
   Vm.flush_all m;
   let root = Ido_region.Region.get_root (Vm.region m) 0 in
   Oracle.digest ~workload:spec.workload ~root (mem_of m)
+
+(* ---------- Traced runs ---------- *)
+
+type traced = {
+  t_spec : spec;
+  t_index : int option;
+  t_injection : injection option;
+  t_digest : string;
+  t_obs : Ido_obs.Obs.t;
+  t_consistency : (unit, string) result;
+}
+
+let run_traced ?index spec =
+  (match index with
+  | Some k when k < 0 -> invalid_arg "Engine.run_traced: negative crash index"
+  | _ -> ());
+  let m = setup spec in
+  (* The observed window starts after durable setup: snapshot the pmem
+     counters so [Obs.check] reconciles exactly what the sink saw. *)
+  let c0 = Ido_nvm.Pmem.counters (Vm.pmem m) in
+  let stores0 = c0.Ido_nvm.Pmem.stores
+  and writebacks0 = c0.Ido_nvm.Pmem.writebacks
+  and fences0 = c0.Ido_nvm.Pmem.fences
+  and evictions0 = c0.Ido_nvm.Pmem.evictions in
+  let obs = Ido_obs.Obs.create () in
+  Vm.set_obs m (Some obs);
+  let t_injection =
+    match index with
+    | None ->
+        finish_run m;
+        Vm.flush_all m;
+        None
+    | Some k ->
+        (* Same protocol as [inject], with the sink watching the worker
+           phase, the crash, and recovery.  The injection hook runs
+           before obs emission, so the aborted event is recorded by
+           neither the sink nor the counters — they stay reconciled. *)
+        let count = ref 0 in
+        let crashed_event = ref None in
+        Vm.set_event_hook m
+          (Some
+             (fun e ->
+               if !count = k then begin
+                 crashed_event := Some (Event.describe e);
+                 raise Crash_injected
+               end;
+               incr count));
+        (try finish_run m with Crash_injected -> ());
+        Vm.set_event_hook m None;
+        Vm.crash m;
+        let verdict =
+          match Vm.recover m with
+          | _stats ->
+              Vm.flush_all m;
+              validate_now spec ~mode:spec.oracle_mode m
+          | exception e ->
+              Error (Printf.sprintf "recovery raised: %s" (Printexc.to_string e))
+        in
+        Some { index = k; event = !crashed_event; verdict }
+  in
+  Vm.set_obs m None;
+  let c = Ido_nvm.Pmem.counters (Vm.pmem m) in
+  let t_consistency =
+    Ido_obs.Obs.check obs
+      ~stores:(c.Ido_nvm.Pmem.stores - stores0)
+      ~writebacks:(c.Ido_nvm.Pmem.writebacks - writebacks0)
+      ~fences:(c.Ido_nvm.Pmem.fences - fences0)
+      ~evictions:(c.Ido_nvm.Pmem.evictions - evictions0)
+  in
+  let t_digest =
+    let root = Ido_region.Region.get_root (Vm.region m) 0 in
+    Oracle.digest ~workload:spec.workload ~root (mem_of m)
+  in
+  { t_spec = spec; t_index = index; t_injection; t_digest; t_obs = obs;
+    t_consistency }

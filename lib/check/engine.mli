@@ -114,3 +114,27 @@ val repro_line : spec -> int -> string
 val final_digest : spec -> string
 (** Crash-free run to completion, then {!Oracle.digest} of the
     durable image — the cross-scheme differential signature. *)
+
+(** {1 Traced runs}
+
+    A traced run is an {!inject}-style execution (or a crash-free one)
+    with an {!Ido_obs.Obs} sink attached over the worker phase, the
+    injected crash, and recovery.  Afterwards the sink's rollup is
+    reconciled against the pmem counter deltas of the same window — a
+    disagreement means the VM lost or duplicated an emission. *)
+
+type traced = {
+  t_spec : spec;
+  t_index : int option;  (** [None]: the run was crash-free *)
+  t_injection : injection option;
+      (** present exactly when [t_index] is: the injection's verdict *)
+  t_digest : string;  (** {!Oracle.digest} of the final durable image *)
+  t_obs : Ido_obs.Obs.t;  (** the sink, fully buffered *)
+  t_consistency : (unit, string) result;
+      (** {!Ido_obs.Obs.check} against the counter deltas *)
+}
+
+val run_traced : ?index:int -> spec -> traced
+(** Deterministic under the spec (and [index]): re-running yields the
+    same event stream, digest, and verdict — the basis of trace
+    replay ({!Trace}). *)

@@ -1,0 +1,203 @@
+(* NDJSON persistence for traced runs.
+
+   A trace file is self-describing: its header line carries the full
+   engine spec plus the crash index, so a recorded run can be replayed
+   from the file alone — no command line, no ambient state.  The body
+   is one JSON object per obs event; the footer pins the event count,
+   the durable-image digest, the oracle verdict and the obs/counters
+   reconciliation.  Replaying a trace and saving the result must
+   reproduce the original file byte for byte (the CI smoke check
+   [cmp]s them). *)
+
+open Ido_runtime
+open Ido_workloads
+
+type summary = {
+  spec : Engine.spec;
+  index : int option;
+  events : int;
+  digest : string;
+  verdict : (unit, string) result option;
+  consistency : (unit, string) result;
+}
+
+let mode_name = function Oracle.Atomic -> "atomic" | Oracle.Prefix -> "prefix"
+
+let verdict_string = function
+  | None -> "none"
+  | Some (Ok ()) -> "ok"
+  | Some (Error m) -> "VIOLATION: " ^ m
+
+let result_string = function Ok () -> "ok" | Error m -> m
+
+let header_line (spec : Engine.spec) index =
+  Printf.sprintf
+    ({|{"type":"header","format":1,"scheme":"%s","workload":"%s",|}
+    ^^ {|"seed":%d,"threads":%d,"ops":%d,"cache_lines":%d,|}
+    ^^ {|"oracle":"%s","index":%d}|})
+    (Scheme.name spec.Engine.scheme)
+    spec.Engine.workload spec.Engine.seed spec.Engine.threads spec.Engine.ops
+    spec.Engine.cache_lines
+    (mode_name spec.Engine.oracle_mode)
+    (Option.value index ~default:(-1))
+
+let footer_line ~events ~digest ~verdict ~consistency =
+  Printf.sprintf
+    {|{"type":"footer","events":%d,"digest":"%s","verdict":"%s","consistency":"%s"}|}
+    events
+    (Ido_obs.Obs.json_escape digest)
+    (Ido_obs.Obs.json_escape (verdict_string verdict))
+    (Ido_obs.Obs.json_escape (result_string consistency))
+
+let save (tr : Engine.traced) path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (header_line tr.Engine.t_spec tr.Engine.t_index);
+      output_char oc '\n';
+      List.iter
+        (fun ev ->
+          output_string oc (Ido_obs.Obs.event_to_ndjson ev);
+          output_char oc '\n')
+        (Ido_obs.Obs.events tr.Engine.t_obs);
+      output_string oc
+        (footer_line
+           ~events:(Ido_obs.Obs.count tr.Engine.t_obs)
+           ~digest:tr.Engine.t_digest
+           ~verdict:(Option.map (fun i -> i.Engine.verdict) tr.Engine.t_injection)
+           ~consistency:tr.Engine.t_consistency);
+      output_char oc '\n')
+
+(* ---------- Parsing ----------
+
+   The reader only needs the header and footer of files this module
+   wrote itself, so a minimal field extractor suffices: locate
+   ["key":] and read the integer or escaped string literal after it.
+   It is not a general JSON parser and does not try to be one. *)
+
+let parse_error path what =
+  failwith (Printf.sprintf "Trace.load: %s: %s" path what)
+
+let find_key line key =
+  let pat = Printf.sprintf {|"%s":|} key in
+  let n = String.length line and pn = String.length pat in
+  let rec scan i =
+    if i + pn > n then None
+    else if String.sub line i pn = pat then Some (i + pn)
+    else scan (i + 1)
+  in
+  scan 0
+
+let int_field path line key =
+  match find_key line key with
+  | None -> parse_error path (Printf.sprintf "missing field %S" key)
+  | Some i ->
+      let n = String.length line in
+      let j = ref i in
+      if !j < n && line.[!j] = '-' then incr j;
+      while !j < n && line.[!j] >= '0' && line.[!j] <= '9' do incr j done;
+      if !j = i then parse_error path (Printf.sprintf "field %S is not a number" key);
+      int_of_string (String.sub line i (!j - i))
+
+let string_field path line key =
+  match find_key line key with
+  | None -> parse_error path (Printf.sprintf "missing field %S" key)
+  | Some i ->
+      let n = String.length line in
+      if i >= n || line.[i] <> '"' then
+        parse_error path (Printf.sprintf "field %S is not a string" key);
+      let buf = Buffer.create 32 in
+      let rec go j =
+        if j >= n then parse_error path (Printf.sprintf "unterminated string in %S" key)
+        else
+          match line.[j] with
+          | '"' -> Buffer.contents buf
+          | '\\' when j + 1 < n ->
+              (match line.[j + 1] with
+              | 'n' -> Buffer.add_char buf '\n'; go (j + 2)
+              | 'r' -> Buffer.add_char buf '\r'; go (j + 2)
+              | 't' -> Buffer.add_char buf '\t'; go (j + 2)
+              | 'u' when j + 5 < n ->
+                  let code = int_of_string ("0x" ^ String.sub line (j + 2) 4) in
+                  Buffer.add_char buf (Char.chr (code land 0xff));
+                  go (j + 6)
+              | c -> Buffer.add_char buf c; go (j + 2))
+          | c -> Buffer.add_char buf c; go (j + 1)
+      in
+      go (i + 1)
+
+let load path =
+  let ic = open_in path in
+  let lines =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  in
+  let header, footer =
+    match lines with
+    | first :: (_ :: _ as rest) -> (first, List.nth rest (List.length rest - 1))
+    | _ -> parse_error path "expected at least a header and a footer line"
+  in
+  if find_key header "type" = None || string_field path header "type" <> "header"
+  then parse_error path "first line is not a trace header";
+  if string_field path footer "type" <> "footer" then
+    parse_error path "last line is not a trace footer";
+  let scheme_name = string_field path header "scheme" in
+  let scheme =
+    match List.find_opt (fun s -> Scheme.name s = scheme_name) Scheme.all with
+    | Some s -> s
+    | None -> parse_error path (Printf.sprintf "unknown scheme %S" scheme_name)
+  in
+  let oracle_mode =
+    match string_field path header "oracle" with
+    | "atomic" -> Oracle.Atomic
+    | "prefix" -> Oracle.Prefix
+    | o -> parse_error path (Printf.sprintf "unknown oracle mode %S" o)
+  in
+  let spec =
+    {
+      Engine.scheme;
+      workload = string_field path header "workload";
+      seed = int_field path header "seed";
+      threads = int_field path header "threads";
+      ops = int_field path header "ops";
+      cache_lines = int_field path header "cache_lines";
+      oracle_mode;
+    }
+  in
+  let index =
+    match int_field path header "index" with -1 -> None | k -> Some k
+  in
+  let verdict =
+    match string_field path footer "verdict" with
+    | "none" -> None
+    | "ok" -> Some (Ok ())
+    | v ->
+        let prefix = "VIOLATION: " in
+        let pn = String.length prefix in
+        if String.length v >= pn && String.sub v 0 pn = prefix then
+          Some (Error (String.sub v pn (String.length v - pn)))
+        else Some (Error v)
+  in
+  let consistency =
+    match string_field path footer "consistency" with
+    | "ok" -> Ok ()
+    | m -> Error m
+  in
+  {
+    spec;
+    index;
+    events = int_field path footer "events";
+    digest = string_field path footer "digest";
+    verdict;
+    consistency;
+  }
+
+let replay (s : summary) = Engine.run_traced ?index:s.index s.spec

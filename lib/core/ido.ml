@@ -44,6 +44,7 @@ module Instrument = Ido_instrument.Instrument
 (** {1 The runtimes} *)
 
 module Scheme = Ido_runtime.Scheme
+module Lognode = Ido_runtime.Lognode
 module Pwriter = Ido_runtime.Pwriter
 module Ido_log = Ido_runtime.Ido_log
 module Justdo_log = Ido_runtime.Justdo_log
@@ -57,6 +58,10 @@ module Atlas_recovery = Ido_runtime.Atlas_recovery
 module Vm = Ido_vm.Vm
 module Recover = Ido_vm.Recover
 module Image = Ido_vm.Image
+
+(** {1 Observability} *)
+
+module Obs = Ido_obs.Obs
 
 (** {1 Benchmarks and experiments} *)
 

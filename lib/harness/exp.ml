@@ -77,6 +77,59 @@ let throughput ?seed ?latency ?collect_region_stats ~scheme ~threads ~total_ops
     clwbs = c.Pmem.clwbs - clwbs0;
   }
 
+type profile = {
+  prun : run;
+  rollup : Ido_obs.Obs.rollup;
+  fases : int;
+  consistency : (unit, string) result;
+}
+
+let profile ?seed ?latency ~scheme ~threads ~total_ops program =
+  let m = boot ?seed ?latency scheme program in
+  let c0 = Pmem.counters (Vm.pmem m) in
+  let stores0 = c0.Pmem.stores
+  and writebacks0 = c0.Pmem.writebacks
+  and fences0 = c0.Pmem.fences
+  and evictions0 = c0.Pmem.evictions
+  and clwbs0 = c0.Pmem.clwbs in
+  let clock0 = Vm.clock m in
+  (* Unbuffered sink: a profiling run only needs the rollups, so long
+     sweeps stay constant-memory. *)
+  let obs = Ido_obs.Obs.create ~buffer:false () in
+  Vm.set_obs m (Some obs);
+  spawn_workers m ~threads ~total_ops;
+  (match Vm.run m with
+  | `Idle -> ()
+  | `Deadlock -> failwith "Exp: workload deadlocked"
+  | _ -> failwith "Exp: workload did not finish");
+  Vm.set_obs m None;
+  let sim_ns = Vm.clock m - clock0 in
+  let ops = Vm.total_ops m in
+  let c = Pmem.counters (Vm.pmem m) in
+  let consistency =
+    Ido_obs.Obs.check obs
+      ~stores:(c.Pmem.stores - stores0)
+      ~writebacks:(c.Pmem.writebacks - writebacks0)
+      ~fences:(c.Pmem.fences - fences0)
+      ~evictions:(c.Pmem.evictions - evictions0)
+  in
+  {
+    prun =
+      {
+        scheme;
+        mops =
+          (if sim_ns = 0 then 0.0
+           else float_of_int ops /. float_of_int sim_ns *. 1000.0);
+        sim_ns;
+        ops;
+        fences = c.Pmem.fences - fences0;
+        clwbs = c.Pmem.clwbs - clwbs0;
+      };
+    rollup = Ido_obs.Obs.total obs;
+    fases = Ido_obs.Obs.fases obs;
+    consistency;
+  }
+
 type crash_report = {
   crashed_at : Timebase.ns;
   recovery : Ido_vm.Recover.stats;

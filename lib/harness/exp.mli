@@ -47,6 +47,28 @@ val throughput :
 (** Initialise, make the setup durable, run [threads] workers sharing
     [total_ops] operations to completion, and report throughput. *)
 
+type profile = {
+  prun : run;  (** the same measurements {!throughput} reports *)
+  rollup : Ido_obs.Obs.rollup;  (** aggregate event rollup of the run *)
+  fases : int;  (** distinct dynamic FASEs observed *)
+  consistency : (unit, string) result;
+      (** {!Ido_obs.Obs.check} of the rollup against the pmem counter
+          deltas of the measured window *)
+}
+
+val profile :
+  ?seed:int ->
+  ?latency:Ido_nvm.Latency.t ->
+  scheme:Scheme.t ->
+  threads:int ->
+  total_ops:int ->
+  Ir.program ->
+  profile
+(** {!throughput} with an unbuffered {!Ido_obs.Obs} sink attached over
+    the measured window — per-event rollups (log bytes, boundaries,
+    lock traffic, ...) at constant memory, reconciled against the pmem
+    counters on every run. *)
+
 type crash_report = {
   crashed_at : Timebase.ns;
   recovery : Ido_vm.Recover.stats;

@@ -8,6 +8,7 @@ type counters = {
   mutable loads : int;
   mutable stores : int;
   mutable clwbs : int;
+  mutable writebacks : int;
   mutable fences : int;
   mutable evictions : int;
 }
@@ -18,9 +19,15 @@ type event =
   | Ev_fence
   | Ev_evict of addr
 
+(* A dirty line knows its own number and its slot in [dirty_index],
+   so index maintenance on the write-back path touches no hashtable at
+   all — only the vector. *)
+type line = { lineno : int; words : int64 array; mutable slot : int }
+
 type t = {
   nvm : int64 array;  (* the persistence domain *)
-  overlay : (int, int64 array) Hashtbl.t;  (* dirty lines: line -> 8 words *)
+  overlay : (int, line) Hashtbl.t;  (* dirty lines: line -> 8 words *)
+  dirty_index : line Vec.t;  (* the overlay's values, in a flat array *)
   cache_lines : int;
   rng : Rng.t;
   counters : counters;
@@ -33,9 +40,12 @@ let create ?(cache_lines = 1024) ~rng size =
   {
     nvm = Array.make size 0L;
     overlay = Hashtbl.create 4096;
+    dirty_index = Vec.create ();
     cache_lines;
     rng;
-    counters = { loads = 0; stores = 0; clwbs = 0; fences = 0; evictions = 0 };
+    counters =
+      { loads = 0; stores = 0; clwbs = 0; writebacks = 0; fences = 0;
+        evictions = 0 };
     pending = 0;
     event_hook = None;
   }
@@ -62,54 +72,57 @@ let load t addr =
   check t addr;
   t.counters.loads <- t.counters.loads + 1;
   match Hashtbl.find_opt t.overlay (line_of addr) with
-  | Some words -> words.(offset_of addr)
+  | Some l -> l.words.(offset_of addr)
   | None -> t.nvm.(addr)
+
+(* The dirty-line index mirrors the overlay's key set in a flat vector
+   so a uniformly random dirty line is one [Rng.int] away; removal
+   swaps the last slot in (order inside the vector is irrelevant — the
+   victim choice is random anyway). *)
+let index_add t (l : line) =
+  l.slot <- Vec.length t.dirty_index;
+  Vec.push t.dirty_index l
+
+let index_remove t (l : line) =
+  let last = Vec.pop t.dirty_index in
+  if last != l then begin
+    Vec.set t.dirty_index l.slot last;
+    last.slot <- l.slot
+  end
 
 (* Copy a dirty line into the persistence domain and drop it from the
    overlay. *)
-let write_back t line words =
-  let base = line * words_per_line in
+let write_back t (l : line) =
+  let base = l.lineno * words_per_line in
   let limit = Stdlib.min words_per_line (Array.length t.nvm - base) in
-  Array.blit words 0 t.nvm base limit;
-  Hashtbl.remove t.overlay line
+  Array.blit l.words 0 t.nvm base limit;
+  Hashtbl.remove t.overlay l.lineno;
+  index_remove t l
 
 let evict_random t =
-  (* Pick a pseudo-random dirty line: hash-order walk with a random
-     skip.  This is the "arbitrary write-back order" of the paper. *)
-  let n = Hashtbl.length t.overlay in
+  (* Pick a uniformly random dirty line in O(1) via the index.  This is
+     the "arbitrary write-back order" of the paper. *)
+  let n = Vec.length t.dirty_index in
   if n > 0 then begin
-    let skip = Rng.int t.rng n in
-    let picked = ref None in
-    let i = ref 0 in
-    (try
-       Hashtbl.iter
-         (fun line words ->
-           if !i = skip then begin
-             picked := Some (line, words);
-             raise Exit
-           end;
-           incr i)
-         t.overlay
-     with Exit -> ());
-    match !picked with
-    | Some (line, words) ->
-        emit t (Ev_evict (line * words_per_line));
-        write_back t line words;
-        t.counters.evictions <- t.counters.evictions + 1
-    | None -> ()
+    let l = Vec.get t.dirty_index (Rng.int t.rng n) in
+    emit t (Ev_evict (l.lineno * words_per_line));
+    write_back t l;
+    t.counters.evictions <- t.counters.evictions + 1
   end
 
 let dirty_line t addr =
   let line = line_of addr in
   match Hashtbl.find_opt t.overlay line with
-  | Some words -> words
+  | Some l -> l.words
   | None ->
       if Hashtbl.length t.overlay >= t.cache_lines then evict_random t;
       let base = line * words_per_line in
       let words = Array.make words_per_line 0L in
       let limit = Stdlib.min words_per_line (Array.length t.nvm - base) in
       Array.blit t.nvm base words 0 limit;
-      Hashtbl.add t.overlay line words;
+      let l = { lineno = line; words; slot = 0 } in
+      Hashtbl.add t.overlay line l;
+      index_add t l;
       words
 
 let store t addr v =
@@ -123,18 +136,20 @@ let poke t addr v =
   check t addr;
   t.nvm.(addr) <- v;
   match Hashtbl.find_opt t.overlay (line_of addr) with
-  | Some words -> words.(offset_of addr) <- v
+  | Some l -> l.words.(offset_of addr) <- v
   | None -> ()
 
 let clwb t addr =
   check t addr;
   t.counters.clwbs <- t.counters.clwbs + 1;
-  (match Hashtbl.find_opt t.overlay (line_of addr) with
-  | Some words ->
+  match Hashtbl.find_opt t.overlay (line_of addr) with
+  | Some l ->
       emit t (Ev_clwb addr);
-      write_back t (line_of addr) words;
-      t.pending <- t.pending + 1
-  | None -> ())
+      write_back t l;
+      t.counters.writebacks <- t.counters.writebacks + 1;
+      t.pending <- t.pending + 1;
+      true
+  | None -> false
 
 let fence t =
   emit t Ev_fence;
@@ -158,11 +173,12 @@ let dirty_lines t = Hashtbl.length t.overlay
 
 let crash t =
   Hashtbl.reset t.overlay;
+  Vec.clear t.dirty_index;
   t.pending <- 0
 
 let snapshot_persistent t = Array.copy t.nvm
 
 let flush_all t =
-  let lines = Hashtbl.fold (fun line words acc -> (line, words) :: acc) t.overlay [] in
-  List.iter (fun (line, words) -> write_back t line words) lines;
+  let lines = Hashtbl.fold (fun _ l acc -> l :: acc) t.overlay [] in
+  List.iter (fun l -> write_back t l) lines;
   t.pending <- 0

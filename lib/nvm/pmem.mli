@@ -25,7 +25,10 @@ val words_per_line : int
 type counters = {
   mutable loads : int;
   mutable stores : int;
-  mutable clwbs : int;
+  mutable clwbs : int;  (** clwb instructions issued, including no-ops *)
+  mutable writebacks : int;
+      (** clwbs that actually initiated a write-back (line was dirty);
+          evictions are counted separately in [evictions] *)
   mutable fences : int;
   mutable evictions : int;
 }
@@ -53,7 +56,9 @@ val counters : t -> counters
 
 type event =
   | Ev_store of addr  (** a store is about to enter the overlay *)
-  | Ev_clwb of addr  (** a dirty line is about to be written back *)
+  | Ev_clwb of addr
+      (** a dirty line is about to be written back ([clwb]s that hit a
+          clean line are no-ops and emit nothing) *)
   | Ev_fence  (** a persist fence is about to complete *)
   | Ev_evict of addr
       (** a dirty line (base address given) is about to be evicted *)
@@ -74,10 +79,14 @@ val poke : t -> addr -> int64 -> unit
     allocated blocks and for simulator-side metadata; not part of the
     simulated machine's store path. *)
 
-val clwb : t -> addr -> unit
-(** Initiate write-back of the line containing [addr].  The line's
-    current contents enter the persistence domain; the waiting cost is
-    charged by the next fence (see {!drain_pending}). *)
+val clwb : t -> addr -> bool
+(** Initiate write-back of the line containing [addr].  Returns whether
+    a write-back actually occurred: [true] when the line was dirty (its
+    contents enter the persistence domain and the waiting cost is
+    charged by the next fence — see {!drain_pending}), [false] when the
+    line was clean and the instruction was a no-op.  Callers that
+    account for persistence cost ({!Ido_runtime.Pwriter}) must charge
+    only on [true]. *)
 
 val fence : t -> int
 (** Persist fence: returns the number of write-backs initiated since

@@ -1,0 +1,206 @@
+type kind =
+  | Store of int
+  | Flush of int
+  | Fence of int
+  | Evict of int
+  | Log_append of { log : string; bytes : int }
+  | Boundary of { region : int; elided : bool }
+  | Lock_acquire of int
+  | Lock_release of int
+  | Fase_enter
+  | Fase_exit
+  | Crash
+  | Recovery_step of { scheme : string; what : string }
+
+type event = { seq : int; tid : int; fase : int; kind : kind }
+
+type rollup = {
+  mutable stores : int;
+  mutable flushes : int;
+  mutable fences : int;
+  mutable evictions : int;
+  mutable log_appends : int;
+  mutable log_bytes : int;
+  mutable boundaries : int;
+  mutable elided_boundaries : int;
+  mutable lock_acquires : int;
+  mutable lock_releases : int;
+  mutable fase_enters : int;
+  mutable fase_exits : int;
+  mutable crashes : int;
+  mutable recovery_steps : int;
+}
+
+let rollup_zero () =
+  {
+    stores = 0;
+    flushes = 0;
+    fences = 0;
+    evictions = 0;
+    log_appends = 0;
+    log_bytes = 0;
+    boundaries = 0;
+    elided_boundaries = 0;
+    lock_acquires = 0;
+    lock_releases = 0;
+    fase_enters = 0;
+    fase_exits = 0;
+    crashes = 0;
+    recovery_steps = 0;
+  }
+
+let rollup_equal a b =
+  a.stores = b.stores && a.flushes = b.flushes && a.fences = b.fences
+  && a.evictions = b.evictions && a.log_appends = b.log_appends
+  && a.log_bytes = b.log_bytes && a.boundaries = b.boundaries
+  && a.elided_boundaries = b.elided_boundaries
+  && a.lock_acquires = b.lock_acquires && a.lock_releases = b.lock_releases
+  && a.fase_enters = b.fase_enters && a.fase_exits = b.fase_exits
+  && a.crashes = b.crashes && a.recovery_steps = b.recovery_steps
+
+type t = {
+  buffer : bool;
+  events : event Ido_util.Vec.t;
+  total : rollup;
+  by_fase : (int, rollup) Hashtbl.t;
+  mutable count : int;
+}
+
+let create ?(buffer = true) () =
+  {
+    buffer;
+    events = Ido_util.Vec.create ();
+    total = rollup_zero ();
+    by_fase = Hashtbl.create 64;
+    count = 0;
+  }
+
+let bump r = function
+  | Store _ -> r.stores <- r.stores + 1
+  | Flush _ -> r.flushes <- r.flushes + 1
+  | Fence _ -> r.fences <- r.fences + 1
+  | Evict _ -> r.evictions <- r.evictions + 1
+  | Log_append { bytes; _ } ->
+      r.log_appends <- r.log_appends + 1;
+      r.log_bytes <- r.log_bytes + bytes
+  | Boundary { elided; _ } ->
+      r.boundaries <- r.boundaries + 1;
+      if elided then r.elided_boundaries <- r.elided_boundaries + 1
+  | Lock_acquire _ -> r.lock_acquires <- r.lock_acquires + 1
+  | Lock_release _ -> r.lock_releases <- r.lock_releases + 1
+  | Fase_enter -> r.fase_enters <- r.fase_enters + 1
+  | Fase_exit -> r.fase_exits <- r.fase_exits + 1
+  | Crash -> r.crashes <- r.crashes + 1
+  | Recovery_step _ -> r.recovery_steps <- r.recovery_steps + 1
+
+let emit t ~tid ~fase kind =
+  let ev = { seq = t.count; tid; fase; kind } in
+  t.count <- t.count + 1;
+  bump t.total kind;
+  if fase >= 0 then begin
+    let r =
+      match Hashtbl.find_opt t.by_fase fase with
+      | Some r -> r
+      | None ->
+          let r = rollup_zero () in
+          Hashtbl.add t.by_fase fase r;
+          r
+    in
+    bump r kind
+  end;
+  if t.buffer then Ido_util.Vec.push t.events ev
+
+let count t = t.count
+let events t = Ido_util.Vec.to_list t.events
+let total t = t.total
+
+let per_fase t =
+  Hashtbl.fold (fun fase r acc -> (fase, r) :: acc) t.by_fase []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let fases t = Hashtbl.length t.by_fase
+
+let check t ~stores ~writebacks ~fences ~evictions =
+  let r = t.total in
+  let mismatch what seen counted =
+    Error
+      (Printf.sprintf "obs/%s mismatch: observed %d events, counters say %d"
+         what seen counted)
+  in
+  if r.stores <> stores then mismatch "stores" r.stores stores
+  else if r.flushes <> writebacks then mismatch "flushes" r.flushes writebacks
+  else if r.fences <> fences then mismatch "fences" r.fences fences
+  else if r.evictions <> evictions then mismatch "evictions" r.evictions evictions
+  else Ok ()
+
+(* ---------- NDJSON ---------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let kind_label = function
+  | Store _ -> "store"
+  | Flush _ -> "flush"
+  | Fence _ -> "fence"
+  | Evict _ -> "evict"
+  | Log_append _ -> "log_append"
+  | Boundary _ -> "boundary"
+  | Lock_acquire _ -> "lock_acquire"
+  | Lock_release _ -> "lock_release"
+  | Fase_enter -> "fase_enter"
+  | Fase_exit -> "fase_exit"
+  | Crash -> "crash"
+  | Recovery_step _ -> "recovery_step"
+
+let kind_payload = function
+  | Store a | Flush a -> Printf.sprintf {|,"addr":%d|} a
+  | Fence pending -> Printf.sprintf {|,"pending":%d|} pending
+  | Evict a -> Printf.sprintf {|,"addr":%d|} a
+  | Log_append { log; bytes } ->
+      Printf.sprintf {|,"log":"%s","bytes":%d|} (json_escape log) bytes
+  | Boundary { region; elided } ->
+      Printf.sprintf {|,"region":%d,"elided":%b|} region elided
+  | Lock_acquire l | Lock_release l -> Printf.sprintf {|,"lock":%d|} l
+  | Fase_enter | Fase_exit | Crash -> ""
+  | Recovery_step { scheme; what } ->
+      Printf.sprintf {|,"scheme":"%s","what":"%s"|} (json_escape scheme)
+        (json_escape what)
+
+let event_to_ndjson ev =
+  Printf.sprintf {|{"type":"event","seq":%d,"tid":%d,"fase":%d,"kind":"%s"%s}|}
+    ev.seq ev.tid ev.fase (kind_label ev.kind) (kind_payload ev.kind)
+
+let rollup_to_json r =
+  Printf.sprintf
+    ("{\"stores\":%d,\"flushes\":%d,\"fences\":%d,\"evictions\":%d,"
+   ^^ "\"log_appends\":%d,\"log_bytes\":%d,\"boundaries\":%d,"
+   ^^ "\"elided_boundaries\":%d,\"lock_acquires\":%d,\"lock_releases\":%d,"
+   ^^ "\"fase_enters\":%d,\"fase_exits\":%d,\"crashes\":%d,"
+   ^^ "\"recovery_steps\":%d}")
+    r.stores r.flushes r.fences r.evictions r.log_appends r.log_bytes
+    r.boundaries r.elided_boundaries r.lock_acquires r.lock_releases
+    r.fase_enters r.fase_exits r.crashes r.recovery_steps
+
+let pp_rollup ppf r =
+  Format.fprintf ppf
+    "@[<v>stores            %8d@,flushes           %8d@,fences            %8d@,\
+     evictions         %8d@,log appends       %8d@,log bytes         %8d@,\
+     boundaries        %8d@,  elided          %8d@,lock acquires     %8d@,\
+     lock releases     %8d@,FASEs entered     %8d@,FASEs exited      %8d@,\
+     crashes           %8d@,recovery steps    %8d@]"
+    r.stores r.flushes r.fences r.evictions r.log_appends r.log_bytes
+    r.boundaries r.elided_boundaries r.lock_acquires r.lock_releases
+    r.fase_enters r.fase_exits r.crashes r.recovery_steps

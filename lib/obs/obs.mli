@@ -1,0 +1,116 @@
+(** Persist-event observability: structured tracing and metrics.
+
+    A sink ({!t}) receives one typed {!event} per observable action of
+    the simulated machine — persistence traffic ({!Store}, {!Flush},
+    {!Fence}, {!Evict}), scheme runtime activity ({!Log_append},
+    {!Boundary}, {!Lock_acquire}, {!Lock_release}, {!Fase_enter},
+    {!Fase_exit}) and failure handling ({!Crash}, {!Recovery_step}).
+    Every event carries the issuing thread id and the global FASE id it
+    executed under ([-1] outside any FASE / for machine-level events).
+
+    The sink keeps cheap rollups ({!total}, {!per_fase}) incrementally;
+    full event buffering is optional ([~buffer]) so long profiling runs
+    pay only the counter updates.  Rollups are designed to be checked
+    against {!Ido_nvm.Pmem.counters} deltas with {!check}: the VM emits
+    exactly one [Store]/[Flush]/[Fence]/[Evict] per counted pmem
+    action, so any disagreement indicates lost or duplicated events.
+
+    Emission is driven by {!Ido_vm.Vm.set_obs}; when no sink is
+    installed the machine takes a [None]-check fast path and performs
+    no work at all.
+
+    Events serialise to NDJSON ({!event_to_ndjson}) — one object per
+    line — which is the on-disk trace format of [ido_check trace] (see
+    {!Ido_check.Trace}). *)
+
+type kind =
+  | Store of int  (** word address: a store entered the overlay *)
+  | Flush of int
+      (** word address: a [clwb] actually initiated a write-back (clwbs
+          hitting clean lines are not persistence traffic and emit
+          nothing) *)
+  | Fence of int  (** persist fence; payload = write-backs drained *)
+  | Evict of int  (** line base address evicted pseudo-randomly *)
+  | Log_append of { log : string; bytes : int }
+      (** a scheme runtime appended [bytes] of log payload to the named
+          log ("undo", "redo", "justdo", "ido-lock", "intrf", "page") *)
+  | Boundary of { region : int; elided : bool }
+      (** an idempotent-region boundary executed; [elided] when the
+          cross-boundary register set was empty so no persist happened *)
+  | Lock_acquire of int  (** lock id *)
+  | Lock_release of int  (** lock id *)
+  | Fase_enter  (** thread entered the FASE given by the event's fase id *)
+  | Fase_exit
+  | Crash  (** power failure injected into the machine *)
+  | Recovery_step of { scheme : string; what : string }
+      (** one unit of post-crash recovery work (a resumed thread, an
+          undone record, a replayed transaction, ...) *)
+
+type event = { seq : int; tid : int; fase : int; kind : kind }
+(** [seq] is the 0-based position in this sink's stream.  [tid] / [fase]
+    are [-1] for machine-level events (crash, recovery, setup). *)
+
+type rollup = {
+  mutable stores : int;
+  mutable flushes : int;
+  mutable fences : int;
+  mutable evictions : int;
+  mutable log_appends : int;
+  mutable log_bytes : int;
+  mutable boundaries : int;
+  mutable elided_boundaries : int;
+  mutable lock_acquires : int;
+  mutable lock_releases : int;
+  mutable fase_enters : int;
+  mutable fase_exits : int;
+  mutable crashes : int;
+  mutable recovery_steps : int;
+}
+
+val rollup_zero : unit -> rollup
+val rollup_equal : rollup -> rollup -> bool
+
+type t
+
+val create : ?buffer:bool -> unit -> t
+(** Fresh sink.  [buffer] (default [true]) keeps the full event list
+    for {!events} / {!event_to_ndjson}; with [~buffer:false] only the
+    rollups are maintained (constant memory, for profiling). *)
+
+val emit : t -> tid:int -> fase:int -> kind -> unit
+val count : t -> int
+(** Events emitted so far (equals the next event's [seq]). *)
+
+val events : t -> event list
+(** Buffered events in emission order; [[]] when [~buffer:false]. *)
+
+val total : t -> rollup
+(** The aggregate rollup (shared mutable record — copy to snapshot). *)
+
+val per_fase : t -> (int * rollup) list
+(** Per-FASE rollups, sorted by global FASE id; only events with
+    [fase >= 0] are attributed. *)
+
+val fases : t -> int
+(** Number of distinct FASE ids observed. *)
+
+val check :
+  t -> stores:int -> writebacks:int -> fences:int -> evictions:int ->
+  (unit, string) result
+(** Compare the rollup against externally-counted persistence traffic
+    (deltas of {!Ido_nvm.Pmem.counters} over the observed window).
+    [Error] describes the first mismatching counter. *)
+
+(** {1 NDJSON} *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion inside a JSON string literal. *)
+
+val kind_label : kind -> string
+val event_to_ndjson : event -> string
+(** One-line JSON object: [{"type":"event","seq":..,"tid":..,"fase":..,
+    "kind":"store","addr":..}] with kind-specific payload fields. *)
+
+val pp_rollup : Format.formatter -> rollup -> unit
+val rollup_to_json : rollup -> string
+(** JSON object literal (no trailing newline) with the rollup fields. *)

@@ -19,7 +19,7 @@ let heap_base = off_roots + root_slots
 type t = { pm : Pmem.t; dirty_at_open : bool }
 
 let persist_word pm addr =
-  Pmem.clwb pm addr;
+  ignore (Pmem.clwb pm addr);
   ignore (Pmem.fence pm)
 
 let write_persist pm addr v =

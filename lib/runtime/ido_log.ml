@@ -59,7 +59,9 @@ let record_acquire w node ~holder ~epoch =
   let pm = Pwriter.pmem w in
   let bits = bitmap pm node in
   let rec free_slot i =
-    if i >= lock_slots then failwith "Ido_log: lock_array overflow"
+    if i >= lock_slots then
+      Lognode.overflow ~scheme:"ido" ~tid:(Lognode.tid pm node)
+        ~log:"lock_array" ~capacity:lock_slots
     else if Int64.logand bits (Int64.shift_left 1L i) = 0L then i
     else free_slot (i + 1)
   in
@@ -110,8 +112,8 @@ let set_sim_stack pm node ~base ~sp =
   let o = node + sim_off pm node in
   Pmem.store pm o (Int64.of_int base);
   Pmem.store pm (o + 1) (Int64.of_int sp);
-  Pmem.clwb pm o;
-  Pmem.clwb pm (o + 1);
+  ignore (Pmem.clwb pm o);
+  ignore (Pmem.clwb pm (o + 1));
   Pmem.drain_pending pm
 
 let sim_stack pm node =

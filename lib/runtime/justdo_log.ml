@@ -72,7 +72,9 @@ let record_acquire w node ~holder =
   let pm = Pwriter.pmem w in
   let bits = bitmap pm node in
   let rec free_slot i =
-    if i >= lock_slots then failwith "Justdo_log: lock_array overflow"
+    if i >= lock_slots then
+      Lognode.overflow ~scheme:"justdo" ~tid:(Lognode.tid pm node)
+        ~log:"lock_array" ~capacity:lock_slots
     else if Int64.logand bits (Int64.shift_left 1L i) = 0L then i
     else free_slot (i + 1)
   in

@@ -1,6 +1,13 @@
 open Ido_nvm
 open Ido_region
 
+type overflow = { scheme : string; tid : int; log : string; capacity : int }
+
+exception Log_overflow of overflow
+
+let overflow ~scheme ~tid ~log ~capacity =
+  raise (Log_overflow { scheme; tid; log; capacity })
+
 let kind_ido = 1
 let kind_justdo = 2
 let kind_atlas = 3

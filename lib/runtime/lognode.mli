@@ -9,6 +9,20 @@
 open Ido_nvm
 open Ido_region
 
+type overflow = { scheme : string; tid : int; log : string; capacity : int }
+(** A fixed-capacity per-thread log structure ran out of [log] slots
+    ([capacity] of them) while thread [tid] was mid-FASE under
+    [scheme]. *)
+
+exception Log_overflow of overflow
+(** Raised by the scheme runtimes ({!Ido_log}/{!Justdo_log} lock
+    arrays, {!Redo_log} write set, {!Page_log} page set) instead of
+    aborting the process: drivers catch it and surface a structured
+    {!Ido_analysis.Diag} diagnostic. *)
+
+val overflow : scheme:string -> tid:int -> log:string -> capacity:int -> 'a
+(** [raise (Log_overflow _)] with the given payload. *)
+
 val kind_ido : int
 val kind_justdo : int
 val kind_atlas : int

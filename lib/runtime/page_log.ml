@@ -52,7 +52,9 @@ let log_page w node ~page =
   let pm = Pwriter.pmem w in
   let c = count pm node in
   let cap = Int64.to_int (Pmem.load pm (node + off_cap)) in
-  if c >= cap then failwith "Page_log: page set overflow";
+  if c >= cap then
+    Lognode.overflow ~scheme:"nvthreads" ~tid:(Lognode.tid pm node)
+      ~log:"page_set" ~capacity:cap;
   let base = entry_base node c in
   Pwriter.store w base (Int64.of_int page);
   Pwriter.store w (base + 1) 0L;

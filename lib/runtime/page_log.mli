@@ -22,6 +22,9 @@ open Ido_region
 
 val page_words : int
 
+val entry_words : int
+(** Words per page-set entry: page index + dirty bitmask + the copy. *)
+
 val page_of : Pmem.addr -> int
 (** Page index containing the word address. *)
 

@@ -21,14 +21,17 @@ let store t a v =
   Pmem.store t.pm a v
 
 let clwb t a =
-  (* nvm_extra is the Fig. 9 knob: an inline delay after each
-     write-back, as the paper inserts it.  On an NV-cache machine the
-     write-back is free — cached data is already persistent. *)
-  if not t.lat.Latency.nv_caches then begin
+  (* Charge only when the line was actually dirty: a clwb that hits a
+     clean line writes nothing back, so neither the issue cost nor the
+     fence's drain cost applies.  nvm_extra is the Fig. 9 knob: an
+     inline delay after each write-back, as the paper inserts it.  On
+     an NV-cache machine the write-back is free — cached data is
+     already persistent. *)
+  let wrote = Pmem.clwb t.pm a in
+  if wrote && not t.lat.Latency.nv_caches then begin
     t.cost <- t.cost + t.lat.Latency.clwb_issue + t.lat.Latency.nvm_extra;
     t.pending <- t.pending + 1
-  end;
-  Pmem.clwb t.pm a
+  end
 
 (* One write-back per distinct line, in first-occurrence order: in this
    machine model a write-back is durable at issue, so callers sequence

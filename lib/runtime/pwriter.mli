@@ -20,6 +20,10 @@ val latency : t -> Latency.t
 val load : t -> Pmem.addr -> int64
 val store : t -> Pmem.addr -> int64 -> unit
 val clwb : t -> Pmem.addr -> unit
+(** Write back the line containing the address.  Issue cost and the
+    pending count are charged only when the line was actually dirty —
+    a clwb on a clean line is free (no write-back occurs). *)
+
 val clwb_lines : t -> Pmem.addr list -> unit
 (** Write back the distinct cache lines covering the given word
     addresses (persist coalescing, Sec. IV-B: one [clwb] per line). *)

@@ -36,7 +36,9 @@ let append w node ~addr ~value =
   let pm = Pwriter.pmem w in
   let c = count pm node in
   let cap = Int64.to_int (Pmem.load pm (node + off_cap)) in
-  if c >= cap then failwith "Redo_log: transaction write set overflow";
+  if c >= cap then
+    Lognode.overflow ~scheme:"mnemosyne" ~tid:(Lognode.tid pm node)
+      ~log:"write_set" ~capacity:cap;
   let base = node + off_buf + (2 * c) in
   Pwriter.store w base (Int64.of_int addr);
   Pwriter.store w (base + 1) value;

@@ -17,6 +17,9 @@ type tag = Fase_begin | Write | Acquire | Release | Fase_end
 
 val tag_code : tag -> int
 
+val record_words : int
+(** Words per log record ([kind; a; b; seq] = 4). *)
+
 type record = { tag : tag; a : int64; b : int64; seq : int }
 
 val create : Pwriter.t -> Region.t -> kind:int -> tid:int -> cap_records:int -> Pmem.addr

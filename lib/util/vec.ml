@@ -13,6 +13,10 @@ let get v i =
   if i < 0 || i >= v.len then invalid_arg "Vec.get: index out of bounds";
   v.data.(i)
 
+let set v i x =
+  if i < 0 || i >= v.len then invalid_arg "Vec.set: index out of bounds";
+  v.data.(i) <- x
+
 let push v x =
   let cap = Array.length v.data in
   if v.len = cap then begin
@@ -22,6 +26,11 @@ let push v x =
   end;
   v.data.(v.len) <- x;
   v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then invalid_arg "Vec.pop: empty";
+  v.len <- v.len - 1;
+  v.data.(v.len)
 
 let clear v =
   v.data <- [||];

@@ -10,8 +10,16 @@ val length : 'a t -> int
 val get : 'a t -> int -> 'a
 (** @raise Invalid_argument out of bounds. *)
 
+val set : 'a t -> int -> 'a -> unit
+(** Overwrite an existing slot.
+    @raise Invalid_argument out of bounds. *)
+
 val push : 'a t -> 'a -> unit
 (** Append at the tail. *)
+
+val pop : 'a t -> 'a
+(** Remove and return the last element.
+    @raise Invalid_argument when empty. *)
 
 val clear : 'a t -> unit
 (** Drop every element (and the backing storage). *)

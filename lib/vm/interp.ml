@@ -49,17 +49,36 @@ let create (config : config) (program : Ir.program) =
     crashed = false;
     tracer = None;
     event_hook = None;
+    obs = None;
+    obs_tid = -1;
+    obs_fase = -1;
+    next_fase_id = 0;
   }
+
+let obs_kind_of_pmem m (ev : Pmem.event) : Ido_obs.Obs.kind =
+  match ev with
+  | Pmem.Ev_store a -> Ido_obs.Obs.Store a
+  | Pmem.Ev_clwb a -> Ido_obs.Obs.Flush a
+  | Pmem.Ev_fence -> Ido_obs.Obs.Fence (Pmem.pending_flushes m.pmem)
+  | Pmem.Ev_evict a -> Ido_obs.Obs.Evict a
 
 let create config program =
   let m = create config program in
   (* Forward pmem traffic to the machine-level hook so one subscriber
-     sees memory and lock events in a single stream. *)
+     sees memory and lock events in a single stream.  The crash-
+     injection hook runs first: if it raises, the event's effect never
+     happens, so neither the counters nor the obs sink record it — the
+     trace and `Pmem.counters` stay in exact agreement. *)
   Ido_nvm.Pmem.set_event_hook m.pmem
     (Some
        (fun ev ->
-         match m.event_hook with
+         (match m.event_hook with
          | Some f -> f (Event.of_pmem ev)
+         | None -> ());
+         match m.obs with
+         | Some o ->
+             Ido_obs.Obs.emit o ~tid:m.obs_tid ~fase:m.obs_fase
+               (obs_kind_of_pmem m ev)
          | None -> ()));
   m
 
@@ -90,6 +109,7 @@ let make_thread m ~tid ~fname ~args ~stack_base ~stack_in_pmem ~log_node
     stack_in_pmem;
     log_node;
     in_fase = false;
+    fase_id = -1;
     region_stores = 0;
     region_lines = Hashtbl.create 16;
     fase_lines = Hashtbl.create 16;
@@ -190,6 +210,11 @@ let abort_txn m (t : thread) (txn : txn) =
   t.txn <- Some txn;  (* keep only to carry the retry count *)
   t.rewound <- true;
   t.in_fase <- false;
+  if obs_active m then begin
+    obs_emit m Ido_obs.Obs.Fase_exit;
+    obs_context m ~tid:t.tid ~fase:(-1)
+  end;
+  t.fase_id <- -1;
   (* Randomised backoff grows with retries to avoid livelock. *)
   let backoff = Rng.int t.rng (50 * (txn.retries + 1)) in
   cost t ((lat m).Latency.alu * 5);
@@ -213,6 +238,8 @@ let txn_load m (t : thread) txn a =
 let txn_store m (t : thread) txn a v =
   if not (Hashtbl.mem txn.writes a) then Vec.push txn.write_order a;
   Hashtbl.replace txn.writes a v;
+  (* One redo entry is [addr; value]. *)
+  obs_emit m (Ido_obs.Obs.Log_append { log = "redo"; bytes = 16 });
   Redo_log.append t.writer t.log_node ~addr:a ~value:v;
   cost t (lat m).Latency.alu
 
@@ -352,15 +379,18 @@ let exec_region_boundary m (t : thread) fr (rh : Ir.region_hook) =
   if
     m.config.elide_clean_boundaries && rh.skippable && clean
     && not t.first_boundary
-  then
+  then begin
     (* Lock-induced boundary closing a clean region: elide the persist.
        Resumption restarts from the previous persisted boundary and
        re-executes the clean segment (reads and lock operations are
        idempotent; re-acquired locks tolerate self-holds and stolen
        releases).  The boundary's OutputSet is owed to the next
        persisted boundary so intRF stays current. *)
+    obs_emit m (Ido_obs.Obs.Boundary { region = rh.region_id; elided = true });
     t.pending_out_regs <- rh.out_regs @ t.pending_out_regs
+  end
   else begin
+    obs_emit m (Ido_obs.Obs.Boundary { region = rh.region_id; elided = false });
     (* Step 1 (Sec. III-A): persist OutputSet — the closed region's
        output registers (all live-ins at the first boundary of the
        FASE, which must seed intRF), the OutputSets owed by skipped
@@ -377,6 +407,9 @@ let exec_region_boundary m (t : thread) fr (rh : Ir.region_hook) =
     in
     t.first_boundary <- false;
     t.pending_out_regs <- [];
+    obs_emit m
+      (Ido_obs.Obs.Log_append
+         { log = "intrf"; bytes = 8 * List.length regs_to_log });
     Ido_log.write_out_regs w node
       ~coalesce:m.config.coalesce_registers
       (List.map (fun r -> (r, fr.regs.(r))) regs_to_log);
@@ -397,8 +430,19 @@ let exec_region_boundary m (t : thread) fr (rh : Ir.region_hook) =
     end
   end
 
+(* One Undo_log record is [kind; a; b; seq]. *)
+let undo_record_bytes = 8 * Undo_log.record_words
+
 let exec_fase_enter m (t : thread) _fr =
   t.in_fase <- true;
+  (* Every dynamic FASE gets a globally unique id so per-FASE rollups
+     never conflate two executions of the same static section. *)
+  t.fase_id <- m.next_fase_id;
+  m.next_fase_id <- m.next_fase_id + 1;
+  if obs_active m then begin
+    obs_context m ~tid:t.tid ~fase:t.fase_id;
+    obs_emit m Ido_obs.Obs.Fase_enter
+  end;
   t.region_stores <- 0;
   Hashtbl.reset t.region_lines;
   Hashtbl.reset t.fase_lines;
@@ -413,12 +457,19 @@ let exec_fase_enter m (t : thread) _fr =
   | Scheme.Atlas | Scheme.Nvml ->
       (* Begin/end records need no fence of their own: they become
          durable with the next fenced record (or the commit flush). *)
+      obs_emit m
+        (Ido_obs.Obs.Log_append { log = "undo"; bytes = undo_record_bytes });
       Undo_log.append_unfenced t.writer t.log_node Undo_log.Fase_begin ~a:0L
         ~b:0L ~seq:(next_seq m)
   | Scheme.Nvthreads -> Page_log.begin_fase t.writer t.log_node ~seq:(next_seq m)
   | Scheme.Mnemosyne | Scheme.Origin -> ()
 
 let exec_fase_exit m (t : thread) _fr =
+  (match m.config.scheme with
+  | Scheme.Atlas ->
+      obs_emit m
+        (Ido_obs.Obs.Log_append { log = "undo"; bytes = undo_record_bytes })
+  | _ -> ());
   (match m.config.scheme with
   | Scheme.Ido ->
       record_region_stats m t (-1);
@@ -451,6 +502,12 @@ let exec_fase_exit m (t : thread) _fr =
   | Scheme.Nvml -> Undo_log.reset t.writer t.log_node
   | Scheme.Nvthreads | Scheme.Mnemosyne | Scheme.Origin -> ());
   t.in_fase <- false;
+  if obs_active m then begin
+    obs_emit m Ido_obs.Obs.Fase_exit;
+    t.fase_id <- -1;
+    obs_context m ~tid:t.tid ~fase:(-1)
+  end
+  else t.fase_id <- -1;
   if t.recovery_mode then t.status <- Done
 
 let exec_lock_acquired m (t : thread) _fr =
@@ -462,6 +519,8 @@ let exec_lock_acquired m (t : thread) _fr =
          epoch so recovery knows whether the acquisition precedes the
          persisted boundary.  The ablation knob reverts to JUSTDO's
          intention-log + ownership-log protocol: two fences. *)
+      (* Lock record: packed holder word + bitmap word. *)
+      obs_emit m (Ido_obs.Obs.Log_append { log = "ido-lock"; bytes = 16 });
       Ido_log.record_acquire t.writer t.log_node ~holder ~epoch:t.epoch;
       if not m.config.single_fence_locks then begin
         Pwriter.fence t.writer;
@@ -469,8 +528,13 @@ let exec_lock_acquired m (t : thread) _fr =
           ((lat m).Latency.mem + (lat m).Latency.clwb_issue);
         Pwriter.fence t.writer
       end
-  | Scheme.Justdo -> Justdo_log.record_acquire t.writer t.log_node ~holder
+  | Scheme.Justdo ->
+      (* Intention word + slot word + bitmap word. *)
+      obs_emit m (Ido_obs.Obs.Log_append { log = "justdo-lock"; bytes = 24 });
+      Justdo_log.record_acquire t.writer t.log_node ~holder
   | Scheme.Atlas ->
+      obs_emit m
+        (Ido_obs.Obs.Log_append { log = "undo"; bytes = undo_record_bytes });
       Undo_log.append t.writer t.log_node Undo_log.Acquire
         ~a:(Int64.of_int holder) ~b:0L ~seq:(next_seq m)
   | _ -> ()
@@ -485,6 +549,7 @@ let exec_lock_release m (t : thread) fr ~outermost =
          transient mutex).  One fence, durable before the unlock
          executes — closing the double-claim window. *)
       let op = upcoming_unlock m t fr in
+      obs_emit m (Ido_obs.Obs.Log_append { log = "ido-lock"; bytes = 16 });
       Ido_log.record_release t.writer t.log_node ~holder:(eval_int fr op);
       if outermost then
         Ido_log.set_recovery_pc t.writer t.log_node ~epoch:t.epoch 0;
@@ -496,9 +561,12 @@ let exec_lock_release m (t : thread) fr ~outermost =
       end
   | Scheme.Justdo ->
       let op = upcoming_unlock m t fr in
+      obs_emit m (Ido_obs.Obs.Log_append { log = "justdo-lock"; bytes = 24 });
       Justdo_log.record_release t.writer t.log_node ~holder:(eval_int fr op)
   | Scheme.Atlas ->
       let op = upcoming_unlock m t fr in
+      obs_emit m
+        (Ido_obs.Obs.Log_append { log = "undo"; bytes = undo_record_bytes });
       Undo_log.append t.writer t.log_node Undo_log.Release
         ~a:(eval fr op) ~b:0L ~seq:(next_seq m)
   | _ -> ()
@@ -536,6 +604,8 @@ let exec_justdo_store m (t : thread) fr =
      window — a crash on either side observes a consistent tuple. *)
   Justdo_log.snapshot_regs m.pmem t.log_node fr.regs;
   Justdo_log.set_sim_stack m.pmem t.log_node ~base:t.stack_base ~sp:t.sp;
+  (* Resumption tuple: pc + addr + value. *)
+  obs_emit m (Ido_obs.Obs.Log_append { log = "justdo"; bytes = 24 });
   Justdo_log.log_store t.writer t.log_node ~pc:store_pc ~addr:a
     ~value:(eval fr src)
 
@@ -544,6 +614,8 @@ let exec_undo_store m (t : thread) fr =
   match resolve m t fr space base off with
   | In_pmem a ->
       let old = Pwriter.load t.writer a in
+      obs_emit m
+        (Ido_obs.Obs.Log_append { log = "undo"; bytes = undo_record_bytes });
       Undo_log.log_write t.writer t.log_node ~addr:a ~old ~seq:(next_seq m)
   | In_vmem _ -> ()
 
@@ -553,6 +625,9 @@ let exec_page_log m (t : thread) fr =
   | In_pmem a ->
       let page = Page_log.page_of a in
       if not (Hashtbl.mem t.touched_pages page) then begin
+        obs_emit m
+          (Ido_obs.Obs.Log_append
+             { log = "page"; bytes = 8 * Page_log.entry_words });
         let i = Page_log.log_page t.writer t.log_node ~page in
         Hashtbl.replace t.touched_pages page i
       end
@@ -561,6 +636,15 @@ let exec_page_log m (t : thread) fr =
 let exec_txn_begin m (t : thread) fr =
   let blk = fr.blk and idx = fr.idx in
   let retries = match t.txn with Some tx -> tx.retries | None -> 0 in
+  (* Mnemosyne's FASE is the transaction: no Hfase_enter is
+     instrumented, so the dynamic FASE id is assigned here (each retry
+     counts as a fresh FASE — it re-pays the logging). *)
+  t.fase_id <- m.next_fase_id;
+  m.next_fase_id <- m.next_fase_id + 1;
+  if obs_active m then begin
+    obs_context m ~tid:t.tid ~fase:t.fase_id;
+    obs_emit m Ido_obs.Obs.Fase_enter
+  end;
   Redo_log.begin_txn t.writer t.log_node;
   t.txn <-
     Some
@@ -624,7 +708,12 @@ let exec_txn_commit m (t : thread) _fr =
         (* Charge the thread: earlier step cost, token wait, work. *)
         Pwriter.add_cost w (start - t.clock + work);
         t.txn <- None;
-        t.in_fase <- false
+        t.in_fase <- false;
+        if obs_active m then begin
+          obs_emit m Ido_obs.Obs.Fase_exit;
+          obs_context m ~tid:t.tid ~fase:(-1)
+        end;
+        t.fase_id <- -1
       end
 
 let exec_durable_commit m (t : thread) _fr =
@@ -700,9 +789,11 @@ let exec_lock m (t : thread) fr op =
   match l.holder with
   | Some h when h = t.tid ->
       emit_event m (Event.Lock_acquire id);
+      obs_emit m (Ido_obs.Obs.Lock_acquire id);
       fr.idx <- fr.idx + 1 (* recovery re-acquire / post-hand-off re-run *)
   | None ->
       emit_event m (Event.Lock_acquire id);
+      obs_emit m (Ido_obs.Obs.Lock_acquire id);
       l.holder <- Some t.tid;
       l.acquired_at <- t.clock;
       fr.idx <- fr.idx + 1
@@ -718,6 +809,7 @@ let exec_unlock m (t : thread) fr op =
   t.last_lock <- id;
   let l = lock_of m id in
   emit_event m (Event.Lock_release id);
+  obs_emit m (Ido_obs.Obs.Lock_release id);
   cost t (lat m).Latency.lock_op;
   (match l.holder with
   | Some h when h = t.tid ->
@@ -865,6 +957,10 @@ let exec_term m (t : thread) fr term =
 (* Scheduler *)
 
 let step m (t : thread) =
+  (* Pmem-level obs events carry no thread identity of their own; tag
+     them with the thread about to execute.  Skipped entirely when no
+     sink is installed — the disabled path costs one comparison. *)
+  if obs_active m then obs_context m ~tid:t.tid ~fase:t.fase_id;
   let fr = current_frame t in
   let blk = fr.func.blocks.(fr.blk) in
   (match m.tracer with
@@ -933,6 +1029,10 @@ let run ?until ?(max_steps = max_int) m : run_outcome =
 
 let crash m =
   m.crashed <- true;
+  if obs_active m then begin
+    obs_context m ~tid:(-1) ~fase:(-1);
+    obs_emit m Ido_obs.Obs.Crash
+  end;
   (* On an NV-cache machine the cache contents are themselves
      persistent: a power failure loses nothing that was stored. *)
   if m.config.latency.Latency.nv_caches then Pmem.flush_all m.pmem;

@@ -50,6 +50,9 @@ let atlas_per_record_ns = 75  (* happens-before graph + sort, per record *)
 let resume_thread m ~node ~fname ~(pos : Ir.pos) ~regs ~stack ~held =
   let tid = m.next_tid in
   m.next_tid <- tid + 1;
+  (* The resumed tail is a fresh dynamic FASE for attribution. *)
+  let fase = m.next_fase_id in
+  m.next_fase_id <- fase + 1;
   let func = Image.func m.image fname in
   let frame_regs = Array.make func.nregs 0L in
   Array.blit regs 0 frame_regs 0 (min (Array.length regs) func.nregs);
@@ -68,6 +71,7 @@ let resume_thread m ~node ~fname ~(pos : Ir.pos) ~regs ~stack ~held =
       stack_in_pmem = true;
       log_node = node;
       in_fase = true;
+      fase_id = fase;
       region_stores = 0;
       region_lines = Hashtbl.create 16;
       fase_lines = Hashtbl.create 16;
@@ -111,6 +115,12 @@ let locks_to_reacquire ~pc_epoch held =
     (fun (holder, e) -> if e = pc_epoch then None else Some holder)
     held
 
+let recovery_step m ~scheme fmt =
+  Printf.ksprintf
+    (fun what ->
+      obs_emit m (Ido_obs.Obs.Recovery_step { scheme; what }))
+    fmt
+
 let run_recovery_threads m =
   match Interp.run m with
   | `Idle -> ()
@@ -133,6 +143,8 @@ let recover_ido m =
           in
           let t = resume_thread m ~node ~fname ~pos ~regs ~stack ~held in
           t.epoch <- pc_epoch;
+          recovery_step m ~scheme:"ido" "resume tid=%d pc=%d epoch=%d"
+            (Lognode.tid pm node) pc pc_epoch;
           incr resumed
         end
       end);
@@ -162,6 +174,8 @@ let recover_justdo m =
              it with the snapshot registers, reproducing the logged
              value. *)
           ignore (resume_thread m ~node ~fname ~pos ~regs ~stack ~held);
+          recovery_step m ~scheme:"justdo" "resume tid=%d pc=%d"
+            (Lognode.tid pm node) pc;
           incr resumed
         end);
   run_recovery_threads m;
@@ -175,6 +189,9 @@ let recover_justdo m =
 let recover_atlas m =
   let w = Pwriter.create m.pmem m.config.latency in
   let st = Atlas_recovery.recover w m.region in
+  recovery_step m ~scheme:"atlas" "undo scanned=%d undone=%d rolled_back=%d"
+    st.Atlas_recovery.records_scanned st.Atlas_recovery.writes_undone
+    st.Atlas_recovery.fases_rolled_back;
   {
     (empty Scheme.Atlas) with
     records_scanned = st.Atlas_recovery.records_scanned;
@@ -214,7 +231,9 @@ let recover_nvml m =
               Pwriter.clwb w a;
               incr undone)
             writes;
-          Pwriter.fence w
+          Pwriter.fence w;
+          recovery_step m ~scheme:"nvml" "undo tid=%d writes=%d"
+            (Lognode.tid pm node) (List.length writes)
         end;
         Undo_log.reset w node
       end);
@@ -241,6 +260,8 @@ let recover_mnemosyne m =
               Pwriter.clwb w a
             done;
             Pwriter.fence w;
+            recovery_step m ~scheme:"mnemosyne" "replay tid=%d entries=%d"
+              (Lognode.tid pm node) (Redo_log.count pm node);
             incr replayed
         | Redo_log.Filling | Redo_log.Idle -> ());
         Redo_log.persist_status w node Redo_log.Idle
@@ -257,13 +278,19 @@ let recover_nvthreads m =
   let pages = ref 0 and rolled = ref 0 in
   Lognode.iter pm m.region (fun node ->
       if Lognode.kind pm node = Lognode.kind_page then
-        if Page_log.status_committed pm node then
+        if Page_log.status_committed pm node then begin
           (* Commit mark durable but application may be partial: replay
              the copies (idempotent). *)
-          pages := !pages + Page_log.apply w node
+          let n = Page_log.apply w node in
+          recovery_step m ~scheme:"nvthreads" "apply tid=%d pages=%d"
+            (Lognode.tid pm node) n;
+          pages := !pages + n
+        end
         else if Page_log.active pm node then begin
           (* Uncommitted: the master pages were never touched. *)
           incr rolled;
+          recovery_step m ~scheme:"nvthreads" "discard tid=%d"
+            (Lognode.tid pm node);
           Page_log.discard w node
         end);
   {
@@ -274,6 +301,10 @@ let recover_nvthreads m =
   }
 
 let recover m =
+  (* Machine-level recovery traffic (log scans, undo write-backs) is
+     attributed to no thread/FASE; resumed threads re-tag the context
+     themselves as they run. *)
+  if obs_active m then obs_context m ~tid:(-1) ~fase:(-1);
   let st =
     match m.config.scheme with
     | Scheme.Origin -> empty Scheme.Origin

@@ -90,6 +90,7 @@ type thread = {
   stack_in_pmem : bool;
   mutable log_node : int;  (* 0 = none *)
   mutable in_fase : bool;
+  mutable fase_id : int;  (* global id of the open FASE; -1 outside *)
   mutable region_stores : int;  (* dynamic stores in the open region *)
   region_lines : (int, unit) Hashtbl.t;  (* dirty lines since boundary *)
   fase_lines : (int, unit) Hashtbl.t;  (* dirty lines since FASE begin *)
@@ -132,7 +133,28 @@ type t = {
       (* when set, receives every persist-relevant event (pmem traffic
          forwarded by Interp.create, lock ops emitted by the
          interpreter); may raise to stop the machine mid-flight *)
+  mutable obs : Ido_obs.Obs.t option;
+      (* observability sink; when None the machine does no obs work *)
+  mutable obs_tid : int;  (* thread context for pmem-level obs events *)
+  mutable obs_fase : int;  (* FASE context; -1 outside any FASE *)
+  mutable next_fase_id : int;  (* global FASE id allocator *)
 }
+
+(* Tag subsequent pmem-level obs events with a thread's identity (or
+   the machine's, tid = fase = -1). *)
+let obs_context m ~tid ~fase =
+  m.obs_tid <- tid;
+  m.obs_fase <- fase
+
+(* A tag test, not a structural compare: this guard sits on the
+   per-instruction hot path and must cost nothing when no sink is
+   installed. *)
+let obs_active m = match m.obs with Some _ -> true | None -> false
+
+let obs_emit m kind =
+  match m.obs with
+  | None -> ()
+  | Some o -> Ido_obs.Obs.emit o ~tid:m.obs_tid ~fase:m.obs_fase kind
 
 let next_seq m =
   m.seq <- m.seq + 1;

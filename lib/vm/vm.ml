@@ -49,6 +49,13 @@ let region_stats (m : t) = (m.State.stores_per_region, m.State.livein_per_region
 let set_tracer (m : t) f = m.State.tracer <- f
 let set_event_hook (m : t) f = m.State.event_hook <- f
 
+let set_obs (m : t) o =
+  m.State.obs <- o;
+  (* Reset the attribution context: machine-level until a thread steps. *)
+  State.obs_context m ~tid:(-1) ~fase:(-1)
+
+let obs (m : t) = m.State.obs
+
 let undo_records_total (m : t) =
   let pm = m.State.pmem in
   let total = ref 0 in

@@ -106,6 +106,19 @@ val set_event_hook : t -> (Event.t -> unit) option -> unit
     by [Ido_check].  Events fire regardless of scheme; the stream is
     deterministic under a fixed config and seed. *)
 
+val set_obs : t -> Ido_obs.Obs.t option -> unit
+(** Install (or remove) the observability sink (see {!Ido_obs.Obs}).
+    While installed, the machine feeds it every persist-level event
+    (tagged with thread and FASE ids) plus VM-level events: log
+    appends, region boundaries, lock operations, FASE enter/exit,
+    crash and recovery steps.  With no sink installed the machine
+    performs no observability work at all.  Unlike the crash-injection
+    {!set_event_hook}, the sink must never raise.  Installation does
+    not perturb execution: clocks, scheduling, and the persist-event
+    schedule are identical with and without a sink. *)
+
+val obs : t -> Ido_obs.Obs.t option
+
 val region_stats : t -> Cdf.t * Cdf.t
 (** (stores per dynamic idempotent region, live-in registers per
     region) — the Fig. 8 distributions; populated under the iDO

@@ -44,7 +44,7 @@ let clean_exploration scheme workload () =
    catch one, shrink it, and hand back an index that replays. *)
 let origin_counterexample () =
   let s =
-    spec ~scheme:Scheme.Origin ~workload:"stack" ~ops:25 ~cache_lines:8
+    spec ~scheme:Scheme.Origin ~workload:"stack" ~ops:25 ~cache_lines:4
       ~strict:true ()
   in
   let r = Engine.explore s ~budget:60 in

@@ -19,7 +19,7 @@ let test_store_is_volatile_until_flushed () =
   Pmem.store pm 10 42L;
   Alcotest.(check bool) "dirty" true (Pmem.is_dirty pm 10);
   Alcotest.(check int64) "persistence domain stale" 0L (Pmem.persisted pm 10);
-  Pmem.clwb pm 10;
+  Alcotest.(check bool) "clwb wrote back" true (Pmem.clwb pm 10);
   ignore (Pmem.fence pm);
   Alcotest.(check bool) "clean after flush" false (Pmem.is_dirty pm 10);
   Alcotest.(check int64) "durable" 42L (Pmem.persisted pm 10)
@@ -27,7 +27,7 @@ let test_store_is_volatile_until_flushed () =
 let test_crash_drops_unflushed () =
   let pm = mk () in
   Pmem.store pm 8 1L;
-  Pmem.clwb pm 8;
+  ignore (Pmem.clwb pm 8);
   ignore (Pmem.fence pm);
   Pmem.store pm 8 2L;
   Pmem.store pm 400 3L;
@@ -40,7 +40,7 @@ let test_line_granular_flush () =
   (* Words 16 and 17 share a cache line: flushing one persists both. *)
   Pmem.store pm 16 7L;
   Pmem.store pm 17 9L;
-  Pmem.clwb pm 16;
+  ignore (Pmem.clwb pm 16);
   ignore (Pmem.fence pm);
   Pmem.crash pm;
   Alcotest.(check int64) "same line persisted together" 9L (Pmem.load pm 17)
@@ -74,16 +74,21 @@ let test_pending_flush_accounting () =
   let pm = mk () in
   Pmem.store pm 0 1L;
   Pmem.store pm 64 1L;
-  Pmem.clwb pm 0;
-  Pmem.clwb pm 64;
+  ignore (Pmem.clwb pm 0);
+  ignore (Pmem.clwb pm 64);
   Alcotest.(check int) "two pending" 2 (Pmem.pending_flushes pm);
+  let c = Pmem.counters pm in
+  Alcotest.(check int) "two write-backs counted" 2 c.Pmem.writebacks;
   Alcotest.(check int) "fence returns pending" 2 (Pmem.fence pm);
   Alcotest.(check int) "reset" 0 (Pmem.pending_flushes pm)
 
 let test_clwb_clean_line_noop () =
   let pm = mk () in
-  Pmem.clwb pm 0;
-  Alcotest.(check int) "nothing pending" 0 (Pmem.pending_flushes pm)
+  Alcotest.(check bool) "no write-back" false (Pmem.clwb pm 0);
+  Alcotest.(check int) "nothing pending" 0 (Pmem.pending_flushes pm);
+  let c = Pmem.counters pm in
+  Alcotest.(check int) "issue counted" 1 c.Pmem.clwbs;
+  Alcotest.(check int) "write-back not counted" 0 c.Pmem.writebacks
 
 let test_poke_bypasses_cache () =
   let pm = mk () in
@@ -120,7 +125,7 @@ let prop_flushed_survives_crash =
       List.iteri (fun i a -> Pmem.store pm a (Int64.of_int (i + 1))) addrs;
       (* Flush a subset explicitly. *)
       let flushed = List.filteri (fun i _ -> i mod 2 = 0) addrs in
-      List.iter (fun a -> Pmem.clwb pm a) flushed;
+      List.iter (fun a -> ignore (Pmem.clwb pm a)) flushed;
       ignore (Pmem.fence pm);
       (* Capture current values of the flushed addresses (a later
          duplicate store to the same line may still be cached). *)
@@ -135,7 +140,7 @@ let prop_snapshot_matches_persisted =
       let pm = mk ~seed:(seed + 2) ~size:256 () in
       for i = 0 to 255 do
         Pmem.store pm i (Int64.of_int i);
-        if i mod 3 = 0 then Pmem.clwb pm i
+        if i mod 3 = 0 then ignore (Pmem.clwb pm i)
       done;
       ignore (Pmem.fence pm);
       let snap = Pmem.snapshot_persistent pm in

@@ -1,0 +1,281 @@
+(* The observability layer (lib/obs) and its contract with the rest of
+   the machine: the sink's rollup must agree exactly with the pmem
+   counters on every run — random programs x all schemes, crash and
+   recovery included — a saved trace must replay to the same digest
+   and the same bytes, the per-log overflow exceptions must carry
+   their typed payloads, and the O(1) dirty-line index must keep the
+   eviction stream deterministic under a fixed seed. *)
+
+open Ido_util
+open Ido_nvm
+open Ido_region
+open Ido_runtime
+module Vm = Ido_vm.Vm
+module Obs = Ido_obs.Obs
+module Engine = Ido_check.Engine
+module Trace = Ido_check.Trace
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* The sink in isolation *)
+
+let test_rollup_basics () =
+  let o = Obs.create () in
+  Obs.emit o ~tid:0 ~fase:(-1) (Obs.Store 8);
+  Obs.emit o ~tid:0 ~fase:3 (Obs.Log_append { log = "undo"; bytes = 32 });
+  Obs.emit o ~tid:1 ~fase:4 (Obs.Log_append { log = "undo"; bytes = 32 });
+  Obs.emit o ~tid:1 ~fase:4 Obs.Fase_exit;
+  Alcotest.(check int) "count" 4 (Obs.count o);
+  let t = Obs.total o in
+  Alcotest.(check int) "stores" 1 t.Obs.stores;
+  Alcotest.(check int) "appends" 2 t.Obs.log_appends;
+  Alcotest.(check int) "log bytes" 64 t.Obs.log_bytes;
+  Alcotest.(check int) "distinct fases" 2 (Obs.fases o);
+  match Obs.per_fase o with
+  | [ (3, a); (4, b) ] ->
+      (* The machine-level store (fase -1) is in no per-FASE bucket. *)
+      Alcotest.(check int) "fase 3 appends" 1 a.Obs.log_appends;
+      Alcotest.(check int) "fase 4 appends" 1 b.Obs.log_appends;
+      Alcotest.(check int) "fase 4 exits" 1 b.Obs.fase_exits;
+      Alcotest.(check int) "fase 3 stores" 0 a.Obs.stores
+  | l -> Alcotest.failf "per_fase returned %d buckets" (List.length l)
+
+let test_check_mismatch () =
+  let o = Obs.create () in
+  Obs.emit o ~tid:0 ~fase:(-1) (Obs.Store 0);
+  (match Obs.check o ~stores:1 ~writebacks:0 ~fences:0 ~evictions:0 with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "consistent sink rejected: %s" m);
+  match Obs.check o ~stores:2 ~writebacks:0 ~fences:0 ~evictions:0 with
+  | Ok () -> Alcotest.fail "store undercount unnoticed"
+  | Error m ->
+      Alcotest.(check string) "names the counter" "obs/stores"
+        (String.sub m 0 (String.length "obs/stores"))
+
+let test_ndjson () =
+  let o = Obs.create () in
+  Obs.emit o ~tid:2 ~fase:7 (Obs.Log_append { log = "redo"; bytes = 16 });
+  Obs.emit o ~tid:0 ~fase:(-1) Obs.Crash;
+  match Obs.events o with
+  | [ a; b ] ->
+      Alcotest.(check string) "payload fields"
+        {|{"type":"event","seq":0,"tid":2,"fase":7,"kind":"log_append","log":"redo","bytes":16}|}
+        (Obs.event_to_ndjson a);
+      Alcotest.(check string) "payload-free kind"
+        {|{"type":"event","seq":1,"tid":0,"fase":-1,"kind":"crash"}|}
+        (Obs.event_to_ndjson b)
+  | l -> Alcotest.failf "buffered %d events" (List.length l)
+
+let test_unbuffered () =
+  let o = Obs.create ~buffer:false () in
+  for _ = 1 to 5 do
+    Obs.emit o ~tid:0 ~fase:0 (Obs.Fence 0)
+  done;
+  Alcotest.(check int) "count" 5 (Obs.count o);
+  Alcotest.(check int) "fences" 5 (Obs.total o).Obs.fences;
+  Alcotest.(check bool) "no buffer" true (Obs.events o = [])
+
+(* ------------------------------------------------------------------ *)
+(* The sink against the machine *)
+
+(* Installing a sink must not perturb execution: clocks and counters
+   are bit-identical with and without one. *)
+let test_sink_no_perturbation () =
+  let run with_obs =
+    let m =
+      Vm.create
+        { (Vm.config Scheme.Ido) with seed = 7 }
+        (Ido_workloads.Workload.named "stack")
+    in
+    if with_obs then Vm.set_obs m (Some (Obs.create ~buffer:false ()));
+    ignore (Vm.spawn m ~fname:"init" ~args:[]);
+    ignore (Vm.run m);
+    Vm.flush_all m;
+    ignore (Vm.spawn m ~fname:"worker" ~args:[ 10L ]);
+    (match Vm.run m with `Idle -> () | _ -> failwith "stuck");
+    let c = Pmem.counters (Vm.pmem m) in
+    ( Vm.clock m, c.Pmem.stores, c.Pmem.clwbs, c.Pmem.writebacks,
+      c.Pmem.fences, c.Pmem.evictions )
+  in
+  Alcotest.(check bool) "identical run" true (run false = run true)
+
+(* The central invariant: over any program, any scheme, crash and
+   recovery included, the sink sees exactly one event per counted pmem
+   action.  Reuses the random single-FASE generator of the idempotence
+   suite. *)
+let prop_rollup_matches_counters =
+  QCheck.Test.make
+    ~name:"obs rollup equals pmem counters (all schemes, crash+recovery)"
+    ~count:30 Test_idempotence.ops_arb (fun ops ->
+      let prog = Test_idempotence.program_of ops in
+      let seed = 1 + (Hashtbl.hash ops mod 1000) in
+      List.for_all
+        (fun scheme ->
+          let m = Vm.create { (Vm.config scheme) with seed } prog in
+          let obs = Obs.create ~buffer:false () in
+          Vm.set_obs m (Some obs);
+          let c0 = Pmem.counters (Vm.pmem m) in
+          let stores0 = c0.Pmem.stores
+          and writebacks0 = c0.Pmem.writebacks
+          and fences0 = c0.Pmem.fences
+          and evictions0 = c0.Pmem.evictions in
+          ignore (Vm.spawn m ~fname:"init" ~args:[]);
+          ignore (Vm.run m);
+          Vm.flush_all m;
+          ignore (Vm.spawn m ~fname:"worker" ~args:[ 0L ]);
+          let t0 = Vm.clock m in
+          (match Vm.run ~until:(t0 + 500) m with
+          | `Until ->
+              Vm.crash m;
+              ignore (Vm.recover m)
+          | `Idle -> ()
+          | _ -> failwith "worker stuck");
+          (match Vm.run m with `Idle -> () | _ -> failwith "resume stuck");
+          let c = Pmem.counters (Vm.pmem m) in
+          Obs.check obs
+            ~stores:(c.Pmem.stores - stores0)
+            ~writebacks:(c.Pmem.writebacks - writebacks0)
+            ~fences:(c.Pmem.fences - fences0)
+            ~evictions:(c.Pmem.evictions - evictions0)
+          = Ok ())
+        Scheme.all)
+
+(* Every supported scheme x workload pair reconciles on a crash-free
+   traced run (the same check `ido_check trace` performs). *)
+let test_traced_all_pairs () =
+  List.iter
+    (fun workload ->
+      List.iter
+        (fun scheme ->
+          if Engine.supported scheme workload then
+            let spec = Engine.defaults ~ops:5 ~scheme ~workload () in
+            let tr = Engine.run_traced spec in
+            match tr.Engine.t_consistency with
+            | Ok () -> ()
+            | Error m ->
+                Alcotest.failf "%s/%s: %s" (Scheme.name scheme) workload m)
+        Scheme.all)
+    Ido_workloads.Workload.names
+
+(* A trace file is a complete, portable repro: loading it and
+   replaying from the header alone reproduces the digest, and saving
+   the replay reproduces the file byte for byte. *)
+let test_trace_replay_digest () =
+  let spec = Engine.defaults ~ops:8 ~scheme:Scheme.Ido ~workload:"queue" () in
+  let tr = Engine.run_traced ~index:200 spec in
+  (match tr.Engine.t_consistency with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "traced injection inconsistent: %s" m);
+  let path = Filename.temp_file "ido_trace" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace.save tr path;
+      let s = Trace.load path in
+      Alcotest.(check int) "event count survives the file"
+        (Obs.count tr.Engine.t_obs) s.Trace.events;
+      Alcotest.(check string) "digest survives the file" tr.Engine.t_digest
+        s.Trace.digest;
+      Alcotest.(check (option int)) "index survives the file" (Some 200)
+        s.Trace.index;
+      let again = Trace.replay s in
+      Alcotest.(check string) "replay digest" s.Trace.digest
+        again.Engine.t_digest;
+      let path2 = Filename.temp_file "ido_trace" ".ndjson" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path2)
+        (fun () ->
+          Trace.save again path2;
+          let read f = In_channel.with_open_bin f In_channel.input_all in
+          Alcotest.(check string) "byte-identical re-save" (read path)
+            (read path2)))
+
+(* ------------------------------------------------------------------ *)
+(* Eviction determinism (the O(1) dirty-line index) *)
+
+let test_evict_stream_deterministic () =
+  let record () =
+    let pm = Pmem.create ~cache_lines:4 ~rng:(Rng.create 99) (1 lsl 12) in
+    let evs = ref [] in
+    Pmem.set_event_hook pm
+      (Some (function Pmem.Ev_evict a -> evs := a :: !evs | _ -> ()));
+    let r = Rng.create 5 in
+    for _ = 1 to 500 do
+      Pmem.store pm (Rng.int r (1 lsl 12)) 1L
+    done;
+    List.rev !evs
+  in
+  let a = record () and b = record () in
+  Alcotest.(check bool) "evictions happened" true (List.length a > 100);
+  Alcotest.(check (list int)) "victim stream identical" a b
+
+(* ------------------------------------------------------------------ *)
+(* Typed log-overflow exceptions (one per remaining log) *)
+
+let mk () =
+  let pm = Pmem.create ~rng:(Rng.create 1) (1 lsl 18) in
+  let region = Region.create pm in
+  let w = Pwriter.create pm Latency.default in
+  (pm, region, w)
+
+let test_justdo_lock_overflow () =
+  let _, region, w = mk () in
+  let node = Justdo_log.create w region ~tid:2 ~nregs:4 in
+  Alcotest.check_raises "overflow"
+    (Lognode.Log_overflow
+       {
+         Lognode.scheme = "justdo";
+         tid = 2;
+         log = "lock_array";
+         capacity = Ido_log.lock_slots;
+       })
+    (fun () ->
+      for h = 1 to Ido_log.lock_slots + 1 do
+        Justdo_log.record_acquire w node ~holder:h
+      done)
+
+let test_page_set_overflow () =
+  let _, region, w = mk () in
+  let node = Page_log.create w region ~tid:1 ~cap_pages:2 in
+  Page_log.begin_fase w node ~seq:1;
+  Alcotest.check_raises "overflow"
+    (Lognode.Log_overflow
+       { Lognode.scheme = "nvthreads"; tid = 1; log = "page_set"; capacity = 2 })
+    (fun () ->
+      for p = 10 to 12 do
+        ignore (Page_log.log_page w node ~page:p)
+      done)
+
+let suites =
+  [
+    ( "obs",
+      [
+        Alcotest.test_case "rollup and per-FASE attribution" `Quick
+          test_rollup_basics;
+        Alcotest.test_case "check flags mismatches" `Quick test_check_mismatch;
+        Alcotest.test_case "ndjson event shape" `Quick test_ndjson;
+        Alcotest.test_case "unbuffered sink keeps rollups only" `Quick
+          test_unbuffered;
+        Alcotest.test_case "sink does not perturb execution" `Quick
+          test_sink_no_perturbation;
+        qtest prop_rollup_matches_counters;
+      ] );
+    ( "obs.traced",
+      [
+        Alcotest.test_case "obs/counters reconcile on every pair" `Quick
+          test_traced_all_pairs;
+        Alcotest.test_case "trace replays to the same digest and bytes" `Quick
+          test_trace_replay_digest;
+      ] );
+    ( "obs.pmem",
+      [
+        Alcotest.test_case "evict victim stream deterministic under seed"
+          `Quick test_evict_stream_deterministic;
+      ] );
+    ( "obs.overflow",
+      [
+        Alcotest.test_case "justdo lock array" `Quick test_justdo_lock_overflow;
+        Alcotest.test_case "nvthreads page set" `Quick test_page_set_overflow;
+      ] );
+  ]

@@ -33,12 +33,42 @@ let test_pwriter_costs () =
 let test_pwriter_coalescing () =
   let pm, _, _ = mk () in
   let w = Pwriter.create pm Latency.default in
-  (* Eight words in one line: a single write-back (Sec. IV-B). *)
+  (* Eight dirty words in one line: a single write-back (Sec. IV-B). *)
+  List.iter (fun a -> Pwriter.store w a 1L) [ 64; 65; 66; 67; 68; 69; 70; 71 ];
   Pwriter.clwb_lines w [ 64; 65; 66; 67; 68; 69; 70; 71 ];
   Alcotest.(check int) "one line" 1 (Pwriter.pending w);
   Pwriter.fence w;
+  Pwriter.store w 64 2L;
+  Pwriter.store w 128 2L;
   Pwriter.clwb_lines w [ 64; 128 ];
   Alcotest.(check int) "two lines" 2 (Pwriter.pending w)
+
+let test_pwriter_clean_clwb_free () =
+  (* Regression (accounting reconciliation): a clwb that hits a clean
+     line performs no write-back, so it must charge nothing and the
+     following fence must cost fence_base only — previously the issue
+     cost and the fence's drain cost were charged anyway. *)
+  let pm, _, _ = mk () in
+  let lat = Latency.default in
+  let w = Pwriter.create pm lat in
+  Pwriter.clwb w 0;
+  Alcotest.(check int) "clean clwb free" 0 (Pwriter.take_cost w);
+  Alcotest.(check int) "nothing pending" 0 (Pwriter.pending w);
+  Pwriter.fence w;
+  Alcotest.(check int) "fence at base cost" lat.Latency.fence_base
+    (Pwriter.take_cost w);
+  (* A duplicate clwb of an already-written-back line is also free. *)
+  Pwriter.store w 0 1L;
+  ignore (Pwriter.take_cost w);
+  Pwriter.clwb w 0;
+  Pwriter.clwb w 0;
+  Alcotest.(check int) "one pending, not two" 1 (Pwriter.pending w);
+  Alcotest.(check int) "one issue charged" lat.Latency.clwb_issue
+    (Pwriter.take_cost w);
+  Pwriter.fence w;
+  Alcotest.(check int) "fence drains one"
+    (Latency.fence_cost lat ~pending:1)
+    (Pwriter.take_cost w)
 
 let test_pwriter_fences_independent () =
   let pm, _, _ = mk () in
@@ -319,8 +349,9 @@ let test_redo_overflow () =
   Redo_log.append w node ~addr:1 ~value:1L;
   Redo_log.append w node ~addr:2 ~value:1L;
   Alcotest.check_raises "overflow"
-    (Failure "Redo_log: transaction write set overflow") (fun () ->
-      Redo_log.append w node ~addr:3 ~value:1L)
+    (Lognode.Log_overflow
+       { Lognode.scheme = "mnemosyne"; tid = 0; log = "write_set"; capacity = 2 })
+    (fun () -> Redo_log.append w node ~addr:3 ~value:1L)
 
 (* ------------------------------------------------------------------ *)
 (* Page log *)
@@ -405,6 +436,7 @@ let suites =
       [
         Alcotest.test_case "costs" `Quick test_pwriter_costs;
         Alcotest.test_case "coalescing" `Quick test_pwriter_coalescing;
+        Alcotest.test_case "clean clwb free" `Quick test_pwriter_clean_clwb_free;
         Alcotest.test_case "independent fences" `Quick test_pwriter_fences_independent;
         Alcotest.test_case "latency knob" `Quick test_latency_knob;
       ] );

@@ -288,9 +288,11 @@ let test_lock_array_overflow () =
   in
   ignore (Vm.spawn m ~fname:"w" ~args:[ 0L ]);
   match Vm.run m with
-  | exception Failure msg ->
-      Alcotest.(check bool) "overflow reported" true
-        (String.length msg > 0)
+  | exception Ido_runtime.Lognode.Log_overflow ov ->
+      Alcotest.(check string) "scheme" "ido" ov.Ido_runtime.Lognode.scheme;
+      Alcotest.(check string) "which log" "lock_array" ov.Ido_runtime.Lognode.log;
+      Alcotest.(check int) "capacity" 16 ov.Ido_runtime.Lognode.capacity;
+      Alcotest.(check int) "thread" 0 ov.Ido_runtime.Lognode.tid
   | _ -> Alcotest.fail "expected lock_array overflow"
 
 let test_deep_nesting_within_capacity () =
