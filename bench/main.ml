@@ -194,7 +194,33 @@ let print_bench results =
     results;
   flush stdout
 
+(* ------------------------------------------------------------------ *)
+(* Serving panel: the paper's server applications driven open-loop
+   (lib/serve) — tail latency per scheme on one sharded cell. *)
+
+let serve_panel () =
+  let requests =
+    match scale with Ido_harness.Exp.Quick -> 500 | _ -> 4000
+  in
+  let mk scheme =
+    Ido_serve.Config.make ~shards:4 ~batch:8 ~requests ~zipf:0.99
+      ~workload:"kvcache50" ~scheme ()
+  in
+  let run pool =
+    List.map
+      (fun scheme -> Ido_serve.Serve.run_cell ?pool ~obs:true (mk scheme))
+      [ Scheme.Ido; Scheme.Justdo ]
+  in
+  let cells =
+    if jobs = 1 then run None
+    else Ido_util.Pool.with_pool jobs (fun pool -> run (Some pool))
+  in
+  Printf.printf "---- serving: open-loop tail latency ----\n%s\n"
+    (Ido_serve.Report.render cells);
+  flush stdout
+
 let () =
   regenerate ();
+  serve_panel ();
   let results = benchmark () in
   print_bench results

@@ -10,18 +10,37 @@ let scale_arg =
   let scale_conv = Arg.enum [ ("quick", Exp.Quick); ("full", Exp.Full) ] in
   Arg.(value & opt scale_conv Exp.Quick & info [ "scale" ] ~doc:"quick or full")
 
+(* Unknown scheme/workload names are usage errors: report them on
+   stderr with the valid names and exit 2 (scripts distinguish "you
+   typo'd the name" from crashes and from experiment failures). *)
+let die_unknown what name valid =
+  Printf.eprintf "ido_bench: unknown %s %S (valid: %s)\n" what name
+    (String.concat ", " valid);
+  exit 2
+
+let resolve_scheme name =
+  match Scheme.of_name name with
+  | Some s -> s
+  | None -> die_unknown "scheme" name (List.map Scheme.name Scheme.all)
+
+let resolve_workload name =
+  match Ido_workloads.Workload.find name with
+  | Some _ -> name
+  | None -> die_unknown "workload" name Ido_workloads.Workload.names
+
 let scheme_arg =
-  let scheme_conv = Arg.enum (List.map (fun s -> (Scheme.name s, s)) Scheme.all) in
-  Arg.(
-    value
-    & opt scheme_conv Scheme.Ido
-    & info [ "scheme" ] ~doc:"Failure-atomicity scheme")
+  Term.(
+    const resolve_scheme
+    $ Arg.(
+        value & opt string "ido"
+        & info [ "scheme" ] ~doc:"Failure-atomicity scheme"))
 
 let workload_arg =
-  Arg.(
-    value
-    & opt (enum (List.map (fun n -> (n, n)) Ido_workloads.Workload.names)) "stack"
-    & info [ "workload" ] ~doc:"Benchmark program")
+  Term.(
+    const resolve_workload
+    $ Arg.(
+        value & opt string "stack"
+        & info [ "workload" ] ~doc:"Benchmark program"))
 
 let threads_arg =
   Arg.(value & opt int 4 & info [ "threads" ] ~doc:"Worker threads")
@@ -312,6 +331,115 @@ let selftime_cmd =
     (Cmd.info "selftime" ~doc)
     Term.(const run $ jobs_arg $ out_arg $ budget_arg)
 
+let serve_cmd =
+  let doc =
+    "Sharded request-serving benchmark: a seeded open-loop generator \
+     routes requests by key hash to per-shard machines; reports \
+     throughput and p50/p95/p99/max request latency per (scheme x \
+     shards x batch) cell, with obs/counter reconciliation on every \
+     shard.  Output is byte-identical at every -j."
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt string "BENCH_serve.json"
+      & info [ "out" ] ~doc:"Output path for the JSON record")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "requests" ] ~doc:"Requests per cell (open-loop stream length)")
+  in
+  let period_arg =
+    Arg.(
+      value & opt int 1500
+      & info [ "period" ] ~doc:"Mean inter-arrival gap (simulated ns)")
+  in
+  let uniform_arg =
+    Arg.(
+      value & flag
+      & info [ "uniform" ]
+          ~doc:"Uniform keys instead of the default Zipfian (0.99)")
+  in
+  let run workload seed requests period uniform jobs out =
+    with_jobs jobs (fun pool ->
+        let zipf = if uniform then None else Some 0.99 in
+        let mk scheme shards batch =
+          Ido_serve.Config.make ~seed ~shards ~batch ~requests
+            ~period_ns:period ?zipf ~workload ~scheme ()
+        in
+        let cells =
+          List.concat_map
+            (fun scheme ->
+              List.concat_map
+                (fun shards ->
+                  List.map
+                    (fun batch ->
+                      Ido_serve.Serve.run_cell ?pool ~obs:true
+                        (mk scheme shards batch))
+                    [ 1; 8 ])
+                [ 1; 4 ])
+            [ Scheme.Ido; Scheme.Justdo ]
+        in
+        print_string (Ido_serve.Report.render cells);
+        print_newline ();
+        let oc = open_out out in
+        output_string oc (Ido_serve.Report.to_json cells);
+        output_char oc '\n';
+        close_out oc;
+        let bad c =
+          c.Ido_serve.Serve.oracle <> Ok ()
+          || c.Ido_serve.Serve.consistency <> Ok ()
+        in
+        Printf.printf "wrote %s (%d cells)\n" out (List.length cells);
+        (* The paper-consistent ordering, restated as queueing: on
+           every matched (shards x batch) cell, JUSTDO's
+           log-everything critical sections must stretch the tail
+           beyond iDO's.  CI greps for the "ok" verdict. *)
+        let p99 scheme shards batch =
+          List.find_map
+            (fun c ->
+              let g = c.Ido_serve.Serve.config in
+              if
+                g.Ido_serve.Config.scheme = scheme
+                && g.Ido_serve.Config.shards = shards
+                && g.Ido_serve.Config.batch = batch
+              then Some c.Ido_serve.Serve.stats.Ido_serve.Lat.p99
+              else None)
+            cells
+        in
+        let pairs =
+          List.concat_map
+            (fun shards -> List.map (fun batch -> (shards, batch)) [ 1; 8 ])
+            [ 1; 4 ]
+        in
+        let ordered =
+          List.filter
+            (fun (s, b) ->
+              match (p99 Scheme.Justdo s b, p99 Scheme.Ido s b) with
+              | Some j, Some i -> j > i
+              | _ -> false)
+            pairs
+        in
+        Printf.printf "tail ordering: %s (justdo p99 > ido p99 on %d/%d cells)\n"
+          (if List.length ordered = List.length pairs then "ok" else "INVERTED")
+          (List.length ordered) (List.length pairs);
+        if List.exists bad cells then begin
+          prerr_endline "ido_bench serve: oracle or obs reconciliation failure";
+          exit 1
+        end)
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      const run
+      $ Term.(
+          const resolve_workload
+          $ Arg.(
+              value & opt string "kvcache50"
+              & info [ "workload" ] ~doc:"Served workload"))
+      $ seed_arg $ requests_arg $ period_arg $ uniform_arg $ jobs_arg $ out_arg)
+
 let () =
   let cmds =
     [
@@ -332,6 +460,7 @@ let () =
       all_cmd;
       profile_cmd;
       selftime_cmd;
+      serve_cmd;
     ]
   in
   let info = Cmd.info "ido_bench" ~doc:"iDO reproduction experiment driver" in

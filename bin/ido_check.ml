@@ -6,18 +6,37 @@ open Cmdliner
 open Ido_runtime
 open Ido_check
 
+(* Unknown scheme/workload names are usage errors: report them on
+   stderr with the valid names and exit 2 (scripts distinguish "you
+   typo'd the name" from crashes and from oracle violations). *)
+let die_unknown what name valid =
+  Printf.eprintf "ido_check: unknown %s %S (valid: %s)\n" what name
+    (String.concat ", " valid);
+  exit 2
+
+let resolve_scheme name =
+  match Scheme.of_name name with
+  | Some s -> s
+  | None -> die_unknown "scheme" name (List.map Scheme.name Scheme.all)
+
+let resolve_workload name =
+  match Ido_workloads.Workload.find name with
+  | Some _ -> name
+  | None -> die_unknown "workload" name Ido_workloads.Workload.names
+
 let scheme_arg =
-  let scheme_conv = Arg.enum (List.map (fun s -> (Scheme.name s, s)) Scheme.all) in
-  Arg.(
-    value
-    & opt scheme_conv Scheme.Ido
-    & info [ "scheme" ] ~doc:"Failure-atomicity scheme")
+  Term.(
+    const resolve_scheme
+    $ Arg.(
+        value & opt string "ido"
+        & info [ "scheme" ] ~doc:"Failure-atomicity scheme"))
 
 let workload_arg =
-  Arg.(
-    value
-    & opt (enum (List.map (fun n -> (n, n)) Ido_workloads.Workload.names)) "queue"
-    & info [ "workload" ] ~doc:"Workload program")
+  Term.(
+    const resolve_workload
+    $ Arg.(
+        value & opt string "queue"
+        & info [ "workload" ] ~doc:"Workload program"))
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed")
 
@@ -289,19 +308,20 @@ let lint_cmd =
      status 0 = no diagnostics."
   in
   let all_scheme_arg =
-    let sconv = Arg.enum (List.map (fun s -> (Scheme.name s, s)) Scheme.all) in
-    Arg.(
-      value
-      & opt (some sconv) None
-      & info [ "scheme" ] ~doc:"Restrict to one scheme (default: all)")
+    Term.(
+      const (Option.map resolve_scheme)
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "scheme" ] ~doc:"Restrict to one scheme (default: all)"))
   in
   let all_workload_arg =
-    Arg.(
-      value
-      & opt
-          (some (enum (List.map (fun n -> (n, n)) Ido_workloads.Workload.names)))
-          None
-      & info [ "workload" ] ~doc:"Restrict to one workload (default: all)")
+    Term.(
+      const (Option.map resolve_workload)
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "workload" ] ~doc:"Restrict to one workload (default: all)"))
   in
   let explain_arg =
     Arg.(
@@ -411,6 +431,75 @@ let mutants_cmd =
     (Cmd.info "mutants" ~doc)
     Term.(const run $ name_arg $ verbose_arg $ jobs_arg)
 
+let serve_crash_cmd =
+  let doc =
+    "Power-fail one shard mid-stream during a sharded serving run, recover \
+     it, finish serving the stream, and re-validate every shard's oracle \
+     and obs/counter reconciliation.  Exit status 0 = all shards clean."
+  in
+  let shards_arg =
+    Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Key-hash shards")
+  in
+  let batch_arg =
+    Arg.(value & opt int 8 & info [ "batch" ] ~doc:"Max requests per dispatch")
+  in
+  let requests_arg =
+    Arg.(value & opt int 1200 & info [ "requests" ] ~doc:"Total requests")
+  in
+  let run scheme workload seed shards batch requests jobs =
+    guard @@ fun () ->
+    let config =
+      Ido_serve.Config.make ~seed ~shards ~batch ~requests ~zipf:0.99
+        ~workload ~scheme ()
+    in
+    let crash = Ido_serve.Serve.default_crash config in
+    let cell =
+      with_jobs jobs (fun pool ->
+          Ido_serve.Serve.run_cell ?pool ~obs:true ~crash config)
+    in
+    let pp_result = function Ok () -> "ok" | Error m -> "FAIL: " ^ m in
+    Printf.printf
+      "%s: crash on shard %d at request %d (+%d ns into its batch)\n"
+      (Ido_serve.Config.label config)
+      crash.Ido_serve.Shard.shard crash.Ido_serve.Shard.at_request
+      crash.Ido_serve.Shard.after_ns;
+    List.iter
+      (fun (o : Ido_serve.Shard.outcome) ->
+        Printf.printf
+          "  shard %d: served %d, dropped %d%s; oracle %s; obs %s\n"
+          o.Ido_serve.Shard.shard o.Ido_serve.Shard.served
+          o.Ido_serve.Shard.dropped
+          (if o.Ido_serve.Shard.crashed then
+             Printf.sprintf " (crashed; recovery %d ns)"
+               o.Ido_serve.Shard.recovery_ns
+           else "")
+          (pp_result o.Ido_serve.Shard.oracle)
+          (pp_result o.Ido_serve.Shard.consistency))
+      cell.Ido_serve.Serve.shards;
+    let crashed_somewhere =
+      List.exists
+        (fun o -> o.Ido_serve.Shard.crashed)
+        cell.Ido_serve.Serve.shards
+    in
+    if not crashed_somewhere then begin
+      print_endline "serve-crash: no shard crashed (stream too short?)";
+      1
+    end
+    else if
+      cell.Ido_serve.Serve.oracle = Ok ()
+      && cell.Ido_serve.Serve.consistency = Ok ()
+    then begin
+      print_endline "all shards recovered consistent";
+      0
+    end
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "serve-crash" ~doc)
+    Term.(
+      const run $ scheme_arg $ workload_arg $ seed_arg $ shards_arg $ batch_arg
+      $ requests_arg $ jobs_arg)
+
 let () =
   let info =
     Cmd.info "ido_check"
@@ -423,5 +512,5 @@ let () =
        (Cmd.group info
           [
             explore_cmd; replay_cmd; schedule_cmd; trace_cmd; lint_cmd;
-            mutants_cmd;
+            mutants_cmd; serve_crash_cmd;
           ]))

@@ -37,6 +37,32 @@ let defaults ?threads ?ops ?(cache_lines = 4096) ?(strict = false) ?(seed = 42)
   { scheme; workload; seed; threads; ops = Option.value ops ~default:60;
     cache_lines; oracle_mode }
 
+(* Conversions to/from the harness {!Ido_harness.Spec.t}: the five
+   serialisable fields are shared; the engine adds cache geometry and
+   the oracle strictness. *)
+let base_spec (s : spec) : Ido_harness.Spec.t =
+  Ido_harness.Spec.make ~seed:s.seed ~obs:true ~scheme:s.scheme
+    ~workload:s.workload ~threads:s.threads ~ops:s.ops ()
+
+let of_base ?(cache_lines = 4096) ?oracle_mode (b : Ido_harness.Spec.t) : spec =
+  let oracle_mode =
+    match oracle_mode with
+    | Some m -> m
+    | None -> (
+        match b.Ido_harness.Spec.scheme with
+        | Scheme.Origin -> Oracle.Prefix
+        | _ -> Oracle.Atomic)
+  in
+  {
+    scheme = b.Ido_harness.Spec.scheme;
+    workload = b.Ido_harness.Spec.workload;
+    seed = b.Ido_harness.Spec.seed;
+    threads = b.Ido_harness.Spec.threads;
+    ops = b.Ido_harness.Spec.ops;
+    cache_lines;
+    oracle_mode;
+  }
+
 (* Build the machine and run the durable setup phase.  The event hook
    is installed only after this returns, so recording and every
    injection run observe the same worker-phase schedule. *)

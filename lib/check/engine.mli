@@ -55,6 +55,17 @@ val defaults :
     counterexample).
     @raise Invalid_argument on an unsupported scheme/workload pair. *)
 
+val base_spec : spec -> Ido_harness.Spec.t
+(** The shared serialisable fields (scheme, workload, seed, threads,
+    ops) as a harness spec — the trace header writes exactly these,
+    via {!Ido_harness.Spec.json_fields}. *)
+
+val of_base :
+  ?cache_lines:int -> ?oracle_mode:Oracle.mode -> Ido_harness.Spec.t -> spec
+(** Rebuild an engine spec from a harness spec, defaulting the cache
+    geometry and deriving the oracle mode from the scheme ([Prefix]
+    for Origin, [Atomic] otherwise) unless overridden. *)
+
 val record : spec -> Ido_vm.Event.t array
 (** Run once, crash-free, and return the persist-event schedule of the
     worker phase (setup/init events are excluded; they are made

@@ -9,7 +9,6 @@
    reproduce the original file byte for byte (the CI smoke check
    [cmp]s them). *)
 
-open Ido_runtime
 open Ido_workloads
 
 type summary = {
@@ -31,12 +30,10 @@ let verdict_string = function
 let result_string = function Ok () -> "ok" | Error m -> m
 
 let header_line (spec : Engine.spec) index =
-  Printf.sprintf
-    ({|{"type":"header","format":1,"scheme":"%s","workload":"%s",|}
-    ^^ {|"seed":%d,"threads":%d,"ops":%d,"cache_lines":%d,|}
-    ^^ {|"oracle":"%s","index":%d}|})
-    (Scheme.name spec.Engine.scheme)
-    spec.Engine.workload spec.Engine.seed spec.Engine.threads spec.Engine.ops
+  (* The shared field prefix comes from the harness spec, so the
+     header round-trips through {!Ido_harness.Spec.of_json}. *)
+  Printf.sprintf {|{"type":"header","format":1,%s,"cache_lines":%d,"oracle":"%s","index":%d}|}
+    (Ido_harness.Spec.json_fields (Engine.base_spec spec))
     spec.Engine.cache_lines
     (mode_name spec.Engine.oracle_mode)
     (Option.value index ~default:(-1))
@@ -71,61 +68,20 @@ let save (tr : Engine.traced) path =
 
 (* ---------- Parsing ----------
 
-   The reader only needs the header and footer of files this module
-   wrote itself, so a minimal field extractor suffices: locate
-   ["key":] and read the integer or escaped string literal after it.
-   It is not a general JSON parser and does not try to be one. *)
+   Field extraction is {!Ido_harness.Spec.Fields}: a minimal by-key
+   scanner sufficient for files this module wrote itself, shared with
+   the serve report reader.  Not a general JSON parser. *)
 
 let parse_error path what =
   failwith (Printf.sprintf "Trace.load: %s: %s" path what)
 
-let find_key line key =
-  let pat = Printf.sprintf {|"%s":|} key in
-  let n = String.length line and pn = String.length pat in
-  let rec scan i =
-    if i + pn > n then None
-    else if String.sub line i pn = pat then Some (i + pn)
-    else scan (i + 1)
-  in
-  scan 0
+let fail_of path what = Failure (Printf.sprintf "Trace.load: %s: %s" path what)
 
-let int_field path line key =
-  match find_key line key with
-  | None -> parse_error path (Printf.sprintf "missing field %S" key)
-  | Some i ->
-      let n = String.length line in
-      let j = ref i in
-      if !j < n && line.[!j] = '-' then incr j;
-      while !j < n && line.[!j] >= '0' && line.[!j] <= '9' do incr j done;
-      if !j = i then parse_error path (Printf.sprintf "field %S is not a number" key);
-      int_of_string (String.sub line i (!j - i))
+module Fields = Ido_harness.Spec.Fields
 
-let string_field path line key =
-  match find_key line key with
-  | None -> parse_error path (Printf.sprintf "missing field %S" key)
-  | Some i ->
-      let n = String.length line in
-      if i >= n || line.[i] <> '"' then
-        parse_error path (Printf.sprintf "field %S is not a string" key);
-      let buf = Buffer.create 32 in
-      let rec go j =
-        if j >= n then parse_error path (Printf.sprintf "unterminated string in %S" key)
-        else
-          match line.[j] with
-          | '"' -> Buffer.contents buf
-          | '\\' when j + 1 < n ->
-              (match line.[j + 1] with
-              | 'n' -> Buffer.add_char buf '\n'; go (j + 2)
-              | 'r' -> Buffer.add_char buf '\r'; go (j + 2)
-              | 't' -> Buffer.add_char buf '\t'; go (j + 2)
-              | 'u' when j + 5 < n ->
-                  let code = int_of_string ("0x" ^ String.sub line (j + 2) 4) in
-                  Buffer.add_char buf (Char.chr (code land 0xff));
-                  go (j + 6)
-              | c -> Buffer.add_char buf c; go (j + 2))
-          | c -> Buffer.add_char buf c; go (j + 1)
-      in
-      go (i + 1)
+let find_key line key = Fields.find line ~key
+let int_field path line key = Fields.int ~fail:(fail_of path) line ~key
+let string_field path line key = Fields.string ~fail:(fail_of path) line ~key
 
 let load path =
   let ic = open_in path in
@@ -149,12 +105,7 @@ let load path =
   then parse_error path "first line is not a trace header";
   if string_field path footer "type" <> "footer" then
     parse_error path "last line is not a trace footer";
-  let scheme_name = string_field path header "scheme" in
-  let scheme =
-    match List.find_opt (fun s -> Scheme.name s = scheme_name) Scheme.all with
-    | Some s -> s
-    | None -> parse_error path (Printf.sprintf "unknown scheme %S" scheme_name)
-  in
+  let base = Ido_harness.Spec.of_json ~fail:(fail_of path) header in
   let oracle_mode =
     match string_field path header "oracle" with
     | "atomic" -> Oracle.Atomic
@@ -162,15 +113,9 @@ let load path =
     | o -> parse_error path (Printf.sprintf "unknown oracle mode %S" o)
   in
   let spec =
-    {
-      Engine.scheme;
-      workload = string_field path header "workload";
-      seed = int_field path header "seed";
-      threads = int_field path header "threads";
-      ops = int_field path header "ops";
-      cache_lines = int_field path header "cache_lines";
-      oracle_mode;
-    }
+    Engine.of_base base
+      ~cache_lines:(int_field path header "cache_lines")
+      ~oracle_mode
   in
   let index =
     match int_field path header "index" with -1 -> None | k -> Some k

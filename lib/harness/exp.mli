@@ -26,6 +26,9 @@ val micro_total_ops : scale -> int
 
 val app_total_ops : scale -> int
 
+module Spec = Spec
+(** One experiment cell as a first-class value — see {!Spec.t}. *)
+
 type run = {
   scheme : Scheme.t;
   mops : float;  (** throughput, millions of operations per second *)
@@ -34,6 +37,50 @@ type run = {
   fences : int;
   clwbs : int;
 }
+
+type profile = {
+  prun : run;  (** the basic throughput measurements *)
+  rollup : Ido_obs.Obs.rollup;  (** aggregate event rollup of the run *)
+  fases : int;  (** distinct dynamic FASEs observed *)
+  consistency : (unit, string) result;
+      (** {!Ido_obs.Obs.check} of the rollup against the pmem counter
+          deltas of the measured window *)
+}
+
+val measure : ?program:Ir.program -> Spec.t -> profile
+(** The measurement entry point: initialise, make the setup durable,
+    run [spec.threads] workers of [spec.ops] operations each to
+    completion, and report.  With [spec.obs] set, an unbuffered
+    {!Ido_obs.Obs} sink is attached over the measured window — per-
+    event rollups (log bytes, boundaries, lock traffic, ...) at
+    constant memory, reconciled against the pmem counters; without it
+    the rollup is zero and [consistency] is trivially [Ok].
+
+    [?program] substitutes a custom-parameterised program for the
+    registry's (the figure sweeps size workloads beyond what the
+    registry names); the spec's [workload] field is then only a
+    label. *)
+
+type crash_report = {
+  crashed_at : Timebase.ns;
+  recovery : Ido_vm.Recover.stats;
+  check_ok : bool;
+  check_count : int;  (** the count observed by the [check] function *)
+  undo_records : int;  (** UNDO records accumulated before the crash *)
+}
+
+val crash_check :
+  ?program:Ir.program -> crash_at:Timebase.ns -> Spec.t -> crash_report
+(** Run the spec's workers, power-fail at [crash_at] (simulated),
+    recover, then run the workload's [check] function on the recovered
+    heap. *)
+
+(** {1 Deprecated wrappers}
+
+    The pre-[Spec] interface, kept for out-of-tree callers.  Each call
+    forwards to {!measure} / {!crash_check}; [total_ops] is divided
+    among the workers ([max 1 (total_ops / threads)] each).  New code
+    should build a {!Spec.t}. *)
 
 val throughput :
   ?seed:int ->
@@ -44,17 +91,7 @@ val throughput :
   total_ops:int ->
   Ir.program ->
   run
-(** Initialise, make the setup durable, run [threads] workers sharing
-    [total_ops] operations to completion, and report throughput. *)
-
-type profile = {
-  prun : run;  (** the same measurements {!throughput} reports *)
-  rollup : Ido_obs.Obs.rollup;  (** aggregate event rollup of the run *)
-  fases : int;  (** distinct dynamic FASEs observed *)
-  consistency : (unit, string) result;
-      (** {!Ido_obs.Obs.check} of the rollup against the pmem counter
-          deltas of the measured window *)
-}
+(** Deprecated: [(measure ~program spec).prun] with [obs] off. *)
 
 val profile :
   ?seed:int ->
@@ -64,18 +101,7 @@ val profile :
   total_ops:int ->
   Ir.program ->
   profile
-(** {!throughput} with an unbuffered {!Ido_obs.Obs} sink attached over
-    the measured window — per-event rollups (log bytes, boundaries,
-    lock traffic, ...) at constant memory, reconciled against the pmem
-    counters on every run. *)
-
-type crash_report = {
-  crashed_at : Timebase.ns;
-  recovery : Ido_vm.Recover.stats;
-  check_ok : bool;
-  check_count : int;  (** the count observed by the [check] function *)
-  undo_records : int;  (** UNDO records accumulated before the crash *)
-}
+(** Deprecated: {!measure} with [obs] on. *)
 
 val crash_recover_check :
   ?seed:int ->
@@ -85,8 +111,7 @@ val crash_recover_check :
   crash_at:Timebase.ns ->
   Ir.program ->
   crash_report
-(** Run workers, power-fail at [crash_at] (simulated), recover, then
-    run the workload's [check] function on the recovered heap. *)
+(** Deprecated: {!crash_check}. *)
 
 val region_stats :
   ?seed:int ->

@@ -20,6 +20,18 @@ let rec chunks n = function
       let row, rest = take n xs in
       row :: chunks n rest
 
+(* One throughput cell through the {!Exp.Spec} API.  [workload] is the
+   registry name (or a label, when [?program] overrides with a
+   custom-sized variant); [total_ops] is split among the workers as
+   the historical interface did. *)
+let mops_cell ?latency ?program ~workload ~scheme ~threads ~total_ops () =
+  let spec =
+    Exp.Spec.make ?latency ~scheme ~workload ~threads
+      ~ops:(max 1 (total_ops / threads))
+      ()
+  in
+  (Exp.measure ?program spec).Exp.prun.Exp.mops
+
 let sweep ?pool ~x_label ~title ~schemes ~xs run =
   let cells =
     List.concat_map (fun x -> List.map (fun s -> (x, s)) schemes) xs
@@ -45,17 +57,15 @@ let fig5 ?pool scale =
   in
   let threads = Exp.thread_counts scale in
   let total_ops = Exp.app_total_ops scale in
-  let panel insert_pct name =
-    let program = Kvcache.program ~insert_pct () in
+  let panel workload name =
     sweep ?pool ~x_label:"threads"
       ~title:(Printf.sprintf "Fig 5 (%s): Memcached-like throughput (Mops/s)" name)
       ~schemes ~xs:threads
-      (fun scheme n ->
-        (Exp.throughput ~scheme ~threads:n ~total_ops program).Exp.mops)
+      (fun scheme n -> mops_cell ~workload ~scheme ~threads:n ~total_ops ())
   in
-  panel 50 "insertion-intensive 50/50"
+  panel "kvcache50" "insertion-intensive 50/50"
   ^ "\n"
-  ^ panel 10 "search-intensive 10/90"
+  ^ panel "kvcache10" "search-intensive 10/90"
 
 (* ------------------------------------------------------------------ *)
 (* Fig. 6: Redis-like single-threaded throughput across database
@@ -84,7 +94,7 @@ let fig6 ?pool scale =
   let vals =
     Exp.pmap ?pool
       (fun (program, scheme) ->
-        (Exp.throughput ~scheme ~threads:1 ~total_ops program).Exp.mops)
+        mops_cell ~program ~workload:"objstore" ~scheme ~threads:1 ~total_ops ())
       cells
   in
   let rows =
@@ -109,19 +119,18 @@ let fig7 ?pool scale =
   let schemes = Scheme.[ Ido; Atlas; Mnemosyne; Justdo ] in
   let threads = Exp.thread_counts scale in
   let total_ops = Exp.micro_total_ops scale in
-  let panel name program =
+  let panel name workload =
     sweep ?pool ~x_label:"threads"
       ~title:(Printf.sprintf "Fig 7 (%s): throughput (Mops/s)" name)
       ~schemes ~xs:threads
-      (fun scheme n ->
-        (Exp.throughput ~scheme ~threads:n ~total_ops program).Exp.mops)
+      (fun scheme n -> mops_cell ~workload ~scheme ~threads:n ~total_ops ())
   in
   String.concat "\n"
     [
-      panel "stack" (Stack.program ());
-      panel "queue" (Queue.program ());
-      panel "ordered list" (Olist.program ());
-      panel "hash map" (Hmap.program ());
+      panel "stack" "stack";
+      panel "queue" "queue";
+      panel "ordered list" "olist";
+      panel "hash map" "hmap";
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -173,27 +182,24 @@ let table1 ?pool scale =
   let kill_times = [ 1; 10; 20; 30; 40; 50 ] in
   let micros =
     [
-      ("Stack", Stack.program ());
-      ("Queue", Queue.program ());
-      ("OrderedList", Olist.program ());
-      ("HashMap", Hmap.program ());
+      ("Stack", "stack");
+      ("Queue", "queue");
+      ("OrderedList", "olist");
+      ("HashMap", "hmap");
     ]
   in
   let atlas_base = Timebase.ms 50 in
   let atlas_per_record = 75 in
   let rows =
     Exp.pmap ?pool
-      (fun (name, program) ->
-        let atlas =
-          Exp.crash_recover_check ~scheme:Scheme.Atlas ~threads
-            ~ops_per_thread:1_000_000 ~crash_at:window program
+      (fun (name, workload) ->
+        let spec scheme =
+          Exp.Spec.make ~scheme ~workload ~threads ~ops:1_000_000 ()
         in
+        let atlas = Exp.crash_check ~crash_at:window (spec Scheme.Atlas) in
         if not atlas.Exp.check_ok then
           failwith (name ^ ": Atlas recovery check failed");
-        let ido =
-          Exp.crash_recover_check ~scheme:Scheme.Ido ~threads
-            ~ops_per_thread:1_000_000 ~crash_at:window program
-        in
+        let ido = Exp.crash_check ~crash_at:window (spec Scheme.Ido) in
         if not ido.Exp.check_ok then
           failwith (name ^ ": iDO recovery check failed");
         let records_per_ns =
@@ -233,7 +239,7 @@ let fig9 ?pool scale =
   let delays = [ 20; 50; 100; 200; 500; 1000; 2000 ] in
   let threads = match scale with Exp.Quick -> 8 | Exp.Full -> 32 in
   let total_ops = Exp.app_total_ops scale in
-  let panel name program threads =
+  let panel name (workload, program) threads =
     let cells =
       List.concat_map (fun d -> List.map (fun s -> (d, s)) schemes) delays
     in
@@ -241,7 +247,7 @@ let fig9 ?pool scale =
       Exp.pmap ?pool
         (fun (d, scheme) ->
           let latency = Latency.with_nvm_extra Latency.default d in
-          (Exp.throughput ~latency ~scheme ~threads ~total_ops program).Exp.mops)
+          mops_cell ~latency ?program ~workload ~scheme ~threads ~total_ops ())
         cells
     in
     let rows =
@@ -254,12 +260,10 @@ let fig9 ?pool scale =
       ~title:(Printf.sprintf "Fig 9 (%s): throughput (Mops/s) vs extra NVM latency (ns)" name)
       ~x_label:"delay" ~columns:(List.map scheme_label schemes) rows
   in
-  panel "Memcached-like, insertion-intensive"
-    (Kvcache.program ~insert_pct:50 ())
-    threads
+  panel "Memcached-like, insertion-intensive" ("kvcache50", None) threads
   ^ "\n"
   ^ panel "Redis-like, large database"
-      (Objstore.program ~key_range:100_000 ~prefill:5_000 ())
+      ("objstore", Some (Objstore.program ~key_range:100_000 ~prefill:5_000 ()))
       1
 
 (* ------------------------------------------------------------------ *)
@@ -348,8 +352,7 @@ let ablation ?pool scale =
   let machine_vals =
     Exp.pmap ?pool
       (fun (latency, scheme) ->
-        (Exp.throughput ~latency ~scheme ~threads ~total_ops (Hmap.program ()))
-          .Exp.mops)
+        mops_cell ~latency ~workload:"hmap" ~scheme ~threads ~total_ops ())
       machine_cells
   in
   let machine_rows =

@@ -1,0 +1,32 @@
+open Ido_runtime
+
+type t = {
+  workload : string;
+  scheme : Scheme.t;
+  seed : int;
+  shards : int;
+  batch : int;
+  requests : int;
+  period_ns : int;
+  zipf : float option;
+}
+
+let make ?(seed = 42) ?(shards = 1) ?(batch = 1) ?(requests = 1000)
+    ?(period_ns = 1500) ?zipf ~workload ~scheme () =
+  if shards < 1 then invalid_arg "Serve: shards must be >= 1";
+  if batch < 1 then invalid_arg "Serve: batch must be >= 1";
+  if requests < 1 then invalid_arg "Serve: requests must be >= 1";
+  if period_ns < 1 then invalid_arg "Serve: period_ns must be >= 1";
+  { workload; scheme; seed; shards; batch; requests; period_ns; zipf }
+
+let label c =
+  Printf.sprintf "%s/%s s%d b%d" c.workload (Scheme.name c.scheme) c.shards
+    c.batch
+
+let json_fields c =
+  Printf.sprintf
+    ({|"workload":"%s","scheme":"%s","seed":%d,"shards":%d,"batch":%d,|}
+   ^^ {|"requests":%d,"period_ns":%d,"zipf":%s|})
+    c.workload (Scheme.name c.scheme) c.seed c.shards c.batch c.requests
+    c.period_ns
+    (match c.zipf with None -> "null" | Some e -> Printf.sprintf "%.4f" e)

@@ -1,0 +1,42 @@
+(** One serving cell: which workload/scheme to serve, how the request
+    stream is generated, and how it is sharded and batched.
+
+    Everything downstream — the generated stream, the per-shard
+    simulations, the reported percentiles — is a deterministic
+    function of this record, independent of host parallelism. *)
+
+open Ido_runtime
+
+type t = {
+  workload : string;  (** a {!Ido_workloads.Workload.names} entry *)
+  scheme : Scheme.t;
+  seed : int;  (** seeds both the stream generator and the shard VMs *)
+  shards : int;  (** key-hash partitions, one private machine each *)
+  batch : int;  (** max queued requests drained per dispatch *)
+  requests : int;  (** total requests in the open-loop stream *)
+  period_ns : int;  (** mean interarrival gap, simulated ns *)
+  zipf : float option;
+      (** [Some e]: Zipfian keys with exponent [e]; [None]: uniform *)
+}
+
+val make :
+  ?seed:int ->
+  ?shards:int ->
+  ?batch:int ->
+  ?requests:int ->
+  ?period_ns:int ->
+  ?zipf:float ->
+  workload:string ->
+  scheme:Scheme.t ->
+  unit ->
+  t
+(** Defaults: seed 42, 1 shard, batch 1, 1000 requests, 1500 ns mean
+    interarrival, uniform keys.
+    @raise Invalid_argument on a non-positive count. *)
+
+val label : t -> string
+(** ["kvcache50/ido s4 b8"] — the row label in rendered reports. *)
+
+val json_fields : t -> string
+(** The cell parameters as a JSON fragment (no braces), stable field
+    order — serve reports are compared byte for byte across [-j]. *)

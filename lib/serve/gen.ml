@@ -1,0 +1,58 @@
+open Ido_util
+
+type request = {
+  id : int;
+  arrival : int;
+  key : int;
+  dice : int;
+  value : int;
+  shard : int;
+}
+
+(* SplitMix64 finalizer: routing must decorrelate the key from its
+   shard (Zipf rank 0 is the hottest key; consecutive ranks must not
+   land on consecutive shards), and must not depend on [Hashtbl.hash]
+   internals. *)
+let mix64 k =
+  let ( *% ) = Int64.mul and ( ^> ) v s = Int64.logxor v (Int64.shift_right_logical v s) in
+  let z = Int64.add (Int64.of_int k) 0x9E3779B97F4A7C15L in
+  let z = (z ^> 30) *% 0xBF58476D1CE4E5B9L in
+  let z = (z ^> 27) *% 0x94D049BB133111EBL in
+  z ^> 31
+
+let shard_of ~shards key =
+  Int64.to_int (Int64.rem (Int64.logand (mix64 key) Int64.max_int)
+                  (Int64.of_int shards))
+
+let stream (c : Config.t) ~key_range =
+  let rng = Rng.create c.Config.seed in
+  let zipf = Option.map (fun e -> Zipf.create ~exponent:e key_range) c.Config.zipf in
+  let arrival = ref 0 in
+  Array.init c.Config.requests (fun id ->
+      (* Open loop: exponential interarrivals with mean [period_ns],
+         independent of completions — so shards simulate independently
+         and a crash on one shard never reshapes another's stream. *)
+      let u = Rng.float rng 1.0 in
+      let gap =
+        max 1
+          (int_of_float
+             ((-.float_of_int c.Config.period_ns *. log (1.0 -. u)) +. 0.5))
+      in
+      arrival := !arrival + gap;
+      let key =
+        match zipf with
+        | Some z -> Zipf.sample z rng
+        | None -> Rng.int rng key_range
+      in
+      let dice = Rng.int rng 100 in
+      let value = Rng.int rng 1_000_000 in
+      { id; arrival = !arrival; key; dice; value;
+        shard = shard_of ~shards:c.Config.shards key })
+
+let partition (c : Config.t) reqs =
+  let buckets = Array.make c.Config.shards [] in
+  for i = Array.length reqs - 1 downto 0 do
+    let r = reqs.(i) in
+    buckets.(r.shard) <- r :: buckets.(r.shard)
+  done;
+  Array.map Array.of_list buckets

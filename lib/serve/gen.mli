@@ -1,0 +1,29 @@
+(** Deterministic open-loop request generation.
+
+    The whole stream is materialised up front from the cell seed:
+    arrival times (exponential interarrivals around the configured
+    mean), keys (Zipfian or uniform), the op dice each workload's
+    [request] entry dispatches on, and a value operand.  Arrivals
+    never depend on completions, so the per-shard sub-streams are
+    fixed before any simulation starts — the property that lets
+    shards run on a domain pool with deterministic output. *)
+
+type request = {
+  id : int;  (** position in the global stream *)
+  arrival : int;  (** simulated ns *)
+  key : int;
+  dice : int;  (** op selector in [\[0, 100)] *)
+  value : int;
+  shard : int;  (** [shard_of key] — fixed at generation time *)
+}
+
+val shard_of : shards:int -> int -> int
+(** Route a key: SplitMix64-mixed hash mod [shards].  Stable across
+    runs and hosts; a given key always lands on the same shard. *)
+
+val stream : Config.t -> key_range:int -> request array
+(** The full stream, arrival-ordered.  [key_range] comes from the
+    workload's registry {!Ido_workloads.Workload.request_profile}. *)
+
+val partition : Config.t -> request array -> request array array
+(** Split a stream into per-shard sub-streams, each arrival-ordered. *)

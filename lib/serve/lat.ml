@@ -1,0 +1,42 @@
+type stats = {
+  served : int;
+  dropped : int;
+  mean_ns : float;
+  p50 : int;
+  p95 : int;
+  p99 : int;
+  max_ns : int;
+}
+
+(* Nearest-rank on an ascending array: the smallest latency such that
+   at least q% of samples are <= it.  p100 is the maximum. *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (q /. 100.0 *. float_of_int n)) in
+    let rank = min n (max 1 rank) in
+    sorted.(rank - 1)
+  end
+
+let of_latencies ?(dropped = 0) latencies =
+  let sorted = Array.copy latencies in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  {
+    served = n;
+    dropped;
+    mean_ns =
+      (if n = 0 then 0.0
+       else
+         float_of_int (Array.fold_left ( + ) 0 sorted) /. float_of_int n);
+    p50 = percentile sorted 50.0;
+    p95 = percentile sorted 95.0;
+    p99 = percentile sorted 99.0;
+    max_ns = (if n = 0 then 0 else sorted.(n - 1));
+  }
+
+let json_fields s =
+  Printf.sprintf
+    {|"served":%d,"dropped":%d,"mean_ns":%.1f,"p50":%d,"p95":%d,"p99":%d,"max_ns":%d|}
+    s.served s.dropped s.mean_ns s.p50 s.p95 s.p99 s.max_ns

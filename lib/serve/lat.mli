@@ -1,0 +1,23 @@
+(** Latency accounting: nearest-rank percentiles over simulated-ns
+    request latencies. *)
+
+type stats = {
+  served : int;
+  dropped : int;  (** requests lost to a mid-batch crash *)
+  mean_ns : float;
+  p50 : int;
+  p95 : int;
+  p99 : int;
+  max_ns : int;
+}
+
+val percentile : int array -> float -> int
+(** [percentile sorted q] on an {e ascending} array: nearest-rank,
+    i.e. the element at index [ceil (q/100 * n) - 1] (clamped).
+    0 on an empty array. *)
+
+val of_latencies : ?dropped:int -> int array -> stats
+(** Sorts a copy; the input order does not matter. *)
+
+val json_fields : stats -> string
+(** Stable JSON fragment (no braces). *)

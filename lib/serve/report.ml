@@ -1,0 +1,54 @@
+open Ido_util
+
+let result_string = function Ok () -> "ok" | Error m -> m
+
+let cell_json (c : Serve.cell) =
+  let shard_json (o : Shard.outcome) =
+    Printf.sprintf
+      ({|{"shard":%d,"served":%d,"dropped":%d,"busy_until":%d,"sim_ns":%d,|}
+     ^^ {|"crashed":%b,"recovery_ns":%d,"oracle":"%s","consistency":"%s"}|})
+      o.Shard.shard o.Shard.served o.Shard.dropped o.Shard.busy_until
+      o.Shard.sim_ns o.Shard.crashed o.Shard.recovery_ns
+      (Ido_obs.Obs.json_escape (result_string o.Shard.oracle))
+      (Ido_obs.Obs.json_escape (result_string o.Shard.consistency))
+  in
+  Printf.sprintf
+    {|{%s,%s,"makespan_ns":%d,"mops":%.6f,"oracle":"%s","consistency":"%s","shards_detail":[%s]}|}
+    (Config.json_fields c.Serve.config)
+    (Lat.json_fields c.Serve.stats)
+    c.Serve.makespan_ns c.Serve.mops
+    (Ido_obs.Obs.json_escape (result_string c.Serve.oracle))
+    (Ido_obs.Obs.json_escape (result_string c.Serve.consistency))
+    (String.concat "," (List.map shard_json c.Serve.shards))
+
+let to_json cells =
+  Printf.sprintf {|{"type":"serve","format":1,"cells":[%s]}|}
+    (String.concat "," (List.map cell_json cells))
+
+let render cells =
+  let header =
+    [
+      "cell"; "mops"; "p50"; "p95"; "p99"; "max"; "served"; "dropped"; "obs";
+    ]
+  in
+  let row (c : Serve.cell) =
+    let s = c.Serve.stats in
+    [
+      Config.label c.Serve.config;
+      Printf.sprintf "%.4f" c.Serve.mops;
+      string_of_int s.Lat.p50;
+      string_of_int s.Lat.p95;
+      string_of_int s.Lat.p99;
+      string_of_int s.Lat.max_ns;
+      string_of_int s.Lat.served;
+      string_of_int s.Lat.dropped;
+      (match (c.Serve.oracle, c.Serve.consistency) with
+      | Ok (), Ok () -> "ok"
+      | Error m, _ | _, Error m -> m);
+    ]
+  in
+  Render.table
+    ~title:
+      "Serving benchmark: throughput and request latency (simulated ns)\n\
+       per (scheme x shards x batch) cell"
+    ~header (List.map row cells)

@@ -1,0 +1,16 @@
+(** Rendering and JSON persistence of serve cells.
+
+    The JSON layout (field order, float formatting) is stable: CI
+    [cmp]s [BENCH_serve.json] files produced at different [-j]. *)
+
+val cell_json : Serve.cell -> string
+(** One cell as a single-line JSON object, including per-shard
+    detail. *)
+
+val to_json : Serve.cell list -> string
+(** The [BENCH_serve.json] document: [{"type":"serve","format":1,
+    "cells":[...]}]. *)
+
+val render : Serve.cell list -> string
+(** Human-readable boxed table: one row per cell with throughput and
+    the latency percentiles. *)

@@ -1,0 +1,66 @@
+open Ido_util
+open Ido_workloads
+
+type cell = {
+  config : Config.t;
+  stats : Lat.stats;
+  makespan_ns : int;
+  mops : float;
+  shards : Shard.outcome list;
+  oracle : (unit, string) result;
+  consistency : (unit, string) result;
+}
+
+let first_error outcomes pick =
+  List.fold_left
+    (fun acc o -> match acc with Error _ -> acc | Ok () -> pick o)
+    (Ok ()) outcomes
+
+let run_cell ?pool ?(obs = false) ?crash (config : Config.t) =
+  let w = Workload.get config.Config.workload in
+  (* Force the program once, on this domain: the registry thunk is
+     lazy and lazy forcing is not domain-safe. *)
+  let program = Workload.program w in
+  let oracle = w.Workload.oracle in
+  let streams =
+    Gen.partition config
+      (Gen.stream config ~key_range:w.Workload.request.Workload.key_range)
+  in
+  let outcomes =
+    Pool.opt_map_list pool
+      (fun shard ->
+        Shard.run ~obs ?crash ~shard ~config ~program ~oracle streams.(shard))
+      (List.init config.Config.shards Fun.id)
+  in
+  let latencies =
+    Array.concat (List.map (fun o -> o.Shard.latencies) outcomes)
+  in
+  let dropped = List.fold_left (fun a o -> a + o.Shard.dropped) 0 outcomes in
+  let stats = Lat.of_latencies ~dropped latencies in
+  let makespan_ns =
+    List.fold_left (fun a o -> max a o.Shard.busy_until) 0 outcomes
+  in
+  {
+    config;
+    stats;
+    makespan_ns;
+    mops =
+      (if makespan_ns = 0 then 0.0
+       else float_of_int stats.Lat.served /. float_of_int makespan_ns *. 1000.0);
+    shards = outcomes;
+    oracle = first_error outcomes (fun o -> o.Shard.oracle);
+    consistency = first_error outcomes (fun o -> o.Shard.consistency);
+  }
+
+let default_crash (config : Config.t) =
+  (* Deterministic mid-stream crash point: pick the shard from the
+     seed, crash in the batch around the middle of its sub-stream. *)
+  let w = Workload.get config.Config.workload in
+  let streams =
+    Gen.partition config
+      (Gen.stream config ~key_range:w.Workload.request.Workload.key_range)
+  in
+  let rng = Rng.create (config.Config.seed lxor 0x5eed) in
+  let shard = Rng.int rng config.Config.shards in
+  let len = Array.length streams.(shard) in
+  { Shard.shard; at_request = len / 2; after_ns = 400 }

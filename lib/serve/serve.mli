@@ -1,0 +1,30 @@
+(** Cell orchestration: generate the stream, fan the shards out over
+    an optional domain pool, and merge their outcomes.
+
+    Shards are independent simulations over disjoint sub-streams, and
+    the merge is in shard order (submission order on the pool), so a
+    cell's result is byte-identical at every [-j]. *)
+
+type cell = {
+  config : Config.t;
+  stats : Lat.stats;  (** latency stats over every served request *)
+  makespan_ns : int;  (** max shard busy horizon, simulated wall ns *)
+  mops : float;  (** served / makespan, Mops/s *)
+  shards : Shard.outcome list;  (** per-shard detail, shard order *)
+  oracle : (unit, string) result;  (** first shard oracle failure *)
+  consistency : (unit, string) result;
+      (** first shard obs-reconciliation failure *)
+}
+
+val run_cell :
+  ?pool:Ido_util.Pool.t ->
+  ?obs:bool ->
+  ?crash:Shard.crash_plan ->
+  Config.t ->
+  cell
+(** @raise Invalid_argument for a workload missing from the registry. *)
+
+val default_crash : Config.t -> Shard.crash_plan
+(** A deterministic mid-stream crash point: the shard is drawn from
+    the cell seed, the crash hits the batch containing the middle
+    request of that shard's sub-stream, 400 simulated ns in. *)

@@ -1,0 +1,193 @@
+open Ido_workloads
+module Vm = Ido_vm.Vm
+module Pmem = Ido_nvm.Pmem
+
+type crash_plan = {
+  shard : int;
+  at_request : int;
+  after_ns : int;
+}
+
+type outcome = {
+  shard : int;
+  served : int;
+  dropped : int;
+  latencies : int array;
+  busy_until : int;
+  sim_ns : int;
+  crashed : bool;
+  recovery_ns : int;
+  oracle : (unit, string) result;
+  consistency : (unit, string) result;
+}
+
+(* A shard machine serves thousands of one-request threads, so the
+   benchmark-sized per-thread logs would exhaust persistent memory:
+   shrink the log capacities to what a single request can need and
+   give the region 4M words.  [reap] (below) keeps the scheduler's
+   table small in the same way. *)
+let vm_config (c : Config.t) ~shard =
+  let base = Vm.config c.Config.scheme in
+  {
+    base with
+    Vm.seed = c.Config.seed + (31 * (shard + 1));
+    pmem_words = 1 lsl 22;
+    undo_cap = 1 lsl 7;
+    redo_cap = 1 lsl 7;
+    page_cap = 8;
+  }
+
+let mem_of m =
+  let pm = Vm.pmem m in
+  { Oracle.load = Pmem.load pm; size = Pmem.size pm }
+
+let oracle_mode (c : Config.t) =
+  match c.Config.scheme with
+  | Ido_runtime.Scheme.Origin -> Oracle.Prefix
+  | _ -> Oracle.Atomic
+
+(* Serve one shard's sub-stream to completion.
+
+   Simulated wall time and the machine's internal clock are related by
+   a per-batch offset: a batch dispatched at wall time [t0] starts at
+   machine clock [c0] (the clock floor after reaping), so a thread
+   finishing at machine clock [tc] finishes at wall [t0 + (tc - c0)].
+   The offset form survives crash/recovery, where the machine clock
+   rewinds to the floor while wall time keeps advancing. *)
+let run ?(obs = false) ?crash ~shard ~config ~program ~oracle
+    (requests : Gen.request array) =
+  let c = config in
+  let m = Vm.create (vm_config c ~shard) program in
+  ignore (Vm.spawn m ~fname:"init" ~args:[]);
+  (match Vm.run m with
+  | `Idle -> ()
+  | _ -> failwith "Serve: init phase did not finish");
+  Vm.flush_all m;
+  (* Observed window: everything after durable setup, exactly the
+     [Engine.run_traced] protocol — counters snapshotted here, sink
+     detached only after the final [flush_all]. *)
+  let c0 = Pmem.counters (Vm.pmem m) in
+  let stores0 = c0.Pmem.stores
+  and writebacks0 = c0.Pmem.writebacks
+  and fences0 = c0.Pmem.fences
+  and evictions0 = c0.Pmem.evictions in
+  let sink =
+    if obs then begin
+      let s = Ido_obs.Obs.create ~buffer:false () in
+      Vm.set_obs m (Some s);
+      Some s
+    end
+    else None
+  in
+  let n = Array.length requests in
+  let latencies = ref [] in
+  let served = ref 0 and dropped = ref 0 in
+  let busy = ref (Vm.clock m) in
+  let crashed = ref false and recovery_ns = ref 0 in
+  let sim_total = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let t0 = max !busy requests.(!i).Gen.arrival in
+    (* Drain up to [batch] requests that have arrived by [t0]; the
+       head has (t0 >= its arrival), so a batch is never empty. *)
+    let j = ref !i in
+    while
+      !j < n && !j - !i < c.Config.batch && requests.(!j).Gen.arrival <= t0
+    do
+      incr j
+    done;
+    Vm.reap m;
+    let base_clock = Vm.clock m in
+    let batch = Array.sub requests !i (!j - !i) in
+    let threads =
+      Array.map
+        (fun r ->
+          Vm.spawn m ~fname:"request"
+            ~args:
+              [
+                Int64.of_int r.Gen.dice;
+                Int64.of_int r.Gen.key;
+                Int64.of_int r.Gen.value;
+              ])
+        batch
+    in
+    let crash_here =
+      match crash with
+      | Some (pl : crash_plan)
+        when (not !crashed)
+             && pl.shard = shard
+             && pl.at_request >= !i
+             && pl.at_request < !j ->
+          Some pl
+      | _ -> None
+    in
+    (match crash_here with
+    | None ->
+        (match Vm.run m with
+        | `Idle -> ()
+        | `Deadlock -> failwith "Serve: batch deadlocked"
+        | _ -> failwith "Serve: batch did not finish");
+        Array.iteri
+          (fun k th ->
+            let r = batch.(k) in
+            let finish = t0 + (Vm.thread_clock th - base_clock) in
+            latencies := (finish - r.Gen.arrival) :: !latencies;
+            incr served)
+          threads;
+        let end_clock = Vm.clock m in
+        sim_total := !sim_total + (end_clock - base_clock);
+        busy := t0 + (end_clock - base_clock)
+    | Some pl ->
+        (* Power-fail [after_ns] into this batch.  Requests whose
+           thread already recorded its observation completed and count
+           toward the latency stream; the rest are dropped.  Recovery
+           time is added to the shard's busy horizon — subsequent
+           arrivals queue behind it. *)
+        crashed := true;
+        ignore (Vm.run ~until:(base_clock + pl.after_ns) m);
+        let crash_clock = Vm.clock m in
+        Array.iteri
+          (fun k th ->
+            let r = batch.(k) in
+            if Vm.observations th <> [] then begin
+              let finish = t0 + (Vm.thread_clock th - base_clock) in
+              latencies := (finish - r.Gen.arrival) :: !latencies;
+              incr served
+            end
+            else incr dropped)
+          threads;
+        Vm.crash m;
+        let stats = Vm.recover m in
+        let rec_ns = stats.Ido_vm.Recover.simulated_time in
+        recovery_ns := !recovery_ns + rec_ns;
+        sim_total := !sim_total + (crash_clock - base_clock) + rec_ns;
+        busy := t0 + (crash_clock - base_clock) + rec_ns);
+    i := !j
+  done;
+  Vm.flush_all m;
+  let consistency =
+    match sink with
+    | None -> Ok ()
+    | Some s ->
+        Vm.set_obs m None;
+        let cts = Pmem.counters (Vm.pmem m) in
+        Ido_obs.Obs.check s
+          ~stores:(cts.Pmem.stores - stores0)
+          ~writebacks:(cts.Pmem.writebacks - writebacks0)
+          ~fences:(cts.Pmem.fences - fences0)
+          ~evictions:(cts.Pmem.evictions - evictions0)
+  in
+  let root = Ido_region.Region.get_root (Vm.region m) 0 in
+  let oracle = Oracle.check oracle ~mode:(oracle_mode c) ~root (mem_of m) in
+  {
+    shard;
+    served = !served;
+    dropped = !dropped;
+    latencies = Array.of_list (List.rev !latencies);
+    busy_until = !busy;
+    sim_ns = !sim_total;
+    crashed = !crashed;
+    recovery_ns = !recovery_ns;
+    oracle;
+    consistency;
+  }

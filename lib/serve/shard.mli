@@ -1,0 +1,54 @@
+(** One shard: a private machine serving its key-partition of the
+    request stream under the configured scheme.
+
+    Each queued batch (up to [Config.batch] arrived requests) is
+    dispatched as one thread per request via the workload's
+    [request(dice, key, value)] entry point; {!Ido_vm.Vm.reap} runs
+    between batches so scheduling stays proportional to the batch
+    size, not to the requests served so far.  Request latency is
+    [finish - arrival] in simulated wall ns, where a batch dispatched
+    at wall time [max busy arrival] maps machine clocks through a
+    per-batch offset (the mapping survives crash/recovery). *)
+
+open Ido_workloads
+
+type crash_plan = {
+  shard : int;  (** which shard power-fails *)
+  at_request : int;
+      (** index {e within that shard's sub-stream}: the crash hits the
+          batch containing this request *)
+  after_ns : int;  (** simulated ns into that batch *)
+}
+
+type outcome = {
+  shard : int;
+  served : int;
+  dropped : int;  (** requests in flight at the crash *)
+  latencies : int array;  (** per served request, sub-stream order *)
+  busy_until : int;  (** wall ns when the shard went idle *)
+  sim_ns : int;  (** machine time actually simulated (busy time) *)
+  crashed : bool;
+  recovery_ns : int;
+  oracle : (unit, string) result;
+      (** structure validation on the final image: [Atomic] for every
+          instrumented scheme, [Prefix] for Origin *)
+  consistency : (unit, string) result;
+      (** {!Ido_obs.Obs.check} reconciliation; trivially [Ok] when the
+          shard ran without a sink *)
+}
+
+val run :
+  ?obs:bool ->
+  ?crash:crash_plan ->
+  shard:int ->
+  config:Config.t ->
+  program:Ido_ir.Ir.program ->
+  oracle:Oracle.impl ->
+  Gen.request array ->
+  outcome
+(** Serve the (arrival-ordered) sub-stream to completion.  With
+    [?obs], an unbuffered sink watches everything after durable setup
+    and is reconciled against the pmem counters after the final flush.
+    A [crash] plan naming a different shard is ignored.  The caller
+    passes the already-forced [program] (lazy forcing is not
+    domain-safe) and the workload's oracle. *)

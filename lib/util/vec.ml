@@ -61,3 +61,20 @@ let find_opt p v =
   go 0
 
 let to_list v = List.init v.len (fun i -> v.data.(i))
+
+let filter_in_place p v =
+  let keep = ref 0 in
+  for i = 0 to v.len - 1 do
+    let x = v.data.(i) in
+    if p x then begin
+      v.data.(!keep) <- x;
+      incr keep
+    end
+  done;
+  (* Release dropped elements so they can be collected. *)
+  if !keep > 0 then
+    for i = !keep to v.len - 1 do
+      v.data.(i) <- v.data.(0)
+    done
+  else v.data <- [||];
+  v.len <- !keep

@@ -29,3 +29,7 @@ val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
 val exists : ('a -> bool) -> 'a t -> bool
 val find_opt : ('a -> bool) -> 'a t -> 'a option
 val to_list : 'a t -> 'a list
+
+val filter_in_place : ('a -> bool) -> 'a t -> unit
+(** Keep only the elements satisfying the predicate, preserving order;
+    O(n), no reallocation. *)

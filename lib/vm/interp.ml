@@ -38,6 +38,7 @@ let create (config : config) (program : Ir.program) =
     locks = Hashtbl.create 64;
     rng;
     threads = Vec.create ();
+    clock_floor = 0;
     next_tid = 0;
     seq = 0;
     commit_version = 0;
@@ -1026,6 +1027,17 @@ let run ?until ?(max_steps = max_int) m : run_outcome =
               loop ())
   in
   loop ()
+
+(* Drop finished threads from the scheduler's table.  The per-burst
+   scans ([min_runnable], [second_min_clock], [max_clock]) fold over
+   every thread record ever spawned, so a driver that spawns one thread
+   per request (the serving layer) would otherwise go quadratic in the
+   request count.  The clock floor preserves [max_clock] — and with it
+   the "spawns begin now" invariant — when the reaped threads were the
+   ones carrying the latest time. *)
+let reap m =
+  m.clock_floor <- max_clock m;
+  Vec.filter_in_place (fun t -> t.status <> Done) m.threads
 
 let crash m =
   m.crashed <- true;

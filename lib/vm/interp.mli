@@ -25,6 +25,11 @@ val run : ?until:Timebase.ns -> ?max_steps:int -> State.t -> run_outcome
 (** Advance the simulation: always steps the earliest runnable thread,
     so cross-thread interactions happen in one causal order. *)
 
+val reap : State.t -> unit
+(** Drop [Done] threads from the scheduler table after raising the
+    clock floor, so scheduling stays O(live threads) on machines that
+    spawn one thread per unit of work (the serving layer). *)
+
 val crash : State.t -> unit
 (** Power failure: discard every volatile structure (cache overlay,
     DRAM, transient mutexes, threads).  On an NV-cache machine the

@@ -118,6 +118,10 @@ type t = {
   mutable locks : (int, lock_state) Hashtbl.t;
   rng : Rng.t;
   threads : thread Vec.t;  (* in spawn order *)
+  mutable clock_floor : Timebase.ns;
+      (* lower bound on [max_clock] after finished threads are reaped:
+         keeps the machine clock monotonic (and new spawns starting "now")
+         even when no live thread remembers the latest time *)
   mutable next_tid : int;
   mutable seq : int;  (* global sequence for happens-before records *)
   mutable commit_version : int;  (* Mnemosyne global commit clock *)
@@ -179,7 +183,7 @@ let current_frame t =
   | [] -> failwith "thread has no frame"
 
 let max_clock m =
-  Vec.fold_left (fun acc t -> Stdlib.max acc t.clock) 0 m.threads
+  Vec.fold_left (fun acc t -> Stdlib.max acc t.clock) m.clock_floor m.threads
 
 let runnable m =
   List.filter (fun t -> t.status = Runnable) (Vec.to_list m.threads)

@@ -30,6 +30,7 @@ type thread = State.thread
 
 let spawn = Interp.spawn
 let run = Interp.run
+let reap = Interp.reap
 let crash = Interp.crash
 let recover = Recover.recover
 

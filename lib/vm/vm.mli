@@ -63,6 +63,15 @@ val run : ?until:Timebase.ns -> ?max_steps:int -> t -> run_outcome
     (crash injection point).  [`Deadlock]: runnable set empty while
     threads remain blocked. *)
 
+val reap : t -> unit
+(** Drop finished threads from the scheduler's table, first raising the
+    machine's clock floor so {!clock} (and where fresh spawns start)
+    is unchanged.  Long-lived machines that spawn one thread per unit
+    of work — the request-serving layer — call this between dispatches
+    to keep scheduling O(live threads) instead of O(threads ever
+    spawned).  Reaped thread records stay valid for {!observations} /
+    {!thread_clock}; they are only removed from scheduling. *)
+
 val crash : t -> unit
 (** Power failure now: volatile state (cache overlay, DRAM, transient
     locks, threads) is discarded; only persisted lines survive. *)

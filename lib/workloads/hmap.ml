@@ -40,6 +40,23 @@ let worker key_range =
   Builder.ret b None;
   Builder.finish b
 
+(* Keyed-request entry point (serving layer): op < 50 is a put.
+   Bucket selection stays outside the FASE, as in [worker]. *)
+let request () =
+  let b, ps = Builder.create ~name:"request" ~nparams:3 in
+  let op = List.nth ps 0 and k = List.nth ps 1 and v = List.nth ps 2 in
+  let desc = get_root b desc_root in
+  let head = bucket_head b desc k in
+  let is_put = Builder.bin b Ir.Lt (Ir.Reg op) (Ir.Imm 50L) in
+  Builder.if_ b (Ir.Reg is_put)
+    ~then_:(fun () ->
+      Builder.call_void b "list_put" [ Ir.Reg head; Ir.Reg k; Ir.Reg v ])
+    ~else_:(fun () ->
+      ignore (Builder.call b "list_get" [ Ir.Reg head; Ir.Reg k ]));
+  observe b (Ir.Imm 1L);
+  Builder.ret b None;
+  Builder.finish b
+
 let check () =
   let b, _ = Builder.create ~name:"check" ~nparams:0 in
   let desc = get_root b desc_root in
@@ -57,4 +74,9 @@ let check () =
 let program ?(buckets = 128) ?(key_range = 2048) () =
   program
     (Olist.list_funcs ()
-    @ [ ("init", init buckets); ("worker", worker key_range); ("check", check ()) ])
+    @ [
+        ("init", init buckets);
+        ("worker", worker key_range);
+        ("request", request ());
+        ("check", check ());
+      ])

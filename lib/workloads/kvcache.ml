@@ -145,6 +145,24 @@ let worker ~key_range ~insert_pct =
   Builder.ret b None;
   Builder.finish b
 
+(* Keyed-request entry point (serving layer): dice < insert_pct is a
+   set.  Same per-request client work as [worker]. *)
+let request ~insert_pct =
+  let b, ps = Builder.create ~name:"request" ~nparams:3 in
+  let op = List.nth ps 0 and k = List.nth ps 1 and v = List.nth ps 2 in
+  let desc = get_root b desc_root in
+  Builder.intr_void b Ir.Work [ Ir.Imm (Int64.of_int client_work_ns) ];
+  let is_set =
+    Builder.bin b Ir.Lt (Ir.Reg op) (Ir.Imm (Int64.of_int insert_pct))
+  in
+  Builder.if_ b (Ir.Reg is_set)
+    ~then_:(fun () ->
+      Builder.call_void b "kv_set" [ Ir.Reg desc; Ir.Reg k; Ir.Reg v ])
+    ~else_:(fun () -> ignore (Builder.call b "kv_get" [ Ir.Reg desc; Ir.Reg k ]));
+  observe b (Ir.Imm 1L);
+  Builder.ret b None;
+  Builder.finish b
+
 let check () =
   let b, _ = Builder.create ~name:"check" ~nparams:0 in
   let desc = get_root b desc_root in
@@ -184,5 +202,6 @@ let program ?(buckets = 256) ?(key_range = 16384) ~insert_pct () =
       ("kv_set", set_fn ());
       ("kv_get", get_fn ());
       ("worker", worker ~key_range ~insert_pct);
+      ("request", request ~insert_pct);
       ("check", check ());
     ]

@@ -99,6 +99,20 @@ let worker () =
   Builder.ret b None;
   Builder.finish b
 
+(* Keyed-request entry point (serving layer): op < 50 appends the
+   value, otherwise consumes; the key only routes. *)
+let request () =
+  let b, ps = Builder.create ~name:"request" ~nparams:3 in
+  let op = List.nth ps 0 and v = List.nth ps 2 in
+  let desc = get_root b desc_root in
+  let is_append = Builder.bin b Ir.Lt (Ir.Reg op) (Ir.Imm 50L) in
+  Builder.if_ b (Ir.Reg is_append)
+    ~then_:(fun () -> Builder.call_void b "mlog_append" [ Ir.Reg desc; Ir.Reg v ])
+    ~else_:(fun () -> ignore (Builder.call b "mlog_consume" [ Ir.Reg desc ]));
+  observe b (Ir.Imm 1L);
+  Builder.ret b None;
+  Builder.finish b
+
 let check () =
   let b, _ = Builder.create ~name:"check" ~nparams:0 in
   let desc = get_root b desc_root in
@@ -136,5 +150,6 @@ let program ?(capacity = 64) () =
       ("mlog_append", append_fn ());
       ("mlog_consume", consume_fn ());
       ("worker", worker ());
+      ("request", request ());
       ("check", check ());
     ]

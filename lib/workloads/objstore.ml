@@ -129,6 +129,22 @@ let worker key_range =
   Builder.ret b None;
   Builder.finish b
 
+(* Keyed-request entry point (serving layer): dice < 20 is a put, the
+   worker's mix.  The caller supplies the (already skewed or uniform)
+   key directly. *)
+let request () =
+  let b, ps = Builder.create ~name:"request" ~nparams:3 in
+  let op = List.nth ps 0 and k = List.nth ps 1 in
+  let desc = get_root b desc_root in
+  Builder.intr_void b Ir.Work [ Ir.Imm (Int64.of_int client_work_ns) ];
+  let is_put = Builder.bin b Ir.Lt (Ir.Reg op) (Ir.Imm 20L) in
+  Builder.if_ b (Ir.Reg is_put)
+    ~then_:(fun () -> Builder.call_void b "obj_put" [ Ir.Reg desc; Ir.Reg k ])
+    ~else_:(fun () -> ignore (Builder.call b "obj_get" [ Ir.Reg desc; Ir.Reg k ]));
+  observe b (Ir.Imm 1L);
+  Builder.ret b None;
+  Builder.finish b
+
 let check () =
   let b, _ = Builder.create ~name:"check" ~nparams:0 in
   let desc = get_root b desc_root in
@@ -171,5 +187,6 @@ let program ?(buckets = 1024) ?(key_range = 10_000) ?prefill () =
       ("obj_put", put_fn ());
       ("obj_get", get_fn ());
       ("worker", worker key_range);
+      ("request", request ());
       ("check", check ());
     ]

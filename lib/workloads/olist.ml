@@ -185,10 +185,48 @@ let worker_with_removes ~key_range ~remove_pct =
   Builder.ret b None;
   Builder.finish b
 
+(* Keyed-request entry point (serving layer): same op mix as the
+   matching worker, but with dice / key / value supplied by the caller
+   instead of drawn inside the loop. *)
+let request ~remove_pct () =
+  let b, ps = Builder.create ~name:"request" ~nparams:3 in
+  let op = List.nth ps 0 and k = List.nth ps 1 and v = List.nth ps 2 in
+  let head = get_root b desc_root in
+  (if remove_pct = 0 then (
+     let is_put = Builder.bin b Ir.Lt (Ir.Reg op) (Ir.Imm 50L) in
+     Builder.if_ b (Ir.Reg is_put)
+       ~then_:(fun () ->
+         Builder.call_void b "list_put" [ Ir.Reg head; Ir.Reg k; Ir.Reg v ])
+       ~else_:(fun () ->
+         ignore (Builder.call b "list_get" [ Ir.Reg head; Ir.Reg k ])))
+   else
+     let is_remove =
+       Builder.bin b Ir.Lt (Ir.Reg op) (Ir.Imm (Int64.of_int remove_pct))
+     in
+     Builder.if_ b (Ir.Reg is_remove)
+       ~then_:(fun () ->
+         ignore (Builder.call b "list_remove" [ Ir.Reg head; Ir.Reg k ]))
+       ~else_:(fun () ->
+         let flip = Builder.bin b Ir.And (Ir.Reg op) (Ir.Imm 1L) in
+         Builder.if_ b (Ir.Reg flip)
+           ~then_:(fun () ->
+             Builder.call_void b "list_put" [ Ir.Reg head; Ir.Reg k; Ir.Reg v ])
+           ~else_:(fun () ->
+             ignore (Builder.call b "list_get" [ Ir.Reg head; Ir.Reg k ]))));
+  observe b (Ir.Imm 1L);
+  Builder.ret b None;
+  Builder.finish b
+
 let program ?(key_range = 256) ?(remove_pct = 0) () =
   let worker =
     if remove_pct = 0 then worker key_range
     else worker_with_removes ~key_range ~remove_pct
   in
   program
-    (list_funcs () @ [ ("init", init ()); ("worker", worker); ("check", check ()) ])
+    (list_funcs ()
+    @ [
+        ("init", init ());
+        ("worker", worker);
+        ("request", request ~remove_pct ());
+        ("check", check ());
+      ])

@@ -243,100 +243,122 @@ let check_mlog ~mode mem desc =
         i := Int64.add !i 1L
       done
 
-(* ---------- dispatch ---------- *)
+(* ---------- canonical renderings (for cross-scheme comparison) ---------- *)
+
+let buf_i64s b l =
+  List.iter (fun v -> Buffer.add_string b (Int64.to_string v); Buffer.add_char b ',') l
+
+let render_stack b mem desc =
+  Buffer.add_string b "stack:";
+  buf_i64s b (stack_elems mem desc)
+
+let render_queue b mem desc =
+  let elems, _ = queue_elems mem desc in
+  Buffer.add_string b
+    (Printf.sprintf "queue:e%Ld,d%Ld:" (word mem (desc + 2))
+       (word mem (desc + 3)));
+  buf_i64s b elems
+
+let render_olist b mem desc =
+  Buffer.add_string b "olist:";
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%Ld=%Ld," k v))
+    (olist_elems ~mode:Atomic mem desc)
+
+let render_hmap b mem desc =
+  Buffer.add_string b "hmap:";
+  List.iteri
+    (fun i head ->
+      Buffer.add_string b (Printf.sprintf "|%d:" i);
+      List.iter
+        (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%Ld=%Ld," k v))
+        (olist_elems ~mode:Atomic mem head))
+    (hmap_buckets mem desc)
+
+let render_kvcache b mem desc =
+  let nb = iword mem (desc + 1) in
+  Buffer.add_string b (Printf.sprintf "kvcache:c%Ld" (word mem (desc + 2)));
+  for i = 0 to nb - 1 do
+    Buffer.add_string b (Printf.sprintf "|%d:" i);
+    List.iter
+      (fun e ->
+        Buffer.add_string b
+          (Printf.sprintf "%Ld=%Ld," (word mem e) (word mem (e + 2))))
+      (kv_chain mem (desc + 3 + i))
+  done
+
+let render_objstore b mem desc =
+  let nb = iword mem desc in
+  Buffer.add_string b (Printf.sprintf "objstore:c%Ld" (word mem (desc + 1)));
+  for i = 0 to nb - 1 do
+    Buffer.add_string b (Printf.sprintf "|%d:" i);
+    List.iter
+      (fun e -> Buffer.add_string b (Printf.sprintf "%Ld," (word mem e)))
+      (kv_chain mem (desc + 2 + i))
+  done
+
+let render_mlog b mem desc =
+  let cap = iword mem desc in
+  let h = word mem (desc + 1) and t = word mem (desc + 2) in
+  Buffer.add_string b (Printf.sprintf "mlog:h%Ld,t%Ld:" h t);
+  let i = ref t in
+  while Int64.compare !i h < 0 do
+    let slot = desc + 4 + (Int64.to_int (Int64.rem !i (Int64.of_int cap)) * 4) in
+    Buffer.add_string b (Printf.sprintf "%Ld," (word mem (slot + 1)));
+    i := Int64.add !i 1L
+  done
+
+(* ---------- first-class oracle implementations ---------- *)
+
+type impl = {
+  check : mode:mode -> mem -> int -> unit;
+  render : Buffer.t -> mem -> int -> unit;
+}
+
+let stack = { check = check_stack; render = render_stack }
+let queue = { check = check_queue; render = render_queue }
+
+let olist =
+  { check = (fun ~mode mem d -> check_olist ~mode mem d); render = render_olist }
+
+let hmap = { check = check_hmap; render = render_hmap }
+let kvcache = { check = check_kvcache; render = render_kvcache }
+let objstore = { check = check_objstore; render = render_objstore }
+let mlog = { check = check_mlog; render = render_mlog }
 
 let root_desc mem root =
   let d = Int64.to_int root in
   if d <= 0 || d >= mem.size then badf "root slot holds %Ld" root;
   d
 
-let checker = function
-  | "stack" -> check_stack
-  | "queue" -> check_queue
-  | "olist" | "olistrm" -> fun ~mode mem d -> check_olist ~mode mem d
-  | "hmap" -> check_hmap
-  | "kvcache50" | "kvcache10" -> check_kvcache
-  | "objstore" -> check_objstore
-  | "mlog" -> check_mlog
-  | w -> invalid_arg ("Oracle: unknown workload " ^ w)
-
-let known w =
-  match checker w with
-  | (_ : mode:mode -> mem -> int -> unit) -> true
-  | exception Invalid_argument _ -> false
-
-let validate ~workload ~mode ~root mem =
-  let check = checker workload in
-  match check ~mode mem (root_desc mem root) with
+let check impl ~mode ~root mem =
+  match impl.check ~mode mem (root_desc mem root) with
   | () -> Ok ()
   | exception Bad msg -> Error msg
 
-(* ---------- canonical digests (for cross-scheme comparison) ---------- *)
-
-let buf_i64s b l =
-  List.iter (fun v -> Buffer.add_string b (Int64.to_string v); Buffer.add_char b ',') l
-
-let digest ~workload ~root mem =
+let render impl ~root mem =
   let b = Buffer.create 256 in
-  (try
-     let desc = root_desc mem root in
-     match workload with
-     | "stack" ->
-         Buffer.add_string b "stack:";
-         buf_i64s b (stack_elems mem desc)
-     | "queue" ->
-         let elems, _ = queue_elems mem desc in
-         Buffer.add_string b
-           (Printf.sprintf "queue:e%Ld,d%Ld:" (word mem (desc + 2))
-              (word mem (desc + 3)));
-         buf_i64s b elems
-     | "olist" | "olistrm" ->
-         Buffer.add_string b "olist:";
-         List.iter
-           (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%Ld=%Ld," k v))
-           (olist_elems ~mode:Atomic mem desc)
-     | "hmap" ->
-         Buffer.add_string b "hmap:";
-         List.iteri
-           (fun i head ->
-             Buffer.add_string b (Printf.sprintf "|%d:" i);
-             List.iter
-               (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%Ld=%Ld," k v))
-               (olist_elems ~mode:Atomic mem head))
-           (hmap_buckets mem desc)
-     | "kvcache50" | "kvcache10" ->
-         let nb = iword mem (desc + 1) in
-         Buffer.add_string b
-           (Printf.sprintf "kvcache:c%Ld" (word mem (desc + 2)));
-         for i = 0 to nb - 1 do
-           Buffer.add_string b (Printf.sprintf "|%d:" i);
-           List.iter
-             (fun e ->
-               Buffer.add_string b
-                 (Printf.sprintf "%Ld=%Ld," (word mem e) (word mem (e + 2))))
-             (kv_chain mem (desc + 3 + i))
-         done
-     | "objstore" ->
-         let nb = iword mem desc in
-         Buffer.add_string b
-           (Printf.sprintf "objstore:c%Ld" (word mem (desc + 1)));
-         for i = 0 to nb - 1 do
-           Buffer.add_string b (Printf.sprintf "|%d:" i);
-           List.iter
-             (fun e -> Buffer.add_string b (Printf.sprintf "%Ld," (word mem e)))
-             (kv_chain mem (desc + 2 + i))
-         done
-     | "mlog" ->
-         let cap = iword mem desc in
-         let h = word mem (desc + 1) and t = word mem (desc + 2) in
-         Buffer.add_string b (Printf.sprintf "mlog:h%Ld,t%Ld:" h t);
-         let i = ref t in
-         while Int64.compare !i h < 0 do
-           let slot = desc + 4 + (Int64.to_int (Int64.rem !i (Int64.of_int cap)) * 4) in
-           Buffer.add_string b (Printf.sprintf "%Ld," (word mem (slot + 1)));
-           i := Int64.add !i 1L
-         done
-     | w -> invalid_arg ("Oracle: unknown workload " ^ w)
-   with Bad msg ->
-     Buffer.add_string b ("malformed:" ^ msg));
+  (try impl.render b mem (root_desc mem root)
+   with Bad msg -> Buffer.add_string b ("malformed:" ^ msg));
   Buffer.contents b
+
+(* ---------- by-name compatibility dispatch ---------- *)
+
+let of_name = function
+  | "stack" -> Some stack
+  | "queue" -> Some queue
+  | "olist" | "olistrm" -> Some olist
+  | "hmap" -> Some hmap
+  | "kvcache50" | "kvcache10" -> Some kvcache
+  | "objstore" -> Some objstore
+  | "mlog" -> Some mlog
+  | _ -> None
+
+let named w =
+  match of_name w with
+  | Some impl -> impl
+  | None -> invalid_arg ("Oracle: unknown workload " ^ w)
+
+let known w = of_name w <> None
+let validate ~workload ~mode ~root mem = check (named workload) ~mode ~root mem
+let digest ~workload ~root mem = render (named workload) ~root mem

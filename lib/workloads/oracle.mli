@@ -27,21 +27,68 @@ type mem = { load : int -> int64; size : int }
 
 type mode = Atomic | Prefix
 
+exception Bad of string
+(** Raised (internally) by the structure checkers on the first violated
+    invariant.  The driver-facing entry points {!check} / {!render} /
+    {!validate} / {!digest} catch it; it is exposed so custom impls can
+    participate in the same protocol. *)
+
+(** {1 First-class oracle implementations}
+
+    One {!impl} per persistent structure.  The {!Workload.t} registry
+    holds the impl for each workload, so drivers resolve an oracle by
+    resolving the workload — the by-name dispatch below survives only
+    as a compatibility layer. *)
+
+type impl = {
+  check : mode:mode -> mem -> int -> unit;
+      (** [check ~mode mem desc] validates the structure at descriptor
+          address [desc]; raises {!Bad} on the first violated
+          invariant.  Bounded and total on arbitrary torn images. *)
+  render : Buffer.t -> mem -> int -> unit;
+      (** Append the canonical rendering of the structure's logical
+          content (element sequences, counters) — the digest body used
+          for cross-scheme differential comparison.  May raise
+          {!Bad}. *)
+}
+
+val stack : impl
+val queue : impl
+val olist : impl  (** shared by [olist] and [olistrm] *)
+
+val hmap : impl
+val kvcache : impl  (** shared by [kvcache50] and [kvcache10] *)
+
+val objstore : impl
+val mlog : impl
+
+val check : impl -> mode:mode -> root:int64 -> mem -> (unit, string) result
+(** [check impl ~mode ~root mem] validates the structure hanging off
+    root-slot value [root].  Never raises and never loops: walks are
+    bounded and all loads are bounds-checked.  [Error msg] pinpoints
+    the first violated invariant. *)
+
+val render : impl -> root:int64 -> mem -> string
+(** Canonical digest of the structure's logical content: two crash-free
+    runs with the same op stream must digest equally under every
+    scheme.  On a malformed image the digest starts with ["malformed:"]
+    instead of raising. *)
+
+(** {1 By-name dispatch (compatibility)} *)
+
+val of_name : string -> impl option
+(** The impl for a {!Workload.names} entry; [None] for unknown names.
+    New code should resolve through the {!Workload} registry instead. *)
+
 val known : string -> bool
 (** Whether a workload name (from {!Workload.names}) has an oracle.
     All nine do. *)
 
 val validate :
   workload:string -> mode:mode -> root:int64 -> mem -> (unit, string) result
-(** [validate ~workload ~mode ~root mem] checks the structure hanging
-    off root-slot value [root] against the model.  Never raises and
-    never loops: walks are bounded and all loads are bounds-checked.
-    [Error msg] pinpoints the first violated invariant.
+(** By-name wrapper of {!check}.
     @raise Invalid_argument on an unknown workload name. *)
 
 val digest : workload:string -> root:int64 -> mem -> string
-(** Canonical rendering of the structure's logical content (element
-    sequences, counters) for cross-scheme differential comparison:
-    two crash-free runs with the same op stream must digest equally
-    under every scheme.  On a malformed image the digest starts with
-    ["malformed:"] instead of raising. *)
+(** By-name wrapper of {!render}.
+    @raise Invalid_argument on an unknown workload name. *)

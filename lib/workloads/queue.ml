@@ -70,6 +70,20 @@ let worker () =
   Builder.ret b None;
   Builder.finish b
 
+(* Keyed-request entry point (serving layer): op < 50 enqueues the
+   value, otherwise dequeues; the key only routes. *)
+let request () =
+  let b, ps = Builder.create ~name:"request" ~nparams:3 in
+  let op = List.nth ps 0 and v = List.nth ps 2 in
+  let desc = get_root b desc_root in
+  let is_enq = Builder.bin b Ir.Lt (Ir.Reg op) (Ir.Imm 50L) in
+  Builder.if_ b (Ir.Reg is_enq)
+    ~then_:(fun () -> Builder.call_void b "queue_enq" [ Ir.Reg desc; Ir.Reg v ])
+    ~else_:(fun () -> ignore (Builder.call b "queue_deq" [ Ir.Reg desc ]));
+  observe b (Ir.Imm 1L);
+  Builder.ret b None;
+  Builder.finish b
+
 let check () =
   let b, _ = Builder.create ~name:"check" ~nparams:0 in
   let desc = get_root b desc_root in
@@ -102,5 +116,6 @@ let program () =
       ("queue_enq", enq ());
       ("queue_deq", deq ());
       ("worker", worker ());
+      ("request", request ());
       ("check", check ());
     ]

@@ -67,6 +67,22 @@ let worker () =
   Builder.ret b None;
   Builder.finish b
 
+(* Keyed-request entry point for the serving layer: one operation per
+   call, dispatched on an externally drawn dice in [0, 100) (op < 50 is
+   a push).  The key routes the request to a shard but the stack itself
+   is keyless. *)
+let request () =
+  let b, ps = Builder.create ~name:"request" ~nparams:3 in
+  let op = List.nth ps 0 and v = List.nth ps 2 in
+  let desc = get_root b desc_root in
+  let is_push = Builder.bin b Ir.Lt (Ir.Reg op) (Ir.Imm 50L) in
+  Builder.if_ b (Ir.Reg is_push)
+    ~then_:(fun () -> Builder.call_void b "stack_push" [ Ir.Reg desc; Ir.Reg v ])
+    ~else_:(fun () -> ignore (Builder.call b "stack_pop" [ Ir.Reg desc ]));
+  observe b (Ir.Imm 1L);
+  Builder.ret b None;
+  Builder.finish b
+
 let check () =
   let b, _ = Builder.create ~name:"check" ~nparams:0 in
   let desc = get_root b desc_root in
@@ -96,5 +112,6 @@ let program () =
       ("stack_push", push ());
       ("stack_pop", pop ());
       ("worker", worker ());
+      ("request", request ());
       ("check", check ());
     ]

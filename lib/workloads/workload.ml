@@ -1,17 +1,105 @@
-let names =
+type request_profile = { key_arity : int; key_range : int; write_pct : int }
+
+type t = {
+  name : string;
+  program : Ido_ir.Ir.program Lazy.t;
+  oracle : Oracle.impl;
+  request : request_profile;
+  tags : string list;
+}
+
+(* One entry per benchmark.  [key_arity] is the number of key operands
+   the [request] entry point actually consults (0 for the keyless
+   structures, where the key only routes); [write_pct] is the share of
+   mutating operations under the request dice in [0, 100). *)
+let all =
   [
-    "stack"; "queue"; "olist"; "olistrm"; "hmap"; "kvcache50"; "kvcache10";
-    "objstore"; "mlog";
+    {
+      name = "stack";
+      program = lazy (Stack.program ());
+      oracle = Oracle.stack;
+      request = { key_arity = 0; key_range = 1024; write_pct = 50 };
+      tags = [ "micro"; "keyless" ];
+    };
+    {
+      name = "queue";
+      program = lazy (Queue.program ());
+      oracle = Oracle.queue;
+      request = { key_arity = 0; key_range = 1024; write_pct = 50 };
+      tags = [ "micro"; "keyless" ];
+    };
+    {
+      name = "olist";
+      program = lazy (Olist.program ());
+      oracle = Oracle.olist;
+      request = { key_arity = 1; key_range = 256; write_pct = 50 };
+      tags = [ "micro"; "keyed" ];
+    };
+    {
+      name = "olistrm";
+      program = lazy (Olist.program ~remove_pct:20 ());
+      oracle = Oracle.olist;
+      (* 20% removes plus half of the remaining 80% are puts. *)
+      request = { key_arity = 1; key_range = 256; write_pct = 60 };
+      tags = [ "micro"; "keyed" ];
+    };
+    {
+      name = "hmap";
+      program = lazy (Hmap.program ());
+      oracle = Oracle.hmap;
+      request = { key_arity = 1; key_range = 2048; write_pct = 50 };
+      tags = [ "micro"; "keyed" ];
+    };
+    {
+      name = "kvcache50";
+      program = lazy (Kvcache.program ~insert_pct:50 ());
+      oracle = Oracle.kvcache;
+      request = { key_arity = 1; key_range = 16384; write_pct = 50 };
+      tags = [ "app"; "keyed"; "memcached" ];
+    };
+    {
+      name = "kvcache10";
+      program = lazy (Kvcache.program ~insert_pct:10 ());
+      oracle = Oracle.kvcache;
+      request = { key_arity = 1; key_range = 16384; write_pct = 10 };
+      tags = [ "app"; "keyed"; "memcached" ];
+    };
+    {
+      name = "objstore";
+      program = lazy (Objstore.program ());
+      oracle = Oracle.objstore;
+      request = { key_arity = 1; key_range = 10_000; write_pct = 20 };
+      tags = [ "app"; "keyed"; "redis" ];
+    };
+    {
+      name = "mlog";
+      program = lazy (Mlog.program ());
+      oracle = Oracle.mlog;
+      request = { key_arity = 0; key_range = 1024; write_pct = 50 };
+      tags = [ "micro"; "keyless" ];
+    };
   ]
 
-let named = function
-  | "stack" -> Stack.program ()
-  | "queue" -> Queue.program ()
-  | "olist" -> Olist.program ()
-  | "olistrm" -> Olist.program ~remove_pct:20 ()
-  | "hmap" -> Hmap.program ()
-  | "kvcache50" -> Kvcache.program ~insert_pct:50 ()
-  | "kvcache10" -> Kvcache.program ~insert_pct:10 ()
-  | "objstore" -> Objstore.program ()
-  | "mlog" -> Mlog.program ()
-  | name -> invalid_arg ("Workload.named: unknown workload " ^ name)
+let names = List.map (fun w -> w.name) all
+let find name = List.find_opt (fun w -> w.name = name) all
+
+let get name =
+  match find name with
+  | Some w -> w
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Workload.get: unknown workload %s (valid: %s)" name
+           (String.concat ", " names))
+
+(* Registry programs are shared lazies and callers run on domain
+   pools; a concurrent [Lazy.force] from two domains raises
+   [CamlinternalLazy.Undefined], so every force is serialised. *)
+let force_mutex = Mutex.create ()
+
+let program w =
+  Mutex.lock force_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock force_mutex)
+    (fun () -> Lazy.force w.program)
+
+let named name = program (get name)

@@ -1,12 +1,56 @@
-(** Registry of the benchmark programs by name, for the CLI, tests and
-    examples.  Every program follows the {!Wcommon} conventions
-    ([init] / [worker(nops)] / [check]). *)
+(** First-class registry of the benchmark workloads.
 
-open Ido_ir
+    A workload bundles everything a driver needs: the IR program (built
+    lazily, since construction walks the builder), the memory-image
+    oracle that validates it after a crash, and the request profile the
+    serving layer uses to synthesise keyed request streams.  The CLIs,
+    the crash engine and the serving layer all resolve workloads here,
+    so the stringly by-name plumbing survives only as {!named}.
+
+    Every program follows the {!Wcommon} conventions: entry points
+    [init] / [worker(nops)] / [request(op, key, value)] / [check].
+    [request] performs exactly one operation, dispatched on the dice
+    [op] drawn in [\[0, 100)] by the caller. *)
+
+type request_profile = {
+  key_arity : int;
+      (** Number of key operands [request] consults: 0 for keyless
+          structures (stack, queue, mlog), where the key only routes
+          the request to a shard. *)
+  key_range : int;  (** Request keys are drawn in [\[0, key_range)]. *)
+  write_pct : int;
+      (** Share of mutating operations under the request dice, in
+          [\[0, 100\]] — documentation for reporting, not a knob. *)
+}
+
+type t = {
+  name : string;
+  program : Ido_ir.Ir.program Lazy.t;
+  oracle : Oracle.impl;
+  request : request_profile;
+  tags : string list;
+      (** Free-form classification: ["micro"]/["app"],
+          ["keyed"]/["keyless"], source application. *)
+}
+
+val all : t list
+(** The registry, in canonical order. *)
 
 val names : string list
-(** ["stack"; "queue"; "olist"; "olistrm"; "hmap"; "kvcache50";
-    "kvcache10"; "objstore"; "mlog"] *)
+(** Derived from {!all}: ["stack"; "queue"; "olist"; "olistrm";
+    "hmap"; "kvcache50"; "kvcache10"; "objstore"; "mlog"]. *)
 
-val named : string -> Ir.program
-(** @raise Invalid_argument for an unknown name. *)
+val find : string -> t option
+
+val get : string -> t
+(** @raise Invalid_argument for an unknown name; the message lists the
+    valid names. *)
+
+val program : t -> Ido_ir.Ir.program
+(** Force the lazily built IR program. *)
+
+(** {1 Compatibility} *)
+
+val named : string -> Ido_ir.Ir.program
+(** [named n = program (get n)].
+    @raise Invalid_argument for an unknown name. *)

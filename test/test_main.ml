@@ -6,4 +6,5 @@ let () =
    @ Test_analysis.suites @ Test_idempotence.suites @ Test_instrument.suites
    @ Test_vm.suites @ Test_runtime.suites @ Test_recovery.suites
    @ Test_workloads.suites @ Test_harness.suites @ Test_check.suites
-   @ Test_obs.suites @ Test_pool.suites @ Test_lint.suites)
+   @ Test_obs.suites @ Test_pool.suites @ Test_lint.suites
+   @ Test_serve.suites)

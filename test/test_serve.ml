@@ -1,0 +1,305 @@
+(* Tier-1 coverage for the request-serving layer (lib/serve) and the
+   first-class Spec/Workload API it is built on: nearest-rank
+   percentile accounting on hand-computed streams, generator and
+   routing invariants, -j determinism of a full cell, crash+recovery
+   oracle validation on a random shard (qcheck), Spec JSON
+   round-tripping, and the workload registry contract. *)
+
+open Ido_runtime
+open Ido_serve
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ------------------------------------------------------------------ *)
+(* Lat: nearest-rank percentiles, hand-computed. *)
+
+let percentile_hand () =
+  (* 5 sorted values: rank(q) = ceil (q/100 * 5). *)
+  let s = [| 1; 3; 5; 7; 9 |] in
+  Alcotest.(check int) "p50 of 5 = 3rd" 5 (Lat.percentile s 50.0);
+  Alcotest.(check int) "p60 of 5 = 3rd" 5 (Lat.percentile s 60.0);
+  Alcotest.(check int) "p61 of 5 = 4th" 7 (Lat.percentile s 61.0);
+  Alcotest.(check int) "p95 of 5 = 5th" 9 (Lat.percentile s 95.0);
+  Alcotest.(check int) "p99 of 5 = 5th" 9 (Lat.percentile s 99.0);
+  Alcotest.(check int) "p100 = max" 9 (Lat.percentile s 100.0);
+  Alcotest.(check int) "p0 clamps to 1st" 1 (Lat.percentile s 0.0);
+  Alcotest.(check int) "singleton" 42 (Lat.percentile [| 42 |] 50.0);
+  Alcotest.(check int) "empty = 0" 0 (Lat.percentile [||] 99.0)
+
+let percentile_hundred () =
+  (* 1..100: pK is exactly K. *)
+  let s = Array.init 100 (fun i -> i + 1) in
+  Alcotest.(check int) "p50" 50 (Lat.percentile s 50.0);
+  Alcotest.(check int) "p95" 95 (Lat.percentile s 95.0);
+  Alcotest.(check int) "p99" 99 (Lat.percentile s 99.0)
+
+let of_latencies_hand () =
+  (* Unsorted input; of_latencies must sort a copy. *)
+  let input = [| 7; 1; 9; 3; 5 |] in
+  let st = Lat.of_latencies ~dropped:2 input in
+  Alcotest.(check int) "served" 5 st.Lat.served;
+  Alcotest.(check int) "dropped" 2 st.Lat.dropped;
+  Alcotest.(check (float 1e-9)) "mean" 5.0 st.Lat.mean_ns;
+  Alcotest.(check int) "p50" 5 st.Lat.p50;
+  Alcotest.(check int) "p95" 9 st.Lat.p95;
+  Alcotest.(check int) "p99" 9 st.Lat.p99;
+  Alcotest.(check int) "max" 9 st.Lat.max_ns;
+  Alcotest.(check (array int)) "input untouched" [| 7; 1; 9; 3; 5 |] input
+
+let of_latencies_empty () =
+  let st = Lat.of_latencies [||] in
+  Alcotest.(check int) "served" 0 st.Lat.served;
+  Alcotest.(check int) "p99" 0 st.Lat.p99;
+  Alcotest.(check (float 1e-9)) "mean" 0.0 st.Lat.mean_ns
+
+let percentile_matches_spec =
+  QCheck.Test.make ~name:"percentile is the nearest-rank element" ~count:200
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 60) (int_bound 1000))
+        (float_range 1.0 100.0))
+    (fun (l, q) ->
+      let s = Array.of_list (List.sort compare l) in
+      let n = Array.length s in
+      let rank = int_of_float (ceil (q /. 100.0 *. float_of_int n)) in
+      let rank = max 1 (min n rank) in
+      Lat.percentile s q = s.(rank - 1))
+
+(* ------------------------------------------------------------------ *)
+(* Gen: stream and routing invariants. *)
+
+let config ?(workload = "queue") ?(scheme = Scheme.Ido) ?(seed = 7)
+    ?(shards = 4) ?(batch = 4) ?(requests = 200) ?zipf () =
+  Config.make ~seed ~shards ~batch ~requests ?zipf ~workload ~scheme ()
+
+let stream_invariants () =
+  let c = config ~requests:500 ~zipf:0.99 () in
+  let s = Gen.stream c ~key_range:64 in
+  Alcotest.(check int) "length" 500 (Array.length s);
+  Array.iteri
+    (fun i (r : Gen.request) ->
+      if r.Gen.id <> i then Alcotest.failf "id %d at position %d" r.Gen.id i;
+      if i > 0 && s.(i - 1).Gen.arrival > r.Gen.arrival then
+        Alcotest.failf "arrivals not monotone at %d" i;
+      if r.Gen.key < 0 || r.Gen.key >= 64 then
+        Alcotest.failf "key %d out of range" r.Gen.key;
+      if r.Gen.dice < 0 || r.Gen.dice >= 100 then
+        Alcotest.failf "dice %d out of range" r.Gen.dice;
+      if r.Gen.shard <> Gen.shard_of ~shards:4 r.Gen.key then
+        Alcotest.failf "shard mismatch at %d" i)
+    s
+
+let stream_deterministic () =
+  let c = config ~requests:300 () in
+  let a = Gen.stream c ~key_range:128 and b = Gen.stream c ~key_range:128 in
+  Alcotest.(check bool) "same seed, same stream" true (a = b)
+
+let partition_preserves () =
+  let c = config ~shards:3 ~requests:400 () in
+  let s = Gen.stream c ~key_range:256 in
+  let parts = Gen.partition c s in
+  Alcotest.(check int) "3 sub-streams" 3 (Array.length parts);
+  let total = Array.fold_left (fun a p -> a + Array.length p) 0 parts in
+  Alcotest.(check int) "no request lost" (Array.length s) total;
+  Array.iteri
+    (fun sh p ->
+      Array.iteri
+        (fun i (r : Gen.request) ->
+          if r.Gen.shard <> sh then Alcotest.failf "request on wrong shard";
+          if i > 0 && p.(i - 1).Gen.arrival > r.Gen.arrival then
+            Alcotest.failf "sub-stream %d not arrival-ordered" sh)
+        p)
+    parts
+
+let shard_of_stable () =
+  (* A key must route identically however often we ask. *)
+  for k = 0 to 199 do
+    Alcotest.(check int)
+      (Printf.sprintf "key %d" k)
+      (Gen.shard_of ~shards:4 k) (Gen.shard_of ~shards:4 k)
+  done;
+  (* All shards reachable over a modest key range. *)
+  let hit = Array.make 4 false in
+  for k = 0 to 199 do
+    hit.(Gen.shard_of ~shards:4 k) <- true
+  done;
+  Alcotest.(check (array bool)) "all shards hit" [| true; true; true; true |] hit
+
+(* ------------------------------------------------------------------ *)
+(* Serve: accounting and -j determinism. *)
+
+let cell_accounting () =
+  let c = config ~requests:150 () in
+  let cell = Serve.run_cell ~obs:true c in
+  Alcotest.(check int) "served = requests" 150 cell.Serve.stats.Lat.served;
+  Alcotest.(check int) "nothing dropped" 0 cell.Serve.stats.Lat.dropped;
+  Alcotest.(check bool) "oracle ok" true (cell.Serve.oracle = Ok ());
+  Alcotest.(check bool) "obs reconciles" true (cell.Serve.consistency = Ok ());
+  Alcotest.(check bool) "positive makespan" true (cell.Serve.makespan_ns > 0);
+  let per_shard =
+    List.fold_left (fun a o -> a + o.Shard.served) 0 cell.Serve.shards
+  in
+  Alcotest.(check int) "shard sums agree" 150 per_shard
+
+let pooled_cell_identical spec_cfg () =
+  let serial = Serve.run_cell ~obs:true spec_cfg in
+  let pooled =
+    Ido_util.Pool.with_pool 4 (fun pool ->
+        Serve.run_cell ~pool ~obs:true spec_cfg)
+  in
+  Alcotest.(check string)
+    "cell JSON identical at -j4"
+    (Report.cell_json serial) (Report.cell_json pooled)
+
+(* ------------------------------------------------------------------ *)
+(* Crash on a random shard: after recovery, every shard's oracle and
+   obs reconciliation must pass, and served + dropped must cover the
+   whole stream. *)
+
+let crash_gen =
+  QCheck.Gen.(
+    let* seed = int_range 0 10_000 in
+    let* shards = int_range 1 4 in
+    let* batch = int_range 1 4 in
+    let* scheme = oneofl [ Scheme.Ido; Scheme.Justdo ] in
+    let* crash_shard = int_range 0 (shards - 1) in
+    let* after_ns = int_range 50 2_000 in
+    return (seed, shards, batch, scheme, crash_shard, after_ns))
+
+let crash_arb =
+  QCheck.make crash_gen ~print:(fun (seed, shards, batch, scheme, cs, ns) ->
+      Printf.sprintf "seed=%d shards=%d batch=%d scheme=%s crash=%d after=%d"
+        seed shards batch (Scheme.name scheme) cs ns)
+
+let crash_random_shard =
+  QCheck.Test.make ~name:"oracles pass after a mid-stream shard crash"
+    ~count:12 crash_arb (fun (seed, shards, batch, scheme, crash_shard, after_ns) ->
+      let c = config ~workload:"queue" ~scheme ~seed ~shards ~batch ~requests:120 () in
+      let streams = Gen.partition c (Gen.stream c ~key_range:1024) in
+      let sub = Array.length streams.(crash_shard) in
+      QCheck.assume (sub > 0);
+      let crash =
+        { Shard.shard = crash_shard; at_request = sub / 2; after_ns }
+      in
+      let cell = Serve.run_cell ~obs:true ~crash c in
+      let total =
+        cell.Serve.stats.Lat.served + cell.Serve.stats.Lat.dropped
+      in
+      (match cell.Serve.oracle with
+      | Ok () -> ()
+      | Error m -> QCheck.Test.fail_reportf "oracle: %s" m);
+      (match cell.Serve.consistency with
+      | Ok () -> ()
+      | Error m -> QCheck.Test.fail_reportf "obs: %s" m);
+      total = 120
+      && List.exists (fun o -> o.Shard.crashed) cell.Serve.shards)
+
+(* ------------------------------------------------------------------ *)
+(* Spec: JSON round-trip through the trace-header fragment. *)
+
+let spec_roundtrip () =
+  let s =
+    Ido_harness.Spec.make ~seed:97 ~scheme:Scheme.Atlas ~workload:"hmap"
+      ~threads:3 ~ops:250 ()
+  in
+  let line = "{" ^ Ido_harness.Spec.json_fields s ^ "}" in
+  let s' = Ido_harness.Spec.of_json ~fail:(fun m -> Failure m) line in
+  Alcotest.(check bool) "scheme" true (s'.Ido_harness.Spec.scheme = Scheme.Atlas);
+  Alcotest.(check string) "workload" "hmap" s'.Ido_harness.Spec.workload;
+  Alcotest.(check int) "seed" 97 s'.Ido_harness.Spec.seed;
+  Alcotest.(check int) "threads" 3 s'.Ido_harness.Spec.threads;
+  Alcotest.(check int) "ops" 250 s'.Ido_harness.Spec.ops;
+  (* Re-emitting must reproduce the fragment byte for byte. *)
+  Alcotest.(check string)
+    "fragment stable"
+    (Ido_harness.Spec.json_fields s)
+    (Ido_harness.Spec.json_fields s')
+
+let spec_bad_json () =
+  let fail m = Failure m in
+  (match
+     Ido_harness.Spec.of_json ~fail
+       {|{"scheme":"zeta","workload":"queue","seed":1,"threads":1,"ops":1}|}
+   with
+  | _ -> Alcotest.fail "unknown scheme accepted"
+  | exception Failure _ -> ());
+  match
+    Ido_harness.Spec.of_json ~fail {|{"scheme":"ido","workload":"queue"}|}
+  with
+  | _ -> Alcotest.fail "missing field accepted"
+  | exception Failure _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Workload registry contract. *)
+
+let registry_contract () =
+  let module W = Ido_workloads.Workload in
+  Alcotest.(check bool) "at least 8 entries" true (List.length W.all >= 8);
+  List.iter
+    (fun (w : W.t) ->
+      Alcotest.(check bool)
+        (w.W.name ^ " findable") true
+        (W.find w.W.name <> None);
+      Alcotest.(check bool)
+        (w.W.name ^ " key_range positive") true
+        (w.W.request.W.key_range > 0);
+      let p = W.program w in
+      Alcotest.(check bool)
+        (w.W.name ^ " has request entry") true
+        (List.mem_assoc "request" p.Ido_ir.Ir.funcs);
+      Alcotest.(check bool)
+        (w.W.name ^ " has init entry") true
+        (List.mem_assoc "init" p.Ido_ir.Ir.funcs))
+    W.all;
+  Alcotest.(check bool) "unknown not found" true (W.find "nosuch" = None);
+  match W.get "nosuch" with
+  | _ -> Alcotest.fail "get on unknown name must raise"
+  | exception Invalid_argument m ->
+      Alcotest.(check bool)
+        "message lists valid names" true
+        (let contains s sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+           in
+           go 0
+         in
+         contains m "queue" && contains m "kvcache50")
+
+let suites =
+  [
+    ( "serve-lat",
+      [
+        Alcotest.test_case "nearest-rank by hand (n=5)" `Quick percentile_hand;
+        Alcotest.test_case "pK of 1..100 is K" `Quick percentile_hundred;
+        Alcotest.test_case "of_latencies hand-computed" `Quick of_latencies_hand;
+        Alcotest.test_case "of_latencies on empty" `Quick of_latencies_empty;
+        qtest percentile_matches_spec;
+      ] );
+    ( "serve-gen",
+      [
+        Alcotest.test_case "stream invariants" `Quick stream_invariants;
+        Alcotest.test_case "stream deterministic" `Quick stream_deterministic;
+        Alcotest.test_case "partition preserves order" `Quick
+          partition_preserves;
+        Alcotest.test_case "shard routing stable" `Quick shard_of_stable;
+      ] );
+    ( "serve-cell",
+      [
+        Alcotest.test_case "accounting adds up" `Quick cell_accounting;
+        Alcotest.test_case "queue/ido s4: -j4 = serial" `Quick
+          (pooled_cell_identical (config ()));
+        Alcotest.test_case "kvcache50/justdo s2 b8 zipf: -j4 = serial" `Quick
+          (pooled_cell_identical
+             (config ~workload:"kvcache50" ~scheme:Scheme.Justdo ~shards:2
+                ~batch:8 ~requests:150 ~zipf:0.99 ()));
+        qtest crash_random_shard;
+      ] );
+    ( "serve-spec",
+      [
+        Alcotest.test_case "spec JSON round-trip" `Quick spec_roundtrip;
+        Alcotest.test_case "spec rejects bad JSON" `Quick spec_bad_json;
+        Alcotest.test_case "workload registry contract" `Quick
+          registry_contract;
+      ] );
+  ]
