@@ -260,10 +260,50 @@ let profile_cmd =
       const run $ scheme_arg $ workload_arg $ threads_arg $ ops_arg $ seed_arg
       $ out_arg)
 
+(* Minimal float-field scanner for the baseline record (the harness's
+   [Spec.Fields] parses ints and strings only). *)
+let float_field text key =
+  let pat = Printf.sprintf {|"%s":|} key in
+  let n = String.length text and pn = String.length pat in
+  let rec scan i =
+    if i + pn > n then None
+    else if String.sub text i pn = pat then begin
+      let j = ref (i + pn) in
+      while !j < n && (text.[!j] = ' ' || text.[!j] = '\t') do incr j done;
+      let s = !j in
+      while
+        !j < n
+        && (text.[!j] = '-' || text.[!j] = '.'
+           || (text.[!j] >= '0' && text.[!j] <= '9'))
+      do
+        incr j
+      done;
+      if !j = s then None else float_of_string_opt (String.sub text s (!j - s))
+    end
+    else scan (i + 1)
+  in
+  scan 0
+
+let read_baseline path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let text = really_input_string ic (in_channel_length ic) in
+      match
+        (float_field text "explore_speedup", float_field text "fig7_quick_speedup")
+      with
+      | Some e, Some f -> (e, f)
+      | _ ->
+          Printf.eprintf "selftime: baseline %s lacks speedup fields\n" path;
+          exit 2)
+
 let selftime_cmd =
   let doc =
     "Time the drivers serial vs parallel and write the results as JSON \
-     (the CI drivers benchmark)."
+     (the CI drivers benchmark).  With --baseline, the record is still \
+     regenerated first, then the run fails with a clear message if either \
+     speedup regressed below tolerance x the recorded value."
   in
   let out_arg =
     Arg.(
@@ -276,7 +316,28 @@ let selftime_cmd =
       value & opt int 120
       & info [ "budget" ] ~doc:"Crash-injection budget for the explore timing")
   in
-  let run jobs out budget =
+  let baseline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "baseline" ]
+          ~doc:
+            "Compare against the speedups recorded in this JSON file \
+             (typically the committed BENCH_drivers.json; read before \
+             --out overwrites it)")
+  in
+  let tolerance_arg =
+    Arg.(
+      value & opt float 0.8
+      & info [ "tolerance" ]
+          ~doc:
+            "Fraction of the baseline speedup that still passes (timing \
+             noise allowance)")
+  in
+  let run jobs out budget baseline tolerance =
+    (* Read the baseline before timing: --out usually points at the
+       same file. *)
+    let recorded = Option.map read_baseline baseline in
     let time f =
       let t0 = Unix.gettimeofday () in
       ignore (f ());
@@ -322,14 +383,33 @@ let selftime_cmd =
       fig7_serial fig7_par
       (speedup fig7_serial fig7_par);
     close_out oc;
+    let explore_x = speedup explore_serial explore_par in
+    let fig7_x = speedup fig7_serial fig7_par in
     Printf.printf "wrote %s: explore %.2fx, fig7 %.2fx at -j %d\n" out
-      (speedup explore_serial explore_par)
-      (speedup fig7_serial fig7_par)
-      jobs
+      explore_x fig7_x jobs;
+    match recorded with
+    | None -> ()
+    | Some (base_explore, base_fig7) ->
+        let check name got base =
+          if got < base *. tolerance then begin
+            Printf.eprintf
+              "selftime: %s speedup regressed: %.2fx < %.2f x recorded \
+               %.2fx (re-record the baseline only if the slowdown is \
+               intended)\n"
+              name got tolerance base;
+            false
+          end
+          else true
+        in
+        let ok_explore = check "explore" explore_x base_explore in
+        let ok_fig7 = check "fig7-quick" fig7_x base_fig7 in
+        if not (ok_explore && ok_fig7) then exit 1
   in
   Cmd.v
     (Cmd.info "selftime" ~doc)
-    Term.(const run $ jobs_arg $ out_arg $ budget_arg)
+    Term.(
+      const run $ jobs_arg $ out_arg $ budget_arg $ baseline_arg
+      $ tolerance_arg)
 
 let serve_cmd =
   let doc =
@@ -469,7 +549,13 @@ let () =
      typed diagnostic instead of a backtrace. *)
   exit
     (try Cmd.eval ~catch:false (Cmd.group info cmds)
-     with Lognode.Log_overflow ov ->
+     with
+     | Sys_error msg ->
+         (* Unreadable --baseline / unwritable --out: a usage problem,
+            one line on stderr and exit 2, never a backtrace. *)
+         Printf.eprintf "ido_bench: %s\n" msg;
+         2
+     | Lognode.Log_overflow ov ->
        Printf.eprintf "ido_bench: %s\n"
          (Ido_analysis.Diag.render
             (Ido_analysis.Diag.vf ~func:"runtime" ~code:"R601"

@@ -105,12 +105,18 @@ let overflow_diag (ov : Lognode.overflow) =
    nonsensical budget) surface as [Invalid_argument]; report them as
    the usage errors they are rather than as uncaught exceptions.  A
    scheme log overflowing its fixed capacity is a bounded-resource
-   verdict on the run, not a crash: render it as a diagnostic. *)
+   verdict on the run, not a crash: render it as a diagnostic.  An
+   unwritable --out path or unreadable --replay file raises
+   [Sys_error]: an environment/usage problem, reported like an unknown
+   name (exit 2), never a backtrace. *)
 let guard f =
   try f () with
   | Invalid_argument msg ->
       Printf.eprintf "ido_check: %s\n" msg;
       Cmd.Exit.cli_error
+  | Sys_error msg ->
+      Printf.eprintf "ido_check: %s\n" msg;
+      2
   | Lognode.Log_overflow ov ->
       Printf.eprintf "ido_check: %s\n"
         (Ido_analysis.Diag.render (overflow_diag ov));
@@ -431,6 +437,112 @@ let mutants_cmd =
     (Cmd.info "mutants" ~doc)
     Term.(const run $ name_arg $ verbose_arg $ jobs_arg)
 
+let fuzz_cmd =
+  let doc =
+    "Coverage-guided fuzzing over persist-event traces: seed with clean \
+     workloads (and random-CFG genomes), enumerate the single-edit \
+     instrumentation bug space, then mutate the live corpus keeping inputs \
+     whose coverage digest is novel.  Findings are shrunk to minimal \
+     reproducers and stored in a replayable NDJSON corpus.  Deterministic \
+     under --seed at every -j.  Exit status: 0 = no organic (non-seeded) \
+     failure; with --rediscover, 0 = at least --min-found seeded mutants \
+     re-found."
+  in
+  let fseed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Campaign seed")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 4000
+      & info [ "budget" ] ~doc:"Candidate executions across all stages")
+  in
+  let fscheme_arg =
+    Term.(
+      const (Option.map resolve_scheme)
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "scheme" ]
+              ~doc:"Restrict to one scheme (default: all but origin)"))
+  in
+  let fworkload_arg =
+    Term.(
+      const (Option.map resolve_workload)
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "workload" ] ~doc:"Restrict to one workload (default: all)"))
+  in
+  let rediscover_arg =
+    Arg.(
+      value & flag
+      & info [ "rediscover" ]
+          ~doc:
+            "Seed from clean workloads only and report which seeded \
+             mutation-corpus bugs the campaign re-finds unaided")
+  in
+  let min_found_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "min-found" ]
+          ~doc:
+            "With --rediscover: minimum mutants to re-find for exit 0 \
+             (default: the whole corpus)")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~doc:"Write the NDJSON corpus to this file")
+  in
+  let shrink_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "shrink-budget" ] ~doc:"Extra executions per finding")
+  in
+  let run seed budget scheme workload rediscover min_found out shrink_budget
+      jobs =
+    guard @@ fun () ->
+    let d = Ido_fuzz.Fuzz.default_config in
+    let config =
+      {
+        Ido_fuzz.Fuzz.seed;
+        budget;
+        rediscover;
+        shrink_budget;
+        schemes =
+          (match scheme with
+          | Some s -> [ s ]
+          | None -> d.Ido_fuzz.Fuzz.schemes);
+        workloads =
+          (match workload with
+          | Some w -> [ w ]
+          | None -> d.Ido_fuzz.Fuzz.workloads);
+      }
+    in
+    let r = with_jobs jobs (fun pool -> Ido_fuzz.Fuzz.run ?pool config) in
+    (match out with
+    | Some path ->
+        Ido_fuzz.Corpus.save r.Ido_fuzz.Fuzz.r_corpus path;
+        Printf.printf "wrote %s (%d entries)\n" path
+          (List.length r.Ido_fuzz.Fuzz.r_corpus.Ido_fuzz.Corpus.c_entries)
+    | None -> ());
+    print_string (Ido_fuzz.Fuzz.render r);
+    if rediscover then begin
+      let found, total = Ido_fuzz.Fuzz.found_count r in
+      let need = Option.value min_found ~default:total in
+      if found >= need then 0 else 1
+    end
+    else if Ido_fuzz.Fuzz.organic r = [] then 0
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz" ~doc)
+    Term.(
+      const run $ fseed_arg $ budget_arg $ fscheme_arg $ fworkload_arg
+      $ rediscover_arg $ min_found_arg $ out_arg $ shrink_arg $ jobs_arg)
+
 let serve_crash_cmd =
   let doc =
     "Power-fail one shard mid-stream during a sharded serving run, recover \
@@ -512,5 +624,5 @@ let () =
        (Cmd.group info
           [
             explore_cmd; replay_cmd; schedule_cmd; trace_cmd; lint_cmd;
-            mutants_cmd; serve_crash_cmd;
+            mutants_cmd; fuzz_cmd; serve_crash_cmd;
           ]))

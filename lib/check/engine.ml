@@ -63,30 +63,56 @@ let of_base ?(cache_lines = 4096) ?oracle_mode (b : Ido_harness.Spec.t) : spec =
     oracle_mode;
   }
 
+(* A custom run: the same machine lifecycle, injection protocol and
+   obs window as a spec-described run, but over a caller-supplied
+   program and validation closure.  The fuzzer drives generated
+   programs through exactly the engine's crash machinery this way. *)
+type custom = {
+  c_program : Ido_ir.Ir.program;
+  c_scheme : Scheme.t;
+  c_seed : int;
+  c_cache_lines : int;
+  c_threads : int;
+  c_worker_arg : int64;
+  c_validate : Ido_vm.Vm.t -> (unit, string) result;
+}
+
+let custom_of_spec (s : spec) =
+  {
+    c_program = Workload.named s.workload;
+    c_scheme = s.scheme;
+    c_seed = s.seed;
+    c_cache_lines = s.cache_lines;
+    c_threads = s.threads;
+    c_worker_arg = Int64.of_int s.ops;
+    c_validate = (fun _ -> Ok ());
+  }
+
 (* Build the machine and run the durable setup phase.  The event hook
    is installed only after this returns, so recording and every
    injection run observe the same worker-phase schedule. *)
-let setup spec =
-  let program = Workload.named spec.workload in
+let setup_custom (c : custom) =
   let cfg =
-    { (Vm.config spec.scheme) with
-      seed = spec.seed;
-      cache_lines = spec.cache_lines;
+    { (Vm.config c.c_scheme) with
+      seed = c.c_seed;
+      cache_lines = c.c_cache_lines;
       (* Every injection boots a fresh machine; the bounded check
          workloads fit comfortably in 1M words (8 MiB), an 8x saving
          over the benchmark default. *)
       pmem_words = 1 lsl 20 }
   in
-  let m = Vm.create cfg program in
+  let m = Vm.create cfg c.c_program in
   ignore (Vm.spawn m ~fname:"init" ~args:[]);
   (match Vm.run m with
   | `Idle -> ()
   | _ -> failwith "Engine.setup: init phase did not run to completion");
   Vm.flush_all m;
-  for _ = 1 to spec.threads do
-    ignore (Vm.spawn m ~fname:"worker" ~args:[ Int64.of_int spec.ops ])
+  for _ = 1 to c.c_threads do
+    ignore (Vm.spawn m ~fname:"worker" ~args:[ c.c_worker_arg ])
   done;
   m
+
+let setup spec = setup_custom (custom_of_spec spec)
 
 let finish_run m =
   match Vm.run m with
@@ -347,3 +373,81 @@ let run_traced ?index spec =
   in
   { t_spec = spec; t_index = index; t_injection; t_digest; t_obs = obs;
     t_consistency }
+
+(* ---------- Custom probes ---------- *)
+
+let record_custom c =
+  let m = setup_custom c in
+  let evs = ref [] in
+  Vm.set_event_hook m (Some (fun e -> evs := e :: !evs));
+  finish_run m;
+  Vm.set_event_hook m None;
+  Array.of_list (List.rev !evs)
+
+type probe = {
+  pr_index : int option;
+  pr_event : string option;
+  pr_verdict : (unit, string) result;
+  pr_obs : Ido_obs.Obs.t;
+  pr_consistency : (unit, string) result;
+}
+
+let probe ?index (c : custom) =
+  (match index with
+  | Some k when k < 0 -> invalid_arg "Engine.probe: negative crash index"
+  | _ -> ());
+  let m = setup_custom c in
+  let c0 = Ido_nvm.Pmem.counters (Vm.pmem m) in
+  let stores0 = c0.Ido_nvm.Pmem.stores
+  and writebacks0 = c0.Ido_nvm.Pmem.writebacks
+  and fences0 = c0.Ido_nvm.Pmem.fences
+  and evictions0 = c0.Ido_nvm.Pmem.evictions in
+  let obs = Ido_obs.Obs.create () in
+  Vm.set_obs m (Some obs);
+  let crashed_event = ref None in
+  let pr_verdict =
+    match index with
+    | None ->
+        finish_run m;
+        Vm.flush_all m;
+        c.c_validate m
+    | Some k ->
+        (* Same protocol as [run_traced]: the injection hook runs
+           before obs emission, so the aborted event is recorded by
+           neither the sink nor the counters. *)
+        let count = ref 0 in
+        Vm.set_event_hook m
+          (Some
+             (fun e ->
+               if !count = k then begin
+                 crashed_event := Some (Event.describe e);
+                 raise Crash_injected
+               end;
+               incr count));
+        (try finish_run m with Crash_injected -> ());
+        Vm.set_event_hook m None;
+        Vm.crash m;
+        (match Vm.recover m with
+        | _stats ->
+            Vm.flush_all m;
+            c.c_validate m
+        | exception e ->
+            Error (Printf.sprintf "recovery raised: %s" (Printexc.to_string e)))
+  in
+  Vm.set_obs m None;
+  let cn = Ido_nvm.Pmem.counters (Vm.pmem m) in
+  let pr_consistency =
+    Ido_obs.Obs.check obs
+      ~stores:(cn.Ido_nvm.Pmem.stores - stores0)
+      ~writebacks:(cn.Ido_nvm.Pmem.writebacks - writebacks0)
+      ~fences:(cn.Ido_nvm.Pmem.fences - fences0)
+      ~evictions:(cn.Ido_nvm.Pmem.evictions - evictions0)
+  in
+  { pr_index = index; pr_event = !crashed_event; pr_verdict; pr_obs = obs;
+    pr_consistency }
+
+let heap_words (m : Ido_vm.Vm.t) ~base ~len =
+  let pm = Vm.pmem m in
+  Array.init len (fun i -> Ido_nvm.Pmem.load pm (base + i))
+
+let probe_root m = Ido_region.Region.get_root (Vm.region m) 0

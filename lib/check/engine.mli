@@ -149,3 +149,53 @@ val run_traced : ?index:int -> spec -> traced
 (** Deterministic under the spec (and [index]): re-running yields the
     same event stream, digest, and verdict — the basis of trace
     replay ({!Trace}). *)
+
+(** {1 Custom probes}
+
+    The fuzzer ([Ido_fuzz]) drives {e generated} programs — not
+    registry workloads — through the same machine lifecycle, crash
+    injection protocol and observed window as a spec-described run.  A
+    [custom] bundles the program with its validation closure; the
+    closure runs on the final machine (after recovery and a full
+    flush) so it can inspect the durable heap directly. *)
+
+type custom = {
+  c_program : Ido_ir.Ir.program;
+  c_scheme : Scheme.t;
+  c_seed : int;
+  c_cache_lines : int;
+  c_threads : int;
+  c_worker_arg : int64;  (** argument passed to each ["worker"] spawn *)
+  c_validate : Ido_vm.Vm.t -> (unit, string) result;
+}
+
+val custom_of_spec : spec -> custom
+(** The spec's program/geometry with a vacuous validator (callers
+    wanting the oracle verdict use {!run_traced}). *)
+
+val record_custom : custom -> Ido_vm.Event.t array
+(** {!record} over a custom program. *)
+
+type probe = {
+  pr_index : int option;  (** [None]: the run was crash-free *)
+  pr_event : string option;
+      (** description of the event the crash preceded *)
+  pr_verdict : (unit, string) result;
+      (** [c_validate] on the final machine; recovery raising is
+          reported as an [Error] here, as in {!inject} *)
+  pr_obs : Ido_obs.Obs.t;
+  pr_consistency : (unit, string) result;
+}
+
+val probe : ?index:int -> custom -> probe
+(** One fully-observed run of a custom program, crash-free or crashed
+    just before event [index] — {!run_traced} without the registry
+    oracle.  Deterministic under the custom and [index]. *)
+
+val heap_words : Ido_vm.Vm.t -> base:int -> len:int -> int64 array
+(** [len] persistent words starting at [base] — the raw material of a
+    custom validator's all-or-nothing heap comparison. *)
+
+val probe_root : Ido_vm.Vm.t -> int64
+(** Root slot 0 of the machine's region (where the generated programs
+    park their cell-array descriptor). *)

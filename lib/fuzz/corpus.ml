@@ -1,0 +1,158 @@
+module Mutate = Ido_lint.Mutate
+
+type kind = Seed | Survivor | Finding
+
+type entry = {
+  e_kind : kind;
+  e_input : Input.t;
+  e_codes : string list;
+  e_digest : string;
+  e_detail : string;
+}
+
+type t = { c_seed : int; c_entries : entry list }
+
+let kind_name = function
+  | Seed -> "seed"
+  | Survivor -> "survivor"
+  | Finding -> "finding"
+
+let kind_of_name = function
+  | "seed" -> Some Seed
+  | "survivor" -> Some Survivor
+  | "finding" -> Some Finding
+  | _ -> None
+
+let entry_of_outcome e_kind (o : Exec.outcome) =
+  let e_codes, e_detail =
+    match o.Exec.o_failure with
+    | None -> ([], "")
+    | Some f -> (f.Exec.f_codes, f.Exec.f_detail)
+  in
+  {
+    e_kind;
+    e_input = o.Exec.o_input;
+    e_codes;
+    e_digest = Cov.digest o.Exec.o_features;
+    e_detail;
+  }
+
+let entry_to_ndjson e =
+  Printf.sprintf {|{"kind":"%s",%s,"codes":"%s","digest":"%s","detail":"%s"}|}
+    (kind_name e.e_kind)
+    (Input.json_fields e.e_input)
+    (String.concat "," e.e_codes)
+    e.e_digest
+    (Ido_obs.Obs.json_escape e.e_detail)
+
+let to_ndjson t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf {|{"ido_fuzz_corpus":1,"seed":%d,"entries":%d}|} t.c_seed
+       (List.length t.c_entries));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun e ->
+      Buffer.add_string buf (entry_to_ndjson e);
+      Buffer.add_char buf '\n')
+    t.c_entries;
+  Buffer.contents buf
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_ndjson t))
+
+let fail fmt = Printf.ksprintf (fun m -> Failure ("corpus: " ^ m)) fmt
+
+let entry_of_line line =
+  let module F = Ido_harness.Spec.Fields in
+  let fl m = fail "%s" m in
+  let e_kind =
+    match kind_of_name (F.string ~fail:fl line ~key:"kind") with
+    | Some k -> k
+    | None -> raise (fail "unknown entry kind in %s" line)
+  in
+  let e_input = Input.of_json ~fail:fl line in
+  let e_codes =
+    match F.string ~fail:fl line ~key:"codes" with
+    | "" -> []
+    | s -> String.split_on_char ',' s
+  in
+  {
+    e_kind;
+    e_input;
+    e_codes;
+    e_digest = F.string ~fail:fl line ~key:"digest";
+    e_detail = F.string ~fail:fl line ~key:"detail";
+  }
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let header =
+        try input_line ic with End_of_file -> raise (fail "empty file")
+      in
+      let module F = Ido_harness.Spec.Fields in
+      let fl m = fail "%s" m in
+      let version = F.int ~fail:fl header ~key:"ido_fuzz_corpus" in
+      if version <> 1 then raise (fail "unsupported version %d" version);
+      let c_seed = F.int ~fail:fl header ~key:"seed" in
+      let count = F.int ~fail:fl header ~key:"entries" in
+      let entries = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then
+             entries := entry_of_line line :: !entries
+         done
+       with End_of_file -> ());
+      let c_entries = List.rev !entries in
+      if List.length c_entries <> count then
+        raise
+          (fail "header claims %d entries, file has %d" count
+             (List.length c_entries));
+      { c_seed; c_entries })
+
+let replay_entry e = Exec.run e.e_input
+
+let verify t =
+  List.filter_map
+    (fun e ->
+      let o = replay_entry e in
+      match (e.e_kind, o.Exec.o_failure) with
+      | Finding, None -> Some (e, "finding no longer fails")
+      | Finding, Some f ->
+          let was = match e.e_codes with c :: _ -> c | [] -> "" in
+          let now = match f.Exec.f_codes with c :: _ -> c | [] -> "" in
+          if was <> now then
+            Some (e, Printf.sprintf "primary code changed: %s -> %s" was now)
+          else None
+      | (Seed | Survivor), Some f ->
+          Some
+            (e, Printf.sprintf "clean entry now fails: %s" f.Exec.f_detail)
+      | (Seed | Survivor), None -> None)
+    t.c_entries
+
+let to_mutants t =
+  let n = ref 0 in
+  List.filter_map
+    (fun e ->
+      match (e.e_kind, e.e_input.Input.base, e.e_codes) with
+      | Finding, Input.Workload workload, expect :: _
+        when e.e_input.Input.edits <> [] || e.e_input.Input.variant <> None ->
+          incr n;
+          let name = Printf.sprintf "fuzz-%d-%s" !n expect in
+          Some
+            (Mutate.ingest ~name
+               ~descr:
+                 (Printf.sprintf "fuzzer finding %s on %s"
+                    (Input.label e.e_input) workload)
+               ~scheme:e.e_input.Input.scheme ~workload ~expect
+               ?variant:e.e_input.Input.variant ~edits:e.e_input.Input.edits
+               ())
+      | _ -> None)
+    t.c_entries

@@ -1,0 +1,127 @@
+module Obs = Ido_obs.Obs
+
+(* 2^16 buckets: small enough that the seen-set saturates on genuinely
+   similar behaviour, large enough that distinct persist shapes rarely
+   collide.  All hashing is pure integer arithmetic — no [Hashtbl.hash]
+   — so buckets are stable across OCaml versions and processes. *)
+let bucket_mask = 0xFFFF
+
+let mix h x = (((h lsl 5) + h) lxor x) land 0x3FFFFFFF
+
+let strseed s =
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
+    s;
+  !h
+
+(* Feature classes are salted so an n-gram bucket can never collide
+   with a boundary-edge bucket by construction of the fold order. *)
+let ngram_salt = 0x1A
+let boundary_salt = 0x2B
+let fase_salt = 0x3C
+let diag_salt = 0x4D
+let shape_salt = 0x5E
+
+let is_fase_level (ev : Obs.event) =
+  match ev.Obs.kind with
+  | Obs.Boundary _ | Obs.Fase_enter | Obs.Fase_exit | Obs.Crash
+  | Obs.Recovery_step _ ->
+      true
+  | _ -> false
+
+let features ~scheme events =
+  let salt0 = strseed scheme in
+  let seen = Hashtbl.create 256 in
+  let put salt parts =
+    let h = List.fold_left mix (mix salt0 salt) parts land bucket_mask in
+    if not (Hashtbl.mem seen h) then Hashtbl.replace seen h ()
+  in
+  (* Per-thread streams, in emission order.  Machine-level events
+     (tid = -1: crash, recovery) form their own stream, which is what
+     makes recovery-path coverage a first-class signal. *)
+  let streams = Hashtbl.create 8 in
+  List.iter
+    (fun (ev : Obs.event) ->
+      let tid = ev.Obs.tid in
+      let prev = try Hashtbl.find streams tid with Not_found -> [] in
+      Hashtbl.replace streams tid (ev :: prev))
+    events;
+  Hashtbl.iter
+    (fun _tid rev ->
+      let evs = Array.of_list (List.rev rev) in
+      let n = Array.length evs in
+      let pt i = Obs.coverage_point evs.(i) in
+      for i = 0 to n - 2 do
+        put ngram_salt [ pt i; pt (i + 1) ];
+        if i + 2 < n then put ngram_salt [ pt i; pt (i + 1); pt (i + 2) ]
+      done;
+      (* Boundary edges: consecutive region ids this thread crossed. *)
+      let last_region = ref None in
+      (* FASE-transition edges: consecutive FASE-level points. *)
+      let last_fase_pt = ref None in
+      Array.iter
+        (fun (ev : Obs.event) ->
+          (match ev.Obs.kind with
+          | Obs.Boundary { region; elided } ->
+              (match !last_region with
+              | Some r ->
+                  put boundary_salt [ r; region; (if elided then 1 else 0) ]
+              | None -> ());
+              last_region := Some region
+          | _ -> ());
+          if is_fase_level ev then begin
+            let p = Obs.coverage_point ev in
+            (match !last_fase_pt with
+            | Some q -> put fase_salt [ q; p ]
+            | None -> ());
+            last_fase_pt := Some p
+          end)
+        evs)
+    streams;
+  let out = Array.make (Hashtbl.length seen) 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun b () ->
+      out.(!i) <- b;
+      incr i)
+    seen;
+  Array.sort compare out;
+  out
+
+(* Statically-evaluated inputs have no trace; their behaviour is the
+   diagnostic set the linter produced (plus a shape bucket, so distinct
+   clean programs still register).  Sharing the bucket space with the
+   trace features lets one seen-set cover both kinds of candidate. *)
+let static_features ~scheme ~codes ~shape =
+  let salt0 = strseed scheme in
+  let seen = Hashtbl.create 16 in
+  let put salt parts =
+    let h = List.fold_left mix (mix salt0 salt) parts land bucket_mask in
+    if not (Hashtbl.mem seen h) then Hashtbl.replace seen h ()
+  in
+  List.iter (fun code -> put diag_salt [ strseed code ]) codes;
+  put shape_salt [ strseed shape ];
+  let out = Array.make (Hashtbl.length seen) 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun b () ->
+      out.(!i) <- b;
+      incr i)
+    seen;
+  Array.sort compare out;
+  out
+
+let digest fs =
+  let h = Array.fold_left mix 0x9E3779B1 fs in
+  Printf.sprintf "%08x-%d" h (Array.length fs)
+
+type t = { seen : (int, unit) Hashtbl.t }
+
+let create () = { seen = Hashtbl.create 4096 }
+let buckets t = Hashtbl.length t.seen
+
+let novel t fs =
+  Array.fold_left (fun n b -> if Hashtbl.mem t.seen b then n else n + 1) 0 fs
+
+let add t fs = Array.iter (fun b -> Hashtbl.replace t.seen b ()) fs

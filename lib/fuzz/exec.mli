@@ -1,0 +1,47 @@
+(** Candidate evaluation: one {!Input.t} through the full pipeline.
+
+    Every input is first taken through edits → instrumentation → the
+    static linter.  Clean inputs that are dynamically executable
+    ({!Input.static_only} false) then run under the crash-injection
+    engine: a crash-free recording plus one probed run per crash point
+    in the input, each validated (registry oracle for workload bases,
+    all-or-nothing heap equality for random genomes) and reconciled
+    against the obs counters.  The outcome carries the coverage
+    features of everything observed, plus crash-reseeding hints.
+
+    Failures carry stable codes:
+    - the linter's own [L]-codes for static findings;
+    - [F701] — validation failed after crash + recovery (torn heap /
+      oracle violation);
+    - [F702] — recovery itself raised;
+    - [F703] — obs/pmem counter reconciliation failed;
+    - [F801] — instrumentation or machine construction raised. *)
+
+type failure = {
+  f_codes : string list;  (** sorted, deduplicated stable codes *)
+  f_detail : string;  (** first diagnostic / error message *)
+  f_crash : int option;
+      (** effective crash index of the first failing dynamic run;
+          [None] for static findings and crash-free failures *)
+}
+
+type outcome = {
+  o_input : Input.t;
+  o_features : int array;  (** union over all runs; sorted, deduped *)
+  o_schedule : int;  (** recorded worker-phase events; [0] if static *)
+  o_failure : failure option;
+  o_hints : int list;
+      (** crash indices at fence/lock events of the recorded schedule —
+          where region boundaries and FASE transitions persist *)
+}
+
+val instrumented : Input.t -> Ido_ir.Ir.program
+(** The input's program after stage-ordered edits and instrumentation.
+    @raise Failure when an edit or the instrumenter rejects it. *)
+
+val run : Input.t -> outcome
+(** Deterministic: same input, same outcome (features included). *)
+
+val primary_code : outcome -> string option
+(** The first failure code, the finding's identity for deduplication
+    ([None] when the outcome is clean). *)

@@ -24,9 +24,10 @@ let map_block fn (blk : Ir.block) =
 let map_program fn (p : Ir.program) =
   { Ir.funcs = List.map (fun (n, f) -> (n, fn f)) p.Ir.funcs }
 
-(* Apply [edit] (instr -> instr list option) to the first instruction
-   it accepts, program-wide. *)
-let edit_first edit (p : Ir.program) =
+(* Apply [edit] (instr -> instr list option) to the [n]-th instruction
+   it accepts, program-wide, in function/block/instruction order. *)
+let edit_nth n edit (p : Ir.program) =
+  let seen = ref 0 in
   let hit = ref false in
   map_program
     (fun f ->
@@ -40,12 +41,20 @@ let edit_first edit (p : Ir.program) =
                     else
                       match edit i with
                       | Some repl ->
-                          hit := true;
-                          repl
+                          if !seen = n then begin
+                            hit := true;
+                            repl
+                          end
+                          else begin
+                            incr seen;
+                            [ i ]
+                          end
                       | None -> [ i ])))
             f.Ir.blocks;
       })
     p
+
+let edit_first edit = edit_nth 0 edit
 
 let delete_first pred =
   edit_first (fun i -> if pred i then Some [] else None)
@@ -317,3 +326,108 @@ let corpus =
   ]
 
 let find name = List.find_opt (fun m -> m.name = name) corpus
+
+(* ------------------------------------------------------------------ *)
+(* First-class instrumentation-level edits.
+
+   The hand-written corpus above targets one named hook per mutant;
+   the fuzzer instead enumerates and randomises positions, so its
+   mutation operators are indexed: "delete the k-th hook", "elide the
+   k-th required cut".  Representing them as data (rather than
+   closures) makes a fuzzer finding serialisable — and [ingest]
+   turns a serialised finding back into a corpus entry, which is how
+   fuzzer survivors feed this module. *)
+
+type edit =
+  | Delete_hook of int  (** delete the k-th hook instruction *)
+  | Dup_hook of int  (** duplicate the k-th hook instruction *)
+  | Elide_cut of int  (** mark the k-th required region cut skippable *)
+  | Drop_cut of int  (** delete the k-th required region cut *)
+  | Hoist_store  (** replay a critical-section store above its lock *)
+
+let count_matching pred (p : Ir.program) =
+  List.fold_left
+    (fun acc (_, f) ->
+      Array.fold_left
+        (fun acc (blk : Ir.block) ->
+          Array.fold_left
+            (fun acc i -> if pred i then acc + 1 else acc)
+            acc blk.Ir.instrs)
+        acc f.Ir.blocks)
+    0 p.Ir.funcs
+
+let hook_count = count_matching (function Ir.Hook _ -> true | _ -> false)
+
+let is_required_cut = function
+  | Ir.Hook (Ir.Hregion rh) -> not rh.Ir.skippable
+  | _ -> false
+
+let cut_count = count_matching is_required_cut
+
+let apply_edit edit p =
+  match edit with
+  | Delete_hook k ->
+      edit_nth k (function Ir.Hook _ -> Some [] | _ -> None) p
+  | Dup_hook k ->
+      edit_nth k (function Ir.Hook _ as i -> Some [ i; i ] | _ -> None) p
+  | Elide_cut k ->
+      edit_nth k
+        (function
+          | Ir.Hook (Ir.Hregion rh) when not rh.Ir.skippable ->
+              Some [ Ir.Hook (Ir.Hregion { rh with Ir.skippable = true }) ]
+          | _ -> None)
+        p
+  | Drop_cut k ->
+      edit_nth k (fun i -> if is_required_cut i then Some [] else None) p
+  | Hoist_store -> hoist_store_above_lock p
+
+let edit_stage = function
+  | Hoist_store -> Before_instrument
+  | Delete_hook _ | Dup_hook _ | Elide_cut _ | Drop_cut _ -> After_instrument
+
+let edit_to_string = function
+  | Delete_hook k -> Printf.sprintf "del-hook:%d" k
+  | Dup_hook k -> Printf.sprintf "dup-hook:%d" k
+  | Elide_cut k -> Printf.sprintf "elide-cut:%d" k
+  | Drop_cut k -> Printf.sprintf "drop-cut:%d" k
+  | Hoist_store -> "hoist-store"
+
+let edit_of_string s =
+  let indexed prefix mk =
+    let pn = String.length prefix in
+    if
+      String.length s > pn
+      && String.sub s 0 pn = prefix
+      && String.for_all (fun c -> c >= '0' && c <= '9')
+           (String.sub s pn (String.length s - pn))
+    then Some (mk (int_of_string (String.sub s pn (String.length s - pn))))
+    else None
+  in
+  if s = "hoist-store" then Some Hoist_store
+  else
+    List.find_map
+      (fun (p, mk) -> indexed p mk)
+      [
+        ("del-hook:", fun k -> Delete_hook k);
+        ("dup-hook:", fun k -> Dup_hook k);
+        ("elide-cut:", fun k -> Elide_cut k);
+        ("drop-cut:", fun k -> Drop_cut k);
+      ]
+
+let ingest ~name ~descr ~scheme ~workload ~expect ?variant ~edits () =
+  let stage =
+    match List.sort_uniq compare (List.map edit_stage edits) with
+    | [] -> After_instrument
+    | [ s ] -> s
+    | _ -> invalid_arg "Mutate.ingest: edits span both stages"
+  in
+  {
+    name;
+    descr;
+    scheme;
+    workload;
+    expect;
+    stage;
+    variant;
+    transform = (fun p -> List.fold_left (fun p e -> apply_edit e p) p edits);
+  }

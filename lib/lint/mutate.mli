@@ -36,3 +36,54 @@ type t = {
 
 val corpus : t list
 val find : string -> t option
+
+(** {1 Indexed instrumentation edits}
+
+    The corpus above names one specific hook per mutant; the fuzzer
+    ([Ido_fuzz]) instead works over {e indexed} edits — "delete the
+    k-th hook", "elide the k-th required cut" — which are plain data,
+    so a fuzzer finding serialises into its NDJSON corpus and
+    {!ingest} turns it back into a corpus entry here.  Positions count
+    matching instructions in function/block/instruction order. *)
+
+type edit =
+  | Delete_hook of int  (** delete the k-th hook instruction *)
+  | Dup_hook of int  (** duplicate the k-th hook instruction *)
+  | Elide_cut of int  (** mark the k-th required region cut skippable *)
+  | Drop_cut of int  (** delete the k-th required region cut *)
+  | Hoist_store
+      (** replay a critical-section store above its lock (the corpus's
+          [unlocked-store] shape; a {!Before_instrument} edit) *)
+
+val apply_edit : edit -> Ir.program -> Ir.program
+(** Out-of-range positions are the identity (the fuzzer treats such
+    candidates as uninteresting rather than erroring). *)
+
+val edit_stage : edit -> stage
+
+val hook_count : Ir.program -> int
+(** Hook instructions in an instrumented program — the index space of
+    [Delete_hook]/[Dup_hook]. *)
+
+val cut_count : Ir.program -> int
+(** Required (non-skippable) region cuts — the index space of
+    [Elide_cut]/[Drop_cut]. *)
+
+val edit_to_string : edit -> string
+(** Stable textual form (["del-hook:3"], ["hoist-store"], ...). *)
+
+val edit_of_string : string -> edit option
+
+val ingest :
+  name:string ->
+  descr:string ->
+  scheme:Scheme.t ->
+  workload:string ->
+  expect:string ->
+  ?variant:string ->
+  edits:edit list ->
+  unit ->
+  t
+(** Build a corpus entry from serialised edits (a fuzzer finding).
+    The stage is inferred from the edits.
+    @raise Invalid_argument when [edits] mixes both stages. *)

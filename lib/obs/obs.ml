@@ -165,6 +165,41 @@ let kind_label = function
   | Crash -> "crash"
   | Recovery_step _ -> "recovery_step"
 
+(* ---------- Coverage export ----------
+
+   A small deterministic feature code per event, consumed by the
+   fuzzer's coverage digest ([Ido_fuzz.Cov]).  Word addresses are
+   deliberately ignored — coverage should reflect behaviour shape
+   (which protocol actions happened, in what order), not allocation
+   layout; payloads are folded down to a coarse class. *)
+
+let strhash s =
+  (* FNV-1a, folded to a byte: stable across runs and processes. *)
+  let h = ref 0x811c9dc5 in
+  String.iter
+    (fun c -> h := (!h lxor Char.code c) * 0x01000193 land 0x3FFFFFFF)
+    s;
+  !h land 0xff
+
+let coverage_point ev =
+  let point tag payload = (tag * 257) + (payload land 0xff) in
+  match ev.kind with
+  | Store _ -> point 1 0
+  | Flush _ -> point 2 0
+  | Fence pending ->
+      point 3 (if pending = 0 then 0 else if pending = 1 then 1
+               else if pending < 4 then 2 else 3)
+  | Evict _ -> point 4 0
+  | Log_append { log; _ } -> point 5 (strhash log)
+  | Boundary { elided; _ } -> point 6 (if elided then 1 else 0)
+  | Lock_acquire _ -> point 7 0
+  | Lock_release _ -> point 8 0
+  | Fase_enter -> point 9 0
+  | Fase_exit -> point 10 0
+  | Crash -> point 11 0
+  | Recovery_step { scheme; what } ->
+      point 12 (strhash scheme lxor strhash what)
+
 let kind_payload = function
   | Store a | Flush a -> Printf.sprintf {|,"addr":%d|} a
   | Fence pending -> Printf.sprintf {|,"pending":%d|} pending

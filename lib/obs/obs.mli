@@ -101,6 +101,17 @@ val check :
     (deltas of {!Ido_nvm.Pmem.counters} over the observed window).
     [Error] describes the first mismatching counter. *)
 
+(** {1 Coverage export} *)
+
+val coverage_point : event -> int
+(** A small deterministic feature code for the event — the digest
+    export hook consumed by the fuzzer's coverage layer
+    ([Ido_fuzz.Cov]): the kind's constructor class combined with a
+    coarse payload class (log name, elided flag, bucketed fence drain,
+    recovery-step class).  Word addresses are deliberately ignored so
+    coverage reflects behaviour shape, not allocation layout.  Stable
+    across runs and processes. *)
+
 (** {1 NDJSON} *)
 
 val json_escape : string -> string

@@ -1,0 +1,385 @@
+(* The fuzzer (PR 6): coverage digests, input codec round-trips,
+   shrinking properties (same diagnostic, monotone, bounded),
+   campaign determinism across pool sizes, and corpus round-trips
+   through both the NDJSON store and the PR-3 mutation corpus. *)
+
+open Ido_runtime
+module Cov = Ido_fuzz.Cov
+module Input = Ido_fuzz.Input
+module Exec = Ido_fuzz.Exec
+module Shrink = Ido_fuzz.Shrink
+module Corpus = Ido_fuzz.Corpus
+module Fuzz = Ido_fuzz.Fuzz
+module Mutate = Ido_lint.Mutate
+module Engine = Ido_check.Engine
+
+let qtest = QCheck_alcotest.to_alcotest
+
+(* ---------- generators ---------- *)
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (3, map (fun k -> Input.Load (k mod Input.cells)) small_nat);
+        ( 4,
+          map2
+            (fun k v -> Input.Store (k mod Input.cells, v mod 50))
+            small_nat small_nat );
+        (2, map (fun k -> Input.Addi (k mod 7)) small_nat);
+        (1, return Input.Mix);
+      ])
+
+let tree_gen =
+  QCheck.Gen.(
+    let ops = list_size (int_range 1 5) op_gen in
+    frequency
+      [
+        (3, map (fun l -> Input.Seq l) ops);
+        (2, map2 (fun a b -> Input.If (a, b)) ops ops);
+        (2, map2 (fun n l -> Input.Loop (1 + (n mod 4), l)) small_nat ops);
+        (1, map (fun l -> Input.Unlocked l) ops);
+      ])
+
+let base_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (1, oneofl (List.map (fun w -> Input.Workload w) Ido_workloads.Workload.names));
+        (2, map (fun ts -> Input.Random ts) (list_size (int_range 1 4) tree_gen));
+      ])
+
+let edit_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun k -> Mutate.Delete_hook (k mod 24)) small_nat;
+        map (fun k -> Mutate.Dup_hook (k mod 24)) small_nat;
+        map (fun k -> Mutate.Elide_cut (k mod 8)) small_nat;
+        map (fun k -> Mutate.Drop_cut (k mod 8)) small_nat;
+        return Mutate.Hoist_store;
+      ])
+
+let input_gen =
+  QCheck.Gen.(
+    let scheme =
+      oneofl Scheme.[ Ido; Justdo; Atlas; Mnemosyne; Nvthreads ]
+    in
+    let variant =
+      frequency
+        [
+          (3, return None);
+          ( 1,
+            map
+              (fun i ->
+                Some
+                  (fst
+                     (List.nth Ido_lint.Hook_model.variants
+                        (i mod List.length Ido_lint.Hook_model.variants))))
+              small_nat );
+        ]
+    in
+    map2
+      (fun (scheme, base) (edits, (variant, crashes)) ->
+        Input.make ~edits ?variant ~crashes ~scheme base)
+      (pair scheme base_gen)
+      (pair
+         (list_size (int_range 0 2) edit_gen)
+         (pair variant (list_size (int_range 0 3) (int_bound 200)))))
+
+let input_arb = QCheck.make ~print:Input.label input_gen
+
+(* ---------- coverage ---------- *)
+
+let cov_deterministic () =
+  let spec = Engine.defaults ~scheme:Scheme.Justdo ~workload:"queue" () in
+  let tr1 = Engine.run_traced ~index:25 spec in
+  let tr2 = Engine.run_traced ~index:25 spec in
+  let f1 = Cov.features ~scheme:"justdo" (Ido_obs.Obs.events tr1.Engine.t_obs) in
+  let f2 = Cov.features ~scheme:"justdo" (Ido_obs.Obs.events tr2.Engine.t_obs) in
+  Alcotest.(check bool) "same features" true (f1 = f2);
+  Alcotest.(check string) "same digest" (Cov.digest f1) (Cov.digest f2);
+  Alcotest.(check bool) "nonempty" true (Array.length f1 > 0);
+  (* scheme salting: the same trace under another scheme name is a
+     different behaviour *)
+  let f3 = Cov.features ~scheme:"atlas" (Ido_obs.Obs.events tr1.Engine.t_obs) in
+  Alcotest.(check bool) "scheme-salted" true (f1 <> f3)
+
+let cov_seen_set () =
+  let t = Cov.create () in
+  let fs = [| 1; 2; 3 |] in
+  Alcotest.(check int) "all novel" 3 (Cov.novel t fs);
+  Cov.add t fs;
+  Alcotest.(check int) "none novel" 0 (Cov.novel t fs);
+  Alcotest.(check int) "one novel" 1 (Cov.novel t [| 3; 4 |]);
+  Alcotest.(check int) "buckets" 3 (Cov.buckets t)
+
+let cov_static () =
+  let f1 = Cov.static_features ~scheme:"justdo" ~codes:[ "L201" ] ~shape:"x" in
+  let f2 = Cov.static_features ~scheme:"justdo" ~codes:[ "L201" ] ~shape:"x" in
+  let f3 = Cov.static_features ~scheme:"justdo" ~codes:[ "L202" ] ~shape:"x" in
+  Alcotest.(check bool) "deterministic" true (f1 = f2);
+  Alcotest.(check bool) "code-sensitive" true (f1 <> f3)
+
+(* ---------- input codec ---------- *)
+
+let prop_input_json_roundtrip =
+  QCheck.Test.make ~name:"input json_fields/of_json is the identity"
+    ~count:300 input_arb (fun i ->
+      let line = "{" ^ Input.json_fields i ^ "}" in
+      let i' = Input.of_json ~fail:(fun m -> Failure m) line in
+      Input.equal i i')
+
+let prop_base_string_roundtrip =
+  QCheck.Test.make ~name:"base_to_string/base_of_string is the identity"
+    ~count:300 input_arb (fun i ->
+      Input.base_of_string (Input.base_to_string i.Input.base)
+      = Some i.Input.base)
+
+let prop_edit_string_roundtrip =
+  QCheck.Test.make ~name:"edit codec round-trips"
+    ~count:200
+    (QCheck.make
+       ~print:(fun e -> Mutate.edit_to_string e)
+       edit_gen)
+    (fun e -> Mutate.edit_of_string (Mutate.edit_to_string e) = Some e)
+
+(* ---------- edits and mutation-corpus ingestion ---------- *)
+
+(* Find a hook deletion on justdo/queue that the linter reports as a
+   missing log hook, then round-trip it through [Mutate.ingest] and
+   the PR-3 mutant runner. *)
+let ingest_caught () =
+  let clean = Input.make ~scheme:Scheme.Justdo (Input.Workload "queue") in
+  let p = Exec.instrumented clean in
+  let hooks = Mutate.hook_count p in
+  Alcotest.(check bool) "has hooks" true (hooks > 0);
+  let k =
+    let rec find k =
+      if k >= hooks then Alcotest.fail "no hook deletion yields L201"
+      else
+        let i =
+          Input.make ~edits:[ Mutate.Delete_hook k ] ~scheme:Scheme.Justdo
+            (Input.Workload "queue")
+        in
+        let o = Exec.run i in
+        match o.Exec.o_failure with
+        | Some f when List.mem "L201" f.Exec.f_codes -> k
+        | _ -> find (k + 1)
+    in
+    find 0
+  in
+  let m =
+    Mutate.ingest ~name:"test-del-hook" ~descr:"test"
+      ~scheme:Scheme.Justdo ~workload:"queue" ~expect:"L201"
+      ~edits:[ Mutate.Delete_hook k ] ()
+  in
+  let o = Ido_check.Lintrun.run_mutant m in
+  Alcotest.(check bool) "ingested mutant caught" true o.Ido_check.Lintrun.caught
+
+let mixed_stage_rejected () =
+  Alcotest.check_raises "mixed stages"
+    (Invalid_argument "Mutate.ingest: edits span both stages")
+    (fun () ->
+      ignore
+        (Mutate.ingest ~name:"x" ~descr:"x" ~scheme:Scheme.Justdo
+           ~workload:"queue" ~expect:"L201"
+           ~edits:[ Mutate.Hoist_store; Mutate.Delete_hook 0 ] ()))
+
+(* ---------- shrinking properties ---------- *)
+
+let prop_shrink_candidates_monotone =
+  QCheck.Test.make ~name:"shrink candidates strictly decrease size"
+    ~count:300 input_arb (fun i ->
+      List.for_all
+        (fun c -> Input.size c < Input.size i)
+        (Shrink.candidates i))
+
+(* Failing inputs for the end-to-end shrink property: random genomes
+   with a seeded bug (variant or unlocked tree), evaluated statically,
+   so each property case costs one instrument+lint. *)
+let failing_input_gen =
+  QCheck.Gen.(
+    let trees = list_size (int_range 1 4) tree_gen in
+    map2
+      (fun ts pick ->
+        let scheme = Scheme.Justdo in
+        match pick mod 3 with
+        | 0 ->
+            Input.make ~variant:"early-publish-justdo" ~scheme
+              (Input.Random ts)
+        | 1 ->
+            Input.make ~edits:[ Mutate.Delete_hook (pick mod 8) ] ~scheme
+              (Input.Random ts)
+        | _ ->
+            Input.make ~scheme
+              (Input.Random (Input.Unlocked [ Input.Store (3, 7) ] :: ts)))
+      trees small_nat)
+
+let prop_shrink_preserves_failure =
+  QCheck.Test.make
+    ~name:"shrunk reproducer fails with the same primary code, monotonically"
+    ~count:25
+    (QCheck.make ~print:Input.label failing_input_gen)
+    (fun i ->
+      let o = Exec.run i in
+      match o.Exec.o_failure with
+      | None -> QCheck.assume_fail ()
+      | Some _ ->
+          let budget = 60 in
+          let s = Shrink.shrink ~budget o in
+          let still = s.Shrink.s_outcome.Exec.o_failure <> None in
+          let same_code =
+            Exec.primary_code s.Shrink.s_outcome = Exec.primary_code o
+          in
+          let monotone =
+            Input.size s.Shrink.s_input <= Input.size i
+          in
+          let bounded = s.Shrink.s_runs <= budget in
+          still && same_code && monotone && bounded)
+
+(* ---------- campaign determinism ---------- *)
+
+let small_config =
+  {
+    Fuzz.default_config with
+    Fuzz.seed = 5;
+    budget = 60;
+    schemes = [ Scheme.Justdo ];
+    workloads = [ "queue" ];
+    shrink_budget = 40;
+  }
+
+let campaign_deterministic () =
+  let r1 = Fuzz.run ?pool:None small_config in
+  let r4 =
+    Ido_util.Pool.with_pool 4 (fun pool -> Fuzz.run ~pool small_config)
+  in
+  Alcotest.(check string) "render identical at -j1 vs -j4" (Fuzz.render r1)
+    (Fuzz.render r4);
+  Alcotest.(check string) "corpus identical at -j1 vs -j4"
+    (Corpus.to_ndjson r1.Fuzz.r_corpus)
+    (Corpus.to_ndjson r4.Fuzz.r_corpus);
+  Alcotest.(check bool) "campaign found something" true
+    (r1.Fuzz.r_findings <> [])
+
+(* ---------- corpus round-trips ---------- *)
+
+let corpus_roundtrip () =
+  let r = Fuzz.run ?pool:None small_config in
+  let path = Filename.temp_file "ido_fuzz_corpus" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Corpus.save r.Fuzz.r_corpus path;
+      let c = Corpus.load path in
+      Alcotest.(check string) "load/save byte-identical"
+        (Corpus.to_ndjson r.Fuzz.r_corpus)
+        (Corpus.to_ndjson c);
+      (* every finding replays to the same primary code; every clean
+         entry stays clean *)
+      Alcotest.(check int) "corpus replays faithfully" 0
+        (List.length (Corpus.verify c)))
+
+let corpus_feeds_mutation_corpus () =
+  let r = Fuzz.run ?pool:None small_config in
+  let mutants = Corpus.to_mutants r.Fuzz.r_corpus in
+  Alcotest.(check bool) "some findings ingest as mutants" true (mutants <> []);
+  List.iter
+    (fun m ->
+      let o = Ido_check.Lintrun.run_mutant m in
+      Alcotest.(check bool)
+        (Printf.sprintf "ingested %s caught" m.Mutate.name)
+        true o.Ido_check.Lintrun.caught)
+    mutants
+
+(* A workload-base corpus finding round-trips through the PR-2 trace
+   machinery: record the engine run it names, save, load, replay. *)
+let corpus_entry_traces () =
+  let spec = Engine.defaults ~scheme:Scheme.Justdo ~workload:"queue" () in
+  let tr = Engine.run_traced ~index:30 spec in
+  let path = Filename.temp_file "ido_fuzz_trace" ".ndjson" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Ido_check.Trace.save tr path;
+      let s = Ido_check.Trace.load path in
+      let tr' = Ido_check.Trace.replay s in
+      Alcotest.(check string) "replay digest matches" s.Ido_check.Trace.digest
+        tr'.Engine.t_digest;
+      let path2 = path ^ ".2" in
+      Fun.protect
+        ~finally:(fun () -> try Sys.remove path2 with Sys_error _ -> ())
+        (fun () ->
+          Ido_check.Trace.save tr' path2;
+          let read p =
+            let ic = open_in p in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          in
+          Alcotest.(check string) "re-save byte-identical" (read path)
+            (read path2)))
+
+(* ---------- rediscovery (bounded, one pair) ---------- *)
+
+let rediscover_pair () =
+  let config =
+    {
+      Fuzz.seed = 1;
+      budget = 120;
+      schemes = [ Scheme.Justdo ];
+      workloads = [ "queue" ];
+      rediscover = true;
+      shrink_budget = 40;
+    }
+  in
+  let r = Fuzz.run ?pool:None config in
+  let expected_here =
+    List.filter
+      (fun (m : Mutate.t) ->
+        m.Mutate.scheme = Scheme.Justdo && m.Mutate.workload = "queue")
+      Mutate.corpus
+  in
+  Alcotest.(check bool) "pair has seeded mutants" true (expected_here <> []);
+  List.iter
+    (fun (m : Mutate.t) ->
+      let found =
+        try List.assoc m.Mutate.name r.Fuzz.r_rediscovered
+        with Not_found -> false
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "re-found %s" m.Mutate.name)
+        true found)
+    expected_here
+
+let suites =
+  [
+    ( "fuzz",
+      [
+        Alcotest.test_case "coverage features are deterministic" `Quick
+          cov_deterministic;
+        Alcotest.test_case "coverage seen-set counts novelty" `Quick
+          cov_seen_set;
+        Alcotest.test_case "static features keyed on codes" `Quick cov_static;
+        qtest prop_input_json_roundtrip;
+        qtest prop_base_string_roundtrip;
+        qtest prop_edit_string_roundtrip;
+        Alcotest.test_case "indexed edit ingests into mutation corpus" `Quick
+          ingest_caught;
+        Alcotest.test_case "ingest rejects mixed-stage edits" `Quick
+          mixed_stage_rejected;
+        qtest prop_shrink_candidates_monotone;
+        qtest prop_shrink_preserves_failure;
+        Alcotest.test_case "campaign byte-identical across pool sizes" `Slow
+          campaign_deterministic;
+        Alcotest.test_case "corpus NDJSON round-trips and replays" `Slow
+          corpus_roundtrip;
+        Alcotest.test_case "corpus findings feed the mutation corpus" `Slow
+          corpus_feeds_mutation_corpus;
+        Alcotest.test_case "workload finding round-trips via trace" `Quick
+          corpus_entry_traces;
+        Alcotest.test_case "rediscovers the pair's seeded mutants" `Slow
+          rediscover_pair;
+      ] );
+  ]
