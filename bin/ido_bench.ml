@@ -284,16 +284,34 @@ let float_field text key =
   in
   scan 0
 
+type baseline = {
+  b_explore : float;
+  b_fig7 : float;
+  b_jobs : int;  (** domains the recorded parallel cells actually used *)
+  b_domains : int;  (** recommended_domains of the recording host *)
+}
+
 let read_baseline path =
   let ic = open_in path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
       let text = really_input_string ic (in_channel_length ic) in
+      let int_field key ~default =
+        match float_field text key with
+        | Some v -> int_of_float v
+        | None -> default
+      in
       match
         (float_field text "explore_speedup", float_field text "fig7_quick_speedup")
       with
-      | Some e, Some f -> (e, f)
+      | Some e, Some f ->
+          {
+            b_explore = e;
+            b_fig7 = f;
+            b_jobs = int_field "jobs" ~default:1;
+            b_domains = int_field "recommended_domains" ~default:1;
+          }
       | _ ->
           Printf.eprintf "selftime: baseline %s lacks speedup fields\n" path;
           exit 2)
@@ -302,8 +320,10 @@ let selftime_cmd =
   let doc =
     "Time the drivers serial vs parallel and write the results as JSON \
      (the CI drivers benchmark).  With --baseline, the record is still \
-     regenerated first, then the run fails with a clear message if either \
-     speedup regressed below tolerance x the recorded value."
+     regenerated first, then the run fails (exit 1) if either speedup \
+     regressed below tolerance x the recorded value; if either the \
+     baseline or the current run is single-domain the comparison is \
+     vacuous and the run exits 2 instead of pretending it gated anything."
   in
   let out_arg =
     Arg.(
@@ -350,17 +370,30 @@ let selftime_cmd =
     let explore_serial =
       time (fun () -> Ido_check.Engine.explore spec ~budget)
     in
+    (* Per-cell domain counts come from the pool each cell actually ran
+       under, not from the -j request: the record stays honest when -j 1
+       (or a 1-domain host) silently degrades a cell to serial. *)
+    let explore_jobs = ref 1 and fig7_jobs = ref 1 in
+    let note cell pool =
+      match pool with
+      | Some p -> cell := Ido_util.Pool.size p
+      | None -> cell := 1
+    in
     Printf.eprintf "selftime: explore budget=%d -j %d...\n%!" budget jobs;
     let explore_par =
       time (fun () ->
           with_jobs jobs (fun pool ->
+              note explore_jobs pool;
               Ido_check.Engine.explore ?pool spec ~budget))
     in
     Printf.eprintf "selftime: fig7 quick serial...\n%!";
     let fig7_serial = time (fun () -> Figures.fig7 Exp.Quick) in
     Printf.eprintf "selftime: fig7 quick -j %d...\n%!" jobs;
     let fig7_par =
-      time (fun () -> with_jobs jobs (fun pool -> Figures.fig7 ?pool Exp.Quick))
+      time (fun () ->
+          with_jobs jobs (fun pool ->
+              note fig7_jobs pool;
+              Figures.fig7 ?pool Exp.Quick))
     in
     let speedup a b = a /. Float.max 1e-9 b in
     let oc = open_out out in
@@ -369,18 +402,20 @@ let selftime_cmd =
       \  \"jobs\": %d,\n\
       \  \"recommended_domains\": %d,\n\
       \  \"explore_budget\": %d,\n\
+      \  \"explore_jobs\": %d,\n\
       \  \"explore_serial_s\": %.3f,\n\
       \  \"explore_parallel_s\": %.3f,\n\
       \  \"explore_speedup\": %.2f,\n\
+      \  \"fig7_quick_jobs\": %d,\n\
       \  \"fig7_quick_serial_s\": %.3f,\n\
       \  \"fig7_quick_parallel_s\": %.3f,\n\
       \  \"fig7_quick_speedup\": %.2f\n\
        }\n"
       jobs
       (Ido_util.Pool.default_jobs ())
-      budget explore_serial explore_par
+      budget !explore_jobs explore_serial explore_par
       (speedup explore_serial explore_par)
-      fig7_serial fig7_par
+      !fig7_jobs fig7_serial fig7_par
       (speedup fig7_serial fig7_par);
     close_out oc;
     let explore_x = speedup explore_serial explore_par in
@@ -389,7 +424,28 @@ let selftime_cmd =
       explore_x fig7_x jobs;
     match recorded with
     | None -> ()
-    | Some (base_explore, base_fig7) ->
+    | Some base ->
+        (* A speedup gate over a serial run measures scheduling noise,
+           not the scheduler.  Surface that as its own exit status (2)
+           so CI can warn instead of green-lighting a vacuous pass. *)
+        let current_jobs = max !explore_jobs !fig7_jobs in
+        if current_jobs <= 1 || Ido_util.Pool.default_jobs () <= 1 then begin
+          Printf.eprintf
+            "selftime: baseline comparison is vacuous: this run had no real \
+             parallelism (used %d domain(s) on a host recommending %d) — \
+             rerun with -j >= 2 on a multi-core host\n"
+            current_jobs
+            (Ido_util.Pool.default_jobs ());
+          exit 2
+        end;
+        if base.b_jobs <= 1 || base.b_domains <= 1 then begin
+          Printf.eprintf
+            "selftime: baseline comparison is vacuous: the recorded \
+             baseline was single-domain (jobs=%d, recommended_domains=%d) \
+             — re-record it with -j >= 2 before gating on speedups\n"
+            base.b_jobs base.b_domains;
+          exit 2
+        end;
         let check name got base =
           if got < base *. tolerance then begin
             Printf.eprintf
@@ -401,8 +457,8 @@ let selftime_cmd =
           end
           else true
         in
-        let ok_explore = check "explore" explore_x base_explore in
-        let ok_fig7 = check "fig7-quick" fig7_x base_fig7 in
+        let ok_explore = check "explore" explore_x base.b_explore in
+        let ok_fig7 = check "fig7-quick" fig7_x base.b_fig7 in
         if not (ok_explore && ok_fig7) then exit 1
   in
   Cmd.v
@@ -441,7 +497,16 @@ let serve_cmd =
       & info [ "uniform" ]
           ~doc:"Uniform keys instead of the default Zipfian (0.99)")
   in
-  let run workload seed requests period uniform jobs out =
+  let chunk_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "chunk" ]
+          ~doc:
+            "Shards per pool task within a cell (default 1: one task per \
+             shard; 0 = auto-size).  Cells are byte-identical at every \
+             chunk size.")
+  in
+  let run workload seed requests period uniform jobs chunk out =
     with_jobs jobs (fun pool ->
         let zipf = if uniform then None else Some 0.99 in
         let mk scheme shards batch =
@@ -455,7 +520,7 @@ let serve_cmd =
                 (fun shards ->
                   List.map
                     (fun batch ->
-                      Ido_serve.Serve.run_cell ?pool ~obs:true
+                      Ido_serve.Serve.run_cell ?pool ~chunk ~obs:true
                         (mk scheme shards batch))
                     [ 1; 8 ])
                 [ 1; 4 ])
@@ -518,7 +583,8 @@ let serve_cmd =
           $ Arg.(
               value & opt string "kvcache50"
               & info [ "workload" ] ~doc:"Served workload"))
-      $ seed_arg $ requests_arg $ period_arg $ uniform_arg $ jobs_arg $ out_arg)
+      $ seed_arg $ requests_arg $ period_arg $ uniform_arg $ jobs_arg
+      $ chunk_arg $ out_arg)
 
 let () =
   let cmds =

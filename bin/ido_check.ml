@@ -81,6 +81,15 @@ let jobs_arg =
            machine's recommended domain count; 1 = serial).  Reports are \
            byte-identical at every -j.")
 
+let chunk_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "chunk" ]
+        ~doc:
+          "Work items per pool task: 0 = auto-size from the item count and \
+           -j, 1 = one task per item.  Results are byte-identical at every \
+           chunk size.")
+
 (* [f None] when serial, else [f (Some pool)] inside with_pool. *)
 let with_jobs jobs f =
   if jobs < 1 then invalid_arg "jobs must be >= 1"
@@ -136,7 +145,7 @@ let explore_cmd =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every injection")
   in
   let run scheme workload seed threads ops cache_lines oracle strict budget
-      verbose jobs =
+      verbose jobs chunk =
     guard @@ fun () ->
     let spec = spec_of scheme workload seed threads ops cache_lines oracle strict in
     let last = ref 0 in
@@ -150,7 +159,8 @@ let explore_cmd =
       last := k
     in
     let r =
-      with_jobs jobs (fun pool -> Engine.explore ~progress ?pool spec ~budget)
+      with_jobs jobs (fun pool ->
+          Engine.explore ~progress ?pool ~chunk spec ~budget)
     in
     Printf.printf
       "%s on %s: %d events in schedule; tested %d crash points (%s), %d \
@@ -173,7 +183,7 @@ let explore_cmd =
     Term.(
       const run $ scheme_arg $ workload_arg $ seed_arg $ threads_arg $ ops_arg
       $ cache_lines_arg $ oracle_arg $ strict_arg $ budget_arg $ verbose_arg
-      $ jobs_arg)
+      $ jobs_arg $ chunk_arg)
 
 let replay_cmd =
   let doc = "Replay a single crash index from a repro line." in
@@ -502,7 +512,7 @@ let fuzz_cmd =
       & info [ "shrink-budget" ] ~doc:"Extra executions per finding")
   in
   let run seed budget scheme workload rediscover min_found out shrink_budget
-      jobs =
+      jobs chunk =
     guard @@ fun () ->
     let d = Ido_fuzz.Fuzz.default_config in
     let config =
@@ -521,7 +531,9 @@ let fuzz_cmd =
           | None -> d.Ido_fuzz.Fuzz.workloads);
       }
     in
-    let r = with_jobs jobs (fun pool -> Ido_fuzz.Fuzz.run ?pool config) in
+    let r =
+      with_jobs jobs (fun pool -> Ido_fuzz.Fuzz.run ?pool ~chunk config)
+    in
     (match out with
     | Some path ->
         Ido_fuzz.Corpus.save r.Ido_fuzz.Fuzz.r_corpus path;
@@ -541,7 +553,8 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ fseed_arg $ budget_arg $ fscheme_arg $ fworkload_arg
-      $ rediscover_arg $ min_found_arg $ out_arg $ shrink_arg $ jobs_arg)
+      $ rediscover_arg $ min_found_arg $ out_arg $ shrink_arg $ jobs_arg
+      $ chunk_arg)
 
 let serve_crash_cmd =
   let doc =
@@ -558,7 +571,7 @@ let serve_crash_cmd =
   let requests_arg =
     Arg.(value & opt int 1200 & info [ "requests" ] ~doc:"Total requests")
   in
-  let run scheme workload seed shards batch requests jobs =
+  let run scheme workload seed shards batch requests jobs chunk =
     guard @@ fun () ->
     let config =
       Ido_serve.Config.make ~seed ~shards ~batch ~requests ~zipf:0.99
@@ -567,7 +580,7 @@ let serve_crash_cmd =
     let crash = Ido_serve.Serve.default_crash config in
     let cell =
       with_jobs jobs (fun pool ->
-          Ido_serve.Serve.run_cell ?pool ~obs:true ~crash config)
+          Ido_serve.Serve.run_cell ?pool ~chunk ~obs:true ~crash config)
     in
     let pp_result = function Ok () -> "ok" | Error m -> "FAIL: " ^ m in
     Printf.printf
@@ -610,7 +623,7 @@ let serve_crash_cmd =
     (Cmd.info "serve-crash" ~doc)
     Term.(
       const run $ scheme_arg $ workload_arg $ seed_arg $ shards_arg $ batch_arg
-      $ requests_arg $ jobs_arg)
+      $ requests_arg $ jobs_arg $ chunk_arg)
 
 let () =
   let info =

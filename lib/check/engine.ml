@@ -88,20 +88,19 @@ let custom_of_spec (s : spec) =
     c_validate = (fun _ -> Ok ());
   }
 
-(* Build the machine and run the durable setup phase.  The event hook
+let custom_config (c : custom) =
+  { (Vm.config c.c_scheme) with
+    seed = c.c_seed;
+    cache_lines = c.c_cache_lines;
+    (* Each injection run starts from a pristine machine; the bounded
+       check workloads fit comfortably in 1M words (8 MiB), an 8x
+       saving over the benchmark default. *)
+    pmem_words = 1 lsl 20 }
+
+(* Run the durable setup phase on a pristine machine.  The event hook
    is installed only after this returns, so recording and every
    injection run observe the same worker-phase schedule. *)
-let setup_custom (c : custom) =
-  let cfg =
-    { (Vm.config c.c_scheme) with
-      seed = c.c_seed;
-      cache_lines = c.c_cache_lines;
-      (* Every injection boots a fresh machine; the bounded check
-         workloads fit comfortably in 1M words (8 MiB), an 8x saving
-         over the benchmark default. *)
-      pmem_words = 1 lsl 20 }
-  in
-  let m = Vm.create cfg c.c_program in
+let boot_phases (c : custom) m =
   ignore (Vm.spawn m ~fname:"init" ~args:[]);
   (match Vm.run m with
   | `Idle -> ()
@@ -109,10 +108,35 @@ let setup_custom (c : custom) =
   Vm.flush_all m;
   for _ = 1 to c.c_threads do
     ignore (Vm.spawn m ~fname:"worker" ~args:[ c.c_worker_arg ])
-  done;
+  done
+
+let setup_custom (c : custom) =
+  let m = Vm.create (custom_config c) c.c_program in
+  boot_phases c m;
   m
 
 let setup spec = setup_custom (custom_of_spec spec)
+
+(* A reusable machine for batches of same-spec runs.  The first use
+   pays [Vm.create] (validation, instrumentation, image build, the big
+   pmem array); every later use is a [Vm.reset] — byte-identical
+   semantics at a fraction of the cost.  Each pool worker chunk (and
+   the whole serial path) keeps one arena, so machines are never
+   shared across domains. *)
+type arena = { a_custom : custom; mutable a_machine : Vm.t option }
+
+let arena (c : custom) = { a_custom = c; a_machine = None }
+
+let arena_setup a =
+  match a.a_machine with
+  | Some m ->
+      Vm.reset m;
+      boot_phases a.a_custom m;
+      m
+  | None ->
+      let m = setup_custom a.a_custom in
+      a.a_machine <- Some m;
+      m
 
 let finish_run m =
   match Vm.run m with
@@ -120,13 +144,14 @@ let finish_run m =
   | `Deadlock -> failwith "Engine: worker phase deadlocked"
   | `Until | `Max_steps -> failwith "Engine: worker phase did not finish"
 
-let record spec =
-  let m = setup spec in
+let record_on m =
   let evs = ref [] in
   Vm.set_event_hook m (Some (fun e -> evs := e :: !evs));
   finish_run m;
   Vm.set_event_hook m None;
   Array.of_list (List.rev !evs)
+
+let record spec = record_on (setup spec)
 
 let mem_of m =
   let pm = Vm.pmem m in
@@ -144,9 +169,7 @@ type injection = {
 
 exception Crash_injected
 
-let inject spec index =
-  if index < 0 then invalid_arg "Engine.inject: negative crash index";
-  let m = setup spec in
+let inject_on m spec index =
   let count = ref 0 in
   let crashed_event = ref None in
   Vm.set_event_hook m
@@ -173,6 +196,17 @@ let inject spec index =
         Error (Printf.sprintf "recovery raised: %s" (Printexc.to_string e))
   in
   { index; event = !crashed_event; verdict }
+
+let check_index index =
+  if index < 0 then invalid_arg "Engine.inject: negative crash index"
+
+let inject spec index =
+  check_index index;
+  inject_on (setup spec) spec index
+
+let inject_arena a spec index =
+  check_index index;
+  inject_on (arena_setup a) spec index
 
 type report = {
   spec : spec;
@@ -214,14 +248,14 @@ let plan_indices spec ~total ~budget =
 (* Bound on the extra runs spent minimising a sampled counterexample. *)
 let shrink_budget = 512
 
-let shrink spec ~tested_ok ~first_fail =
+let shrink a spec ~tested_ok ~first_fail =
   let best = ref first_fail in
   let runs = ref 0 in
   (try
      for k = 0 to first_fail.index - 1 do
        if (not (Hashtbl.mem tested_ok k)) && !runs < shrink_budget then begin
          incr runs;
-         let inj = inject spec k in
+         let inj = inject_arena a spec k in
          match inj.verdict with
          | Error _ ->
              best := inj;
@@ -232,11 +266,14 @@ let shrink spec ~tested_ok ~first_fail =
    with Exit -> ());
   !best
 
-let explore ?(progress = fun _ _ -> ()) ?pool spec ~budget =
+let explore ?(progress = fun _ _ -> ()) ?pool ?(chunk = 0) spec ~budget =
   if budget < 1 then invalid_arg "Engine.explore: budget must be positive";
+  if chunk < 0 then invalid_arg "Engine.explore: chunk must be >= 0";
+  let c = custom_of_spec spec in
+  let home = arena c in
   (* Harness sanity: a run that never crashes must satisfy the full
      model under every scheme, Origin included. *)
-  (let m = setup spec in
+  (let m = arena_setup home in
    finish_run m;
    Vm.flush_all m;
    match validate_now spec ~mode:Oracle.Atomic m with
@@ -245,33 +282,50 @@ let explore ?(progress = fun _ _ -> ()) ?pool spec ~budget =
        failwith
          (Printf.sprintf "Engine.explore: crash-free %s/%s run fails oracle: %s"
             (Scheme.name spec.scheme) spec.workload msg));
-  let schedule = record spec in
+  let schedule = record_on (arena_setup home) in
   let total = Array.length schedule in
   let indices, exhaustive = plan_indices spec ~total ~budget in
   let planned = Array.length indices in
   let tested_ok = Hashtbl.create (planned * 2) in
   let violations = ref [] in
-  (* Each injection boots a fresh machine and shares nothing, so the
-     runs can spread over a domain pool.  Results are merged in
-     event-index order (awaits follow submission order), keeping the
-     report — violations, shrinking, repro lines — byte-identical to
-     the serial path. *)
+  (* Injection runs share nothing (each chunk keeps a private arena
+     machine), so they spread over the domain pool one future per
+     chunk of consecutive indices, amortising dispatch overhead over
+     [chunk] runs.  Results are merged in event-index order (awaits
+     follow submission order), keeping the report — violations,
+     shrinking, repro lines — byte-identical to the serial path at
+     every [-j] and every chunk size. *)
   let injections =
     match pool with
     | Some pool when Pool.size pool > 1 ->
-        let futures =
-          Array.map (fun k -> Pool.submit pool (fun () -> inject spec k)) indices
+        let k =
+          if chunk = 0 then Pool.default_chunk ~jobs:(Pool.size pool) planned
+          else chunk
         in
-        Array.mapi
-          (fun i fut ->
-            let inj = Pool.await fut in
-            progress (i + 1) planned;
-            inj)
-          futures
+        let nchunks = (planned + k - 1) / k in
+        let futures =
+          Array.init nchunks (fun ci ->
+              let lo = ci * k in
+              let len = min k (planned - lo) in
+              Pool.submit pool (fun () ->
+                  let a = arena c in
+                  Array.init len (fun j -> inject_arena a spec indices.(lo + j))))
+        in
+        let done_count = ref 0 in
+        let batches =
+          Array.map
+            (fun fut ->
+              let batch = Pool.await fut in
+              done_count := !done_count + Array.length batch;
+              progress !done_count planned;
+              batch)
+            futures
+        in
+        Array.concat (Array.to_list batches)
     | _ ->
         Array.mapi
           (fun i k ->
-            let inj = inject spec k in
+            let inj = inject_arena home spec k in
             progress (i + 1) planned;
             inj)
           indices
@@ -287,7 +341,9 @@ let explore ?(progress = fun _ _ -> ()) ?pool spec ~budget =
     match violations with
     | [] -> None
     | first :: _ ->
-        Some (if exhaustive then first else shrink spec ~tested_ok ~first_fail:first)
+        Some
+          (if exhaustive then first
+           else shrink home spec ~tested_ok ~first_fail:first)
   in
   { spec; total_events = total; tested = planned; exhaustive; violations;
     counterexample }
@@ -376,13 +432,7 @@ let run_traced ?index spec =
 
 (* ---------- Custom probes ---------- *)
 
-let record_custom c =
-  let m = setup_custom c in
-  let evs = ref [] in
-  Vm.set_event_hook m (Some (fun e -> evs := e :: !evs));
-  finish_run m;
-  Vm.set_event_hook m None;
-  Array.of_list (List.rev !evs)
+let record_custom c = record_on (setup_custom c)
 
 type probe = {
   pr_index : int option;

@@ -96,6 +96,7 @@ type report = {
 val explore :
   ?progress:(int -> int -> unit) ->
   ?pool:Ido_util.Pool.t ->
+  ?chunk:int ->
   spec ->
   budget:int ->
   report
@@ -105,14 +106,20 @@ val explore :
     seed).  Indices are visited in ascending order.  If any violation
     surfaces in sampled mode, untested indices below the first failure
     are scanned (ascending, bounded) to shrink the counterexample.
-    [progress] receives [(done, planned)] after each injection.
+    [progress] receives [(done, planned)] after each injection
+    (serial) or each completed chunk (pooled).
 
     With [?pool] (size > 1) the injection runs are dispatched to the
-    domain pool — every injection boots a private machine, so runs
-    share nothing — and merged back in event-index order, making the
-    report byte-identical to a serial exploration of the same spec.
-    Recording, the crash-free sanity run and counterexample shrinking
-    stay on the calling domain.
+    domain pool one future per chunk of [chunk] consecutive indices
+    ([chunk = 0], the default, derives a size from the budget and the
+    pool width — see {!Ido_util.Pool.default_chunk}).  Each chunk
+    reuses one private arena machine across its injections
+    ({!Ido_vm.Vm.reset} between runs), so runs share nothing; results
+    are merged back in event-index order, making the report
+    byte-identical to a serial exploration of the same spec at every
+    [-j] and every chunk size.  Recording, the crash-free sanity run
+    and counterexample shrinking stay on the calling domain (on their
+    own arena).
 
     Before exploring, a crash-free run is validated against the
     [Atomic] oracle; a failure there means the harness or workload

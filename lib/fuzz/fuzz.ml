@@ -230,8 +230,9 @@ let base_key = function
   | Input.Workload w -> "workload:" ^ w
   | Input.Random _ -> "random"
 
-let run ?pool config =
+let run ?pool ?(chunk = 0) config =
   if config.budget < 1 then invalid_arg "Fuzz.run: budget must be positive";
+  if chunk < 0 then invalid_arg "Fuzz.run: chunk must be >= 0";
   let rng = Rng.create config.seed in
   let seen = Cov.create () in
   let entries = ref [] in
@@ -240,9 +241,14 @@ let run ?pool config =
   let population = ref [] in
   let survivors = ref 0 in
   let executions = ref 0 in
+  (* Candidate executions are the campaign's hot loop: batch them into
+     chunked pool tasks (waves are up to 32 inputs, so auto-chunking
+     still leaves every worker busy) and merge serially in submission
+     order — the report and corpus stay byte-identical at every [-j]
+     and chunk size. *)
   let eval_batch inputs =
     executions := !executions + List.length inputs;
-    Pool.opt_map_list pool Exec.run inputs
+    Pool.opt_map_list ~chunk pool Exec.run inputs
   in
   let merge ~seed_stage outcomes =
     List.iter

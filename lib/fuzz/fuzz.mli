@@ -60,8 +60,11 @@ type report = {
           [rediscover] *)
 }
 
-val run : ?pool:Ido_util.Pool.t -> config -> report
-(** Byte-identical for a given config at every pool size. *)
+val run : ?pool:Ido_util.Pool.t -> ?chunk:int -> config -> report
+(** Byte-identical for a given config at every pool size and chunk
+    size.  [chunk] batches consecutive candidate executions into one
+    pool task ([0], the default: auto-size per wave — see
+    {!Ido_util.Pool.default_chunk}). *)
 
 val organic : report -> finding list
 

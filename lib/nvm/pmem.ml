@@ -27,11 +27,12 @@ type line = { lineno : int; words : int64 array; mutable slot : int }
 type t = {
   nvm : int64 array;  (* the persistence domain *)
   overlay : (int, line) Hashtbl.t;  (* dirty lines: line -> 8 words *)
-  dirty_index : line Vec.t;  (* the overlay's values, in a flat array *)
+  dirty_index : line Vec.t;  (* the overlay's values, in insertion order *)
   cache_lines : int;
   rng : Rng.t;
   counters : counters;
   mutable pending : int;
+  mutable hwm : int;  (* one past the highest word ever written to nvm *)
   mutable event_hook : (event -> unit) option;
 }
 
@@ -39,7 +40,9 @@ let create ?(cache_lines = 1024) ~rng size =
   if size <= 0 then invalid_arg "Pmem.create: size must be positive";
   {
     nvm = Array.make size 0L;
-    overlay = Hashtbl.create 4096;
+    (* Pre-size past the eviction threshold so the overlay never
+       rehashes mid-run (bounded to keep tiny memories cheap). *)
+    overlay = Hashtbl.create (Stdlib.min (2 * cache_lines) 65536);
     dirty_index = Vec.create ();
     cache_lines;
     rng;
@@ -47,6 +50,7 @@ let create ?(cache_lines = 1024) ~rng size =
       { loads = 0; stores = 0; clwbs = 0; writebacks = 0; fences = 0;
         evictions = 0 };
     pending = 0;
+    hwm = 0;
     event_hook = None;
   }
 
@@ -90,12 +94,17 @@ let index_remove t (l : line) =
     last.slot <- l.slot
   end
 
-(* Copy a dirty line into the persistence domain and drop it from the
-   overlay. *)
-let write_back t (l : line) =
+(* Copy a dirty line's words into the persistence domain. *)
+let persist_words t (l : line) =
   let base = l.lineno * words_per_line in
   let limit = Stdlib.min words_per_line (Array.length t.nvm - base) in
   Array.blit l.words 0 t.nvm base limit;
+  if base + limit > t.hwm then t.hwm <- base + limit
+
+(* Copy a dirty line into the persistence domain and drop it from the
+   overlay. *)
+let write_back t (l : line) =
+  persist_words t l;
   Hashtbl.remove t.overlay l.lineno;
   index_remove t l
 
@@ -135,6 +144,7 @@ let store t addr v =
 let poke t addr v =
   check t addr;
   t.nvm.(addr) <- v;
+  if addr + 1 > t.hwm then t.hwm <- addr + 1;
   match Hashtbl.find_opt t.overlay (line_of addr) with
   | Some l -> l.words.(offset_of addr) <- v
   | None -> ()
@@ -171,6 +181,9 @@ let is_dirty t addr =
 
 let dirty_lines t = Hashtbl.length t.overlay
 
+let dirty_linenos t =
+  List.map (fun (l : line) -> l.lineno) (Vec.to_list t.dirty_index)
+
 let crash t =
   Hashtbl.reset t.overlay;
   Vec.clear t.dirty_index;
@@ -178,7 +191,33 @@ let crash t =
 
 let snapshot_persistent t = Array.copy t.nvm
 
+(* Every line is written back, so skip per-line index maintenance:
+   persist in dirty-index (insertion) order — deterministic, no
+   Hashtbl iteration order involved, no intermediate list — then drop
+   the overlay and the index wholesale. *)
 let flush_all t =
-  let lines = Hashtbl.fold (fun _ l acc -> l :: acc) t.overlay [] in
-  List.iter (fun l -> write_back t l) lines;
+  Vec.iter
+    (fun (l : line) ->
+      persist_words t l;
+      Hashtbl.remove t.overlay l.lineno)
+    t.dirty_index;
+  Vec.truncate t.dirty_index;
   t.pending <- 0
+
+(* Return the arena to its just-created state (same size, same
+   cache-line budget, hook preserved) without reallocating the big
+   word array: only the prefix that was ever written needs zeroing. *)
+let reset ~rng t =
+  Hashtbl.reset t.overlay;
+  Vec.truncate t.dirty_index;
+  if t.hwm > 0 then Array.fill t.nvm 0 t.hwm 0L;
+  t.hwm <- 0;
+  t.pending <- 0;
+  Rng.assign ~into:t.rng rng;
+  let c = t.counters in
+  c.loads <- 0;
+  c.stores <- 0;
+  c.clwbs <- 0;
+  c.writebacks <- 0;
+  c.fences <- 0;
+  c.evictions <- 0

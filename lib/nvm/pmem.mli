@@ -111,6 +111,12 @@ val is_dirty : t -> addr -> bool
 val dirty_lines : t -> int
 (** Number of dirty lines currently in the overlay. *)
 
+val dirty_linenos : t -> int list
+(** The dirty lines' numbers in dirty-index order (first-dirtied first,
+    except lines repositioned by the swap-with-last removal of an
+    earlier write-back).  {!flush_all} persists in exactly this
+    order. *)
+
 val crash : t -> unit
 (** Power failure: drop the overlay in place.  Subsequent loads see
     only persisted values.  Counters are preserved. *)
@@ -120,4 +126,14 @@ val snapshot_persistent : t -> int64 array
 
 val flush_all : t -> unit
 (** Write back every dirty line and fence (test/setup helper: makes
-    the whole memory durable without charging anything). *)
+    the whole memory durable without charging anything).  Lines are
+    persisted in dirty-index order — see {!dirty_linenos}. *)
+
+val reset : rng:Rng.t -> t -> unit
+(** Return the memory to its just-created state in place — empty
+    overlay, zeroed persistence domain and counters, [rng] as the new
+    generator — keeping the word array, overlay storage and event hook.
+    Only the prefix of the persistence domain that was ever written is
+    re-zeroed, so resetting a mostly-untouched memory is cheap.  The
+    arena-reuse path of the crash explorer calls this between
+    injections instead of allocating a fresh memory. *)

@@ -16,7 +16,7 @@ let first_error outcomes pick =
     (fun acc o -> match acc with Error _ -> acc | Ok () -> pick o)
     (Ok ()) outcomes
 
-let run_cell ?pool ?(obs = false) ?crash (config : Config.t) =
+let run_cell ?pool ?(chunk = 1) ?(obs = false) ?crash (config : Config.t) =
   let w = Workload.get config.Config.workload in
   (* Force the program once, on this domain: the registry thunk is
      lazy and lazy forcing is not domain-safe. *)
@@ -26,8 +26,10 @@ let run_cell ?pool ?(obs = false) ?crash (config : Config.t) =
     Gen.partition config
       (Gen.stream config ~key_range:w.Workload.request.Workload.key_range)
   in
+  (* One pool task per shard by default (shards are coarse); [chunk]
+     batches consecutive shards when a sweep runs many small cells. *)
   let outcomes =
-    Pool.opt_map_list pool
+    Pool.opt_map_list ~chunk pool
       (fun shard ->
         Shard.run ~obs ?crash ~shard ~config ~program ~oracle streams.(shard))
       (List.init config.Config.shards Fun.id)

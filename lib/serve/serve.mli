@@ -18,11 +18,15 @@ type cell = {
 
 val run_cell :
   ?pool:Ido_util.Pool.t ->
+  ?chunk:int ->
   ?obs:bool ->
   ?crash:Shard.crash_plan ->
   Config.t ->
   cell
-(** @raise Invalid_argument for a workload missing from the registry. *)
+(** [chunk] batches consecutive shards into one pool task ([1], the
+    default: one task per shard; [0]: auto-size).  The cell is
+    byte-identical at every [-j] and chunk size.
+    @raise Invalid_argument for a workload missing from the registry. *)
 
 val default_crash : Config.t -> Shard.crash_plan
 (** A deterministic mid-stream crash point: the shard is drawn from

@@ -23,6 +23,11 @@ let add ?(weight = 1) t v =
   t.total <- t.total + weight;
   if v > t.max_v then t.max_v <- v
 
+let clear t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.total <- 0;
+  t.max_v <- -1
+
 let total t = t.total
 
 let count_at t v =

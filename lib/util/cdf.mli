@@ -12,6 +12,10 @@ val add : ?weight:int -> t -> int -> unit
 (** [add t v] records one (or [weight]) observation(s) of value [v].
     [v] must be non-negative. *)
 
+val clear : t -> unit
+(** Forget every observation, keeping the backing storage (arena-reuse
+    reset path). *)
+
 val total : t -> int
 (** Number of observations recorded. *)
 

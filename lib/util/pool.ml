@@ -1,111 +1,328 @@
-(* A fixed-size pool of worker domains.
+(* A fixed-size pool of worker domains, scheduled by work stealing.
 
    The drivers of this repository (crash-matrix exploration, figure
-   sweeps) decompose into many independent deterministic simulations;
-   the pool runs them on OCaml 5 domains while keeping every observable
-   ordering identical to a serial run: [map_list]/[map_array] return
-   results indexed by submission order, never completion order, and a
-   serial pool ([jobs <= 1]) executes each task synchronously at
-   [submit] time on the calling domain — byte-identical to today's
-   loops, including the interleaving of any output the tasks produce.
+   sweeps, fuzz campaigns, serve shards) decompose into many
+   independent deterministic simulations; the pool runs them on OCaml 5
+   domains while keeping every observable ordering identical to a
+   serial run: [map_list]/[map_array]/[map_chunks] return results
+   indexed by submission order, never completion order, and a serial
+   pool ([jobs <= 1]) executes each task synchronously at [submit] time
+   on the calling domain — byte-identical to a plain loop, including
+   the interleaving of any output the tasks produce.
+
+   Scheduling: every participant — the submitting domain plus
+   [jobs - 1] spawned workers — owns a Chase–Lev deque.  The owner
+   pushes and pops at the bottom without locks; idle participants steal
+   from the top of a victim's deque with a single compare-and-set.
+   [await] on the submitting domain {e helps}: while its future is
+   pending it pops/steals tasks like any worker, so the submitter is a
+   full compute participant and a pool of [jobs] uses exactly [jobs]
+   domains.  Idle workers spin with exponential backoff before parking
+   on a condition variable; [submit] only touches that mutex when a
+   sleeper is registered, so the steady-state dispatch path is
+   lock-free.
 
    Tasks must not share mutable state; each exploration/sweep cell
-   boots its own machine, so nothing is shared in practice. *)
+   boots (or resets) its own machine, so nothing is shared in
+   practice. *)
+
+(* ------------------------------------------------------------------ *)
+(* Chase–Lev work-stealing deque.
+
+   Single owner pushes/pops at [bottom]; any domain steals at [top].
+   Slots are atomics and the buffer is published through an atomic, so
+   growth is safe under the OCaml memory model: a stealer that reads a
+   stale buffer still reads the element values it copied, and its
+   compare-and-set on [top] arbitrates ownership of the element. *)
+
+module Deque = struct
+  type 'a buf = { slots : 'a option Atomic.t array; mask : int }
+
+  let make_buf cap =
+    { slots = Array.init cap (fun _ -> Atomic.make None); mask = cap - 1 }
+
+  type 'a t = {
+    top : int Atomic.t;
+    bottom : int Atomic.t;
+    buf : 'a buf Atomic.t;
+  }
+
+  let create () =
+    { top = Atomic.make 0; bottom = Atomic.make 0; buf = Atomic.make (make_buf 64) }
+
+  (* Owner only.  Copy live elements [t, b) into a doubled buffer and
+     publish it; the old buffer stays valid for concurrent stealers. *)
+  let grow q buf b t =
+    let nbuf = make_buf (2 * (buf.mask + 1)) in
+    for i = t to b - 1 do
+      Atomic.set nbuf.slots.(i land nbuf.mask) (Atomic.get buf.slots.(i land buf.mask))
+    done;
+    Atomic.set q.buf nbuf;
+    nbuf
+
+  (* Owner only. *)
+  let push q v =
+    let b = Atomic.get q.bottom in
+    let t = Atomic.get q.top in
+    let buf = Atomic.get q.buf in
+    let buf = if b - t > buf.mask then grow q buf b t else buf in
+    Atomic.set buf.slots.(b land buf.mask) (Some v);
+    Atomic.set q.bottom (b + 1)
+
+  (* Owner only: LIFO pop at the bottom.  The only contended case is
+     the last element, arbitrated by a compare-and-set on [top]. *)
+  let pop q =
+    let b = Atomic.get q.bottom - 1 in
+    Atomic.set q.bottom b;
+    let t = Atomic.get q.top in
+    if b < t then begin
+      Atomic.set q.bottom t;
+      None
+    end
+    else begin
+      let buf = Atomic.get q.buf in
+      let slot = buf.slots.(b land buf.mask) in
+      let v = Atomic.get slot in
+      if b > t then begin
+        Atomic.set slot None;
+        v
+      end
+      else begin
+        let won = Atomic.compare_and_set q.top t (t + 1) in
+        Atomic.set q.bottom (t + 1);
+        if won then begin
+          Atomic.set slot None;
+          v
+        end
+        else None
+      end
+    end
+
+  (* Any domain: FIFO steal at the top.  [None] means "empty or lost a
+     race" — in either case some other participant made progress, so
+     callers just move on to the next victim. *)
+  let steal q =
+    let t = Atomic.get q.top in
+    let b = Atomic.get q.bottom in
+    if b - t <= 0 then None
+    else begin
+      let buf = Atomic.get q.buf in
+      let v = Atomic.get buf.slots.(t land buf.mask) in
+      if Atomic.compare_and_set q.top t (t + 1) then v else None
+    end
+end
+
+(* ------------------------------------------------------------------ *)
 
 type 'a state =
   | Pending
   | Done of 'a
   | Failed of exn * Printexc.raw_backtrace
 
-type 'a future = {
-  fmut : Mutex.t;
-  fcond : Condition.t;
-  mutable state : 'a state;
-}
+type task = unit -> unit
 
 type t = {
   jobs : int;
-  mut : Mutex.t;
-  nonempty : Condition.t;
-  queue : (unit -> unit) Queue.t;
-  mutable closed : bool;
+  deques : task Deque.t array; (* deques.(i) owned by participant i; 0 = creator *)
+  mutable owners : Domain.id array; (* owners.(i) = domain that owns deques.(i) *)
+  closed : bool Atomic.t;
+  work_epoch : int Atomic.t; (* bumped on every submit; sleepers recheck it *)
+  sleepers : int Atomic.t;
+  sleep_mut : Mutex.t;
+  sleep_cond : Condition.t;
+  inbox : task Queue.t; (* submits from domains that own no deque *)
+  inbox_mut : Mutex.t;
+  inbox_size : int Atomic.t;
   mutable domains : unit Domain.t list;
+}
+
+type 'a future = {
+  fmut : Mutex.t;
+  fcond : Condition.t;
+  cell : 'a state Atomic.t;
+  origin : t option; (* the pool that will run it; [None] = already resolved *)
 }
 
 let default_jobs () = Domain.recommended_domain_count ()
 
-let worker pool =
-  let rec loop () =
-    Mutex.lock pool.mut;
-    while Queue.is_empty pool.queue && not pool.closed do
-      Condition.wait pool.nonempty pool.mut
-    done;
-    match Queue.take_opt pool.queue with
-    | Some task ->
-        Mutex.unlock pool.mut;
-        task ();
-        loop ()
+let participant_index pool =
+  let self = Domain.self () in
+  let owners = pool.owners in
+  let n = Array.length owners in
+  let rec go k = if k >= n then None else if owners.(k) = self then Some k else go (k + 1) in
+  go 0
+
+let inbox_take pool =
+  if Atomic.get pool.inbox_size = 0 then None
+  else begin
+    Mutex.lock pool.inbox_mut;
+    let r = Queue.take_opt pool.inbox in
+    (match r with Some _ -> Atomic.decr pool.inbox_size | None -> ());
+    Mutex.unlock pool.inbox_mut;
+    r
+  end
+
+(* One scheduling round for participant [i]: own deque first (LIFO),
+   then steal from the others in ring order (FIFO at their top), then
+   the foreign-submit inbox. *)
+let take pool i =
+  match Deque.pop pool.deques.(i) with
+  | Some _ as r -> r
+  | None ->
+      let n = pool.jobs in
+      let rec steal k =
+        if k >= n then inbox_take pool
+        else
+          match Deque.steal pool.deques.((i + k) mod n) with
+          | Some _ as r -> r
+          | None -> steal (k + 1)
+      in
+      steal 1
+
+(* Idle protocol: a few rounds of exponentially longer spins, then park.
+   The epoch read before the final recheck makes the sleep race-free:
+   either the sleeper sees the new work, or the submitter's epoch bump
+   invalidates the wait condition. *)
+let spin_rounds = 10
+
+let worker_loop pool i =
+  let rec loop spins =
+    match take pool i with
+    | Some task -> task (); loop 0
     | None ->
-        (* closed and drained *)
-        Mutex.unlock pool.mut
+        if Atomic.get pool.closed then ()
+        else if spins < spin_rounds then begin
+          for _ = 1 to 1 lsl min spins 6 do
+            Domain.cpu_relax ()
+          done;
+          loop (spins + 1)
+        end
+        else begin
+          let epoch = Atomic.get pool.work_epoch in
+          match take pool i with
+          | Some task -> task (); loop 0
+          | None ->
+              if Atomic.get pool.closed then ()
+              else begin
+                Mutex.lock pool.sleep_mut;
+                Atomic.incr pool.sleepers;
+                while
+                  Atomic.get pool.work_epoch = epoch && not (Atomic.get pool.closed)
+                do
+                  Condition.wait pool.sleep_cond pool.sleep_mut
+                done;
+                Atomic.decr pool.sleepers;
+                Mutex.unlock pool.sleep_mut;
+                loop 0
+              end
+        end
   in
-  loop ()
+  loop 0
 
 let create jobs =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
   let pool =
     {
       jobs;
-      mut = Mutex.create ();
-      nonempty = Condition.create ();
-      queue = Queue.create ();
-      closed = false;
+      deques = Array.init jobs (fun _ -> Deque.create ());
+      owners = [| Domain.self () |];
+      closed = Atomic.make false;
+      work_epoch = Atomic.make 0;
+      sleepers = Atomic.make 0;
+      sleep_mut = Mutex.create ();
+      sleep_cond = Condition.create ();
+      inbox = Queue.create ();
+      inbox_mut = Mutex.create ();
+      inbox_size = Atomic.make 0;
       domains = [];
     }
   in
-  if jobs > 1 then
-    pool.domains <- List.init jobs (fun _ -> Domain.spawn (fun () -> worker pool));
+  if jobs > 1 then begin
+    let owners = Array.make jobs (Domain.self ()) in
+    let domains =
+      List.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker_loop pool (k + 1)))
+    in
+    List.iteri (fun k d -> owners.(k + 1) <- Domain.get_id d) domains;
+    pool.owners <- owners;
+    pool.domains <- domains
+  end;
   pool
 
 let size pool = pool.jobs
 
-let resolved state = { fmut = Mutex.create (); fcond = Condition.create (); state }
+let resolved state =
+  { fmut = Mutex.create (); fcond = Condition.create (); cell = Atomic.make state; origin = None }
 
 let run_to_state f =
   match f () with
   | v -> Done v
   | exception e -> Failed (e, Printexc.get_raw_backtrace ())
 
+let wake_sleepers pool =
+  if Atomic.get pool.sleepers > 0 then begin
+    Mutex.lock pool.sleep_mut;
+    Condition.broadcast pool.sleep_cond;
+    Mutex.unlock pool.sleep_mut
+  end
+
 let submit pool f =
   if pool.jobs <= 1 then resolved (run_to_state f)
   else begin
-    let fut = resolved Pending in
+    if Atomic.get pool.closed then invalid_arg "Pool.submit: pool is shut down";
+    let fut =
+      {
+        fmut = Mutex.create ();
+        fcond = Condition.create ();
+        cell = Atomic.make Pending;
+        origin = Some pool;
+      }
+    in
     let task () =
       let st = run_to_state f in
       Mutex.lock fut.fmut;
-      fut.state <- st;
+      Atomic.set fut.cell st;
       Condition.broadcast fut.fcond;
       Mutex.unlock fut.fmut
     in
-    Mutex.lock pool.mut;
-    if pool.closed then begin
-      Mutex.unlock pool.mut;
-      invalid_arg "Pool.submit: pool is shut down"
-    end;
-    Queue.add task pool.queue;
-    Condition.signal pool.nonempty;
-    Mutex.unlock pool.mut;
+    (match participant_index pool with
+    | Some i -> Deque.push pool.deques.(i) task
+    | None ->
+        Mutex.lock pool.inbox_mut;
+        Queue.add task pool.inbox;
+        Atomic.incr pool.inbox_size;
+        Mutex.unlock pool.inbox_mut);
+    Atomic.incr pool.work_epoch;
+    wake_sleepers pool;
     fut
   end
 
-let is_pending fut = match fut.state with Pending -> true | _ -> false
+let is_pending fut = match Atomic.get fut.cell with Pending -> true | _ -> false
 
 let await fut =
+  (* Help: while the future is pending, a deque-owning awaiter runs
+     queued tasks instead of blocking.  When no task is runnable the
+     future's own task has been claimed by another participant, so
+     blocking on the condition below is deadlock-free. *)
+  (match fut.origin with
+  | Some pool when is_pending fut -> (
+      match participant_index pool with
+      | Some i ->
+          let rec help () =
+            if is_pending fut then
+              match take pool i with
+              | Some task ->
+                  task ();
+                  help ()
+              | None -> ()
+          in
+          help ()
+      | None -> ())
+  | _ -> ());
   Mutex.lock fut.fmut;
   while is_pending fut do
     Condition.wait fut.fcond fut.fmut
   done;
-  let st = fut.state in
+  let st = Atomic.get fut.cell in
   Mutex.unlock fut.fmut;
   match st with
   | Done v -> v
@@ -113,21 +330,35 @@ let await fut =
   | Pending -> assert false
 
 let shutdown pool =
-  Mutex.lock pool.mut;
-  pool.closed <- true;
-  Condition.broadcast pool.nonempty;
-  Mutex.unlock pool.mut;
-  List.iter Domain.join pool.domains;
-  pool.domains <- []
+  if not (Atomic.get pool.closed) then begin
+    Atomic.set pool.closed true;
+    Mutex.lock pool.sleep_mut;
+    Condition.broadcast pool.sleep_cond;
+    Mutex.unlock pool.sleep_mut;
+    (* Drain: the caller runs anything still queued so no submitted
+       task is dropped; workers exit once every deque is empty. *)
+    (match participant_index pool with
+    | Some i ->
+        let rec drain () =
+          match take pool i with
+          | Some task ->
+              task ();
+              drain ()
+          | None -> ()
+        in
+        drain ()
+    | None -> ());
+    List.iter Domain.join pool.domains;
+    pool.domains <- []
+  end
 
 let with_pool jobs f =
   let pool = create jobs in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
-(* Order-preserving maps.  All tasks are submitted before any await, so
-   a pool of [n] domains keeps [n] tasks in flight; results are awaited
-   (and any exception re-raised) in submission order, making the result
-   independent of completion order. *)
+(* Order-preserving maps.  All tasks are submitted before any await;
+   results are awaited (and any exception re-raised) in submission
+   order, making the result independent of completion order. *)
 
 let map_array pool f xs =
   let futs = Array.map (fun x -> submit pool (fun () -> f x)) xs in
@@ -136,9 +367,43 @@ let map_array pool f xs =
 let map_list pool f xs =
   List.map await (List.map (fun x -> submit pool (fun () -> f x)) xs)
 
+(* Chunked dispatch: one future per batch of [chunk] consecutive
+   elements, so per-task scheduling overhead is paid once per batch
+   rather than once per element.  Results are concatenated in
+   submission order, so the output is byte-identical at every chunk
+   size and every [-j].  [chunk = 0] picks a size that yields a few
+   batches per worker for load balance. *)
+
+let chunks_per_job = 4
+
+let default_chunk ~jobs n =
+  if jobs <= 1 || n <= 0 then max 1 n
+  else max 1 ((n + (chunks_per_job * jobs) - 1) / (chunks_per_job * jobs))
+
+let chunks_of k xs =
+  let rec go acc cur n = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: tl ->
+        if n = k then go (List.rev cur :: acc) [ x ] 1 tl
+        else go acc (x :: cur) (n + 1) tl
+  in
+  go [] [] 0 xs
+
+let map_chunks ?(chunk = 0) pool f xs =
+  if chunk < 0 then invalid_arg "Pool.map_chunks: chunk must be >= 0";
+  if pool.jobs <= 1 then List.map f xs
+  else begin
+    let n = List.length xs in
+    let k = if chunk = 0 then default_chunk ~jobs:pool.jobs n else chunk in
+    if k >= n then List.map f xs
+    else List.concat (map_list pool (List.map f) (chunks_of k xs))
+  end
+
 (* [None] means "no pool": run serially without any queue machinery. *)
 
-let opt_map_list pool f xs =
+let opt_map_list ?(chunk = 1) pool f xs =
+  if chunk < 0 then invalid_arg "Pool.opt_map_list: chunk must be >= 0";
   match pool with
-  | Some pool when pool.jobs > 1 -> map_list pool f xs
+  | Some pool when pool.jobs > 1 ->
+      if chunk = 1 then map_list pool f xs else map_chunks ~chunk pool f xs
   | _ -> List.map f xs

@@ -1,21 +1,29 @@
 (** A fixed-size pool of worker domains for independent deterministic
-    tasks.
+    tasks, scheduled by work stealing.
 
-    The crash-matrix explorer and the figure sweeps decompose into
-    hundreds of independent simulations (each boots its own machine);
-    the pool spreads them over OCaml 5 domains while keeping results
+    The crash-matrix explorer, figure sweeps, fuzz campaigns and serve
+    shards decompose into hundreds of independent simulations; the pool
+    spreads them over OCaml 5 domains while keeping results
     {e deterministic}: maps return results in submission order, never
     completion order, and a serial pool ([jobs <= 1]) spawns no domains
     at all — every task runs synchronously at {!submit} on the calling
     domain, byte-identical to a plain loop.
+
+    Internally every participant (the creating domain plus [jobs - 1]
+    spawned workers) owns a Chase–Lev deque: lock-free push/pop for the
+    owner, compare-and-set steals for everyone else, exponential
+    backoff before an idle worker parks.  {!await} on the creating
+    domain {e helps} — it runs queued tasks while its future is pending
+    — so a pool of [jobs] computes on exactly [jobs] domains.
 
     Tasks must not share mutable state with each other. *)
 
 type t
 
 val create : int -> t
-(** [create jobs] starts [jobs] worker domains ([jobs > 1]), or a
-    serial pool with no domains ([jobs = 1]).
+(** [create jobs] starts [jobs - 1] worker domains ([jobs > 1]; the
+    creating domain is the [jobs]-th participant), or a serial pool
+    with no domains ([jobs = 1]).
     @raise Invalid_argument if [jobs < 1]. *)
 
 val default_jobs : unit -> int
@@ -31,8 +39,9 @@ val submit : t -> (unit -> 'a) -> 'a future
     task are captured and re-raised by {!await}. *)
 
 val await : 'a future -> 'a
-(** Block until the task completes; return its result or re-raise its
-    exception (with the original backtrace). *)
+(** Wait until the task completes; return its result or re-raise its
+    exception (with the original backtrace).  On the pool's creating
+    domain this runs other queued tasks while waiting. *)
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel map: submits every element, then awaits
@@ -41,11 +50,27 @@ val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 
 val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
 
-val opt_map_list : t option -> ('a -> 'b) -> 'a list -> 'b list
-(** [List.map] when the pool is [None] or serial. *)
+val default_chunk : jobs:int -> int -> int
+(** [default_chunk ~jobs n] is the batch size the chunked maps use for
+    [n] elements when none is given: large enough to amortise per-task
+    overhead, small enough to leave a few batches per worker for load
+    balance ([~4] per participant). *)
+
+val map_chunks : ?chunk:int -> t -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_chunks ~chunk pool f xs] is [map_list pool f xs] with one
+    future per batch of [chunk] consecutive elements instead of one per
+    element.  Results (and any exception) are delivered in submission
+    order, so the output is identical at every chunk size and every
+    [-j].  [chunk = 0] (the default) picks {!default_chunk}.
+    @raise Invalid_argument if [chunk < 0]. *)
+
+val opt_map_list : ?chunk:int -> t option -> ('a -> 'b) -> 'a list -> 'b list
+(** [List.map] when the pool is [None] or serial; otherwise
+    {!map_list} ([chunk = 1], the default), or {!map_chunks} for any
+    other [chunk] ([0] = auto). *)
 
 val shutdown : t -> unit
-(** Drain the queue, stop and join the workers.  Idempotent.  Further
+(** Drain the queues, stop and join the workers.  Idempotent.  Further
     {!submit}s raise. *)
 
 val with_pool : int -> (t -> 'a) -> 'a

@@ -19,6 +19,8 @@ let split t =
 
 let copy t = { state = t.state }
 
+let assign ~into src = into.state <- src.state
+
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
   (* Mask to 62 bits to stay non-negative as an OCaml int. *)

@@ -18,6 +18,11 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the current state (same future stream). *)
 
+val assign : into:t -> t -> unit
+(** [assign ~into src] overwrites [into]'s state with [src]'s, so
+    [into]'s future stream equals [src]'s.  Lets arena-reuse paths
+    re-seed a generator in place instead of allocating a new one. *)
+
 val next64 : t -> int64
 (** Next raw 64-bit value. *)
 

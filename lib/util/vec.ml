@@ -7,6 +7,10 @@ type 'a t = { mutable data : 'a array; mutable len : int }
 
 let create () = { data = [||]; len = 0 }
 
+let create_with ~capacity fill =
+  if capacity < 0 then invalid_arg "Vec.create_with: capacity must be >= 0";
+  { data = Array.make capacity fill; len = 0 }
+
 let length v = v.len
 
 let get v i =
@@ -35,6 +39,18 @@ let pop v =
 let clear v =
   v.data <- [||];
   v.len <- 0
+
+(* Like [clear] but keeps the backing storage for reuse — the arena
+   paths reset per-run Vecs thousands of times per second.  Dropped
+   slots are overwritten so their elements can be collected. *)
+let truncate v =
+  if v.len > 0 then begin
+    let fill = v.data.(0) in
+    for i = 0 to v.len - 1 do
+      v.data.(i) <- fill
+    done;
+    v.len <- 0
+  end
 
 let iter f v =
   for i = 0 to v.len - 1 do

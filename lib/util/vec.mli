@@ -5,6 +5,12 @@
 type 'a t
 
 val create : unit -> 'a t
+
+val create_with : capacity:int -> 'a -> 'a t
+(** [create_with ~capacity fill] pre-sizes the backing array to
+    [capacity] slots (filled with [fill], length still 0), avoiding
+    growth doublings when the final size is known from metadata. *)
+
 val length : 'a t -> int
 
 val get : 'a t -> int -> 'a
@@ -23,6 +29,10 @@ val pop : 'a t -> 'a
 
 val clear : 'a t -> unit
 (** Drop every element (and the backing storage). *)
+
+val truncate : 'a t -> unit
+(** Drop every element but keep the backing storage for reuse (hot
+    reset paths); dropped slots no longer retain their elements. *)
 
 val iter : ('a -> unit) -> 'a t -> unit
 val fold_left : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b

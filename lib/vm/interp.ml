@@ -83,6 +83,43 @@ let create config program =
          | None -> ()));
   m
 
+(* Return the machine to the state [create config program] would have
+   produced, reusing the expensive parts: the instrumented image, the
+   pmem word array and overlay storage, the lock tables and thread
+   vector.  Deterministic equivalence holds because (a) the RNG is
+   re-seeded exactly as [create] seeds it, (b) nothing iterates the
+   recycled hashtables in a capacity-dependent order, and (c) the
+   persistence domain is re-zeroed up to its high-water mark.  The
+   crash explorer resets one arena machine per injection instead of
+   re-validating, re-instrumenting and re-allocating 8 MiB per run. *)
+let reset m =
+  (* Quiesce observers first: the pmem forwarding hook stays installed
+     but forwards to nothing, so reinitialisation traffic is exactly as
+     invisible as it is in [create]. *)
+  m.tracer <- None;
+  m.event_hook <- None;
+  m.obs <- None;
+  m.obs_tid <- -1;
+  m.obs_fase <- -1;
+  Rng.assign ~into:m.rng (Rng.create m.config.seed);
+  Pmem.reset ~rng:(Rng.split m.rng) m.pmem;
+  ignore (Region.create m.pmem : Region.t);
+  Region.mark_running m.region;
+  m.vmem <- Vmem.create ();
+  Hashtbl.reset m.locks;
+  Vec.truncate m.threads;
+  m.clock_floor <- 0;
+  m.next_tid <- 0;
+  m.seq <- 0;
+  m.commit_version <- 0;
+  Hashtbl.reset m.write_versions;
+  m.commit_token_free_at <- 0;
+  Cdf.clear m.stores_per_region;
+  Cdf.clear m.livein_per_region;
+  m.total_ops <- 0;
+  m.crashed <- false;
+  m.next_fase_id <- 0
+
 let emit_event m ev =
   match m.event_hook with Some f -> f ev | None -> ()
 
@@ -112,8 +149,8 @@ let make_thread m ~tid ~fname ~args ~stack_base ~stack_in_pmem ~log_node
     in_fase = false;
     fase_id = -1;
     region_stores = 0;
-    region_lines = Hashtbl.create 16;
-    fase_lines = Hashtbl.create 16;
+    region_lines = Lineset.create ();
+    fase_lines = Lineset.create ();
     last_lock = 0;
     pending_data_line = -1;
     touched_pages = Hashtbl.create 8;
@@ -278,8 +315,8 @@ let do_load m (t : thread) where =
 let track_store m (t : thread) a =
   if t.in_fase then begin
     let line = line_of a in
-    Hashtbl.replace t.region_lines line ();
-    Hashtbl.replace t.fase_lines line ();
+    Lineset.add t.region_lines line;
+    Lineset.add t.fase_lines line;
     t.region_stores <- t.region_stores + 1;
     if m.config.scheme = Scheme.Justdo then t.pending_data_line <- line
   end
@@ -332,10 +369,13 @@ let pc_here m (t : thread) fr =
   ignore t;
   Image.pc_of_pos m.image ~fname:fr.fname { Ir.blk = fr.blk; idx = fr.idx }
 
-let flush_tracked (t : thread) table =
-  let addrs = Hashtbl.fold (fun line () acc -> (line * Pmem.words_per_line) :: acc) table [] in
-  Pwriter.clwb_lines t.writer addrs;
-  Hashtbl.reset table
+(* Write back the tracked dirty lines in first-store order (the set is
+   already deduplicated, so each member is one clwb): deterministic by
+   construction — no hash-bucket order involved — and allocation-free
+   on the per-boundary hot path. *)
+let flush_tracked (t : thread) lines =
+  Lineset.iter (fun line -> Pwriter.clwb t.writer (line * Pmem.words_per_line)) lines;
+  Lineset.reset lines
 
 (* ------------------------------------------------------------------ *)
 (* Scheme hooks *)
@@ -376,7 +416,7 @@ let exec_region_boundary m (t : thread) fr (rh : Ir.region_hook) =
   let node = t.log_node in
   let meta = Image.region_meta m.image ~fname:fr.fname rh.region_id in
   record_region_stats m t meta.Image.n_live_in;
-  let clean = Hashtbl.length t.region_lines = 0 in
+  let clean = Lineset.is_empty t.region_lines in
   if
     m.config.elide_clean_boundaries && rh.skippable && clean
     && not t.first_boundary
@@ -445,8 +485,8 @@ let exec_fase_enter m (t : thread) _fr =
     obs_emit m Ido_obs.Obs.Fase_enter
   end;
   t.region_stores <- 0;
-  Hashtbl.reset t.region_lines;
-  Hashtbl.reset t.fase_lines;
+  Lineset.reset t.region_lines;
+  Lineset.reset t.fase_lines;
   Hashtbl.reset t.touched_pages;
   match m.config.scheme with
   | Scheme.Ido ->

@@ -73,8 +73,8 @@ let resume_thread m ~node ~fname ~(pos : Ir.pos) ~regs ~stack ~held =
       in_fase = true;
       fase_id = fase;
       region_stores = 0;
-      region_lines = Hashtbl.create 16;
-      fase_lines = Hashtbl.create 16;
+      region_lines = Lineset.create ();
+      fase_lines = Lineset.create ();
       last_lock = 0;
       pending_data_line = -1;
       touched_pages = Hashtbl.create 8;

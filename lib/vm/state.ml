@@ -92,8 +92,8 @@ type thread = {
   mutable in_fase : bool;
   mutable fase_id : int;  (* global id of the open FASE; -1 outside *)
   mutable region_stores : int;  (* dynamic stores in the open region *)
-  region_lines : (int, unit) Hashtbl.t;  (* dirty lines since boundary *)
-  fase_lines : (int, unit) Hashtbl.t;  (* dirty lines since FASE begin *)
+  region_lines : Lineset.t;  (* dirty lines since boundary *)
+  fase_lines : Lineset.t;  (* dirty lines since FASE begin *)
   mutable last_lock : int;  (* operand of the last Lock executed *)
   mutable pending_data_line : int;  (* JUSTDO: line awaiting flush; -1 none *)
   touched_pages : (int, int) Hashtbl.t;  (* NVThreads: page -> entry index *)

@@ -25,6 +25,7 @@ type run_outcome = [ `Idle | `Until | `Max_steps | `Deadlock ]
 exception Vm_error = Interp.Vm_error
 
 let create = Interp.create
+let reset = Interp.reset
 
 type thread = State.thread
 

@@ -53,6 +53,15 @@ val create : config -> Ir.program -> t
 (** Validate, instrument for the configured scheme, and boot a fresh
     machine with a formatted persistent region. *)
 
+val reset : t -> unit
+(** Return the machine to its just-{!create}d state in place, reusing
+    the instrumented image and every large allocation.  Subsequent runs
+    are byte-identical to runs on a fresh machine built from the same
+    config and program; previously obtained thread handles become
+    invalid and any tracer/event hook/obs sink is removed.  Hot paths
+    that boot thousands of identical machines (the crash explorer's
+    per-chunk arenas) call this instead of {!create}. *)
+
 type thread = State.thread
 
 val spawn : t -> fname:string -> args:int64 list -> thread

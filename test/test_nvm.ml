@@ -108,6 +108,69 @@ let test_flush_all () =
     Alcotest.(check int64) "all durable" (Int64.of_int i) (Pmem.load pm i)
   done
 
+let test_flush_all_dirty_index_order () =
+  (* flush_all persists lines in dirty-index order (first store first),
+     never in hash-bucket order: the order dirty_linenos reports is the
+     order the write-backs happen in, so it must track first-store
+     order and survive re-stores to already-dirty lines. *)
+  let pm = mk ~size:8192 () in
+  let lines = [ 40; 3; 17; 29; 5; 61 ] in
+  List.iteri
+    (fun i l -> Pmem.store pm (l * Pmem.words_per_line) (Int64.of_int (i + 1)))
+    lines;
+  (* A second store to a dirty line must not reposition it. *)
+  Pmem.store pm ((17 * Pmem.words_per_line) + 2) 99L;
+  Alcotest.(check (list int))
+    "dirty-index order = first-store order" lines (Pmem.dirty_linenos pm);
+  Pmem.flush_all pm;
+  Alcotest.(check (list int)) "flush_all drains the index" []
+    (Pmem.dirty_linenos pm);
+  Alcotest.(check int) "no dirty lines left" 0 (Pmem.dirty_lines pm);
+  Pmem.crash pm;
+  List.iteri
+    (fun i l ->
+      Alcotest.(check int64)
+        "line durable" (Int64.of_int (i + 1))
+        (Pmem.load pm (l * Pmem.words_per_line)))
+    lines;
+  Alcotest.(check int64)
+    "re-store durable" 99L
+    (Pmem.load pm ((17 * Pmem.words_per_line) + 2))
+
+let test_reset_is_fresh () =
+  (* reset must be indistinguishable from create: same RNG stream, a
+     zeroed persistence domain, an empty overlay, zero counters. *)
+  let pm = mk () in
+  Pmem.store pm 10 42L;
+  ignore (Pmem.clwb pm 10);
+  ignore (Pmem.fence pm);
+  Pmem.store pm 900 7L;
+  Pmem.reset ~rng:(Rng.create 5) pm;
+  Alcotest.(check int64) "persisted word zeroed" 0L (Pmem.persisted pm 10);
+  Alcotest.(check int64) "cached word gone" 0L (Pmem.load pm 900);
+  Alcotest.(check int) "overlay empty" 0 (Pmem.dirty_lines pm);
+  Alcotest.(check int) "nothing pending" 0 (Pmem.pending_flushes pm);
+  let c = Pmem.counters pm in
+  Alcotest.(check int) "stores zeroed" 0 c.Pmem.stores;
+  Alcotest.(check int) "clwbs zeroed" 0 c.Pmem.clwbs;
+  (* Same seed, same eviction choices: a reset memory replays the
+     exact pseudo-random eviction order of a fresh one. *)
+  let fill pm =
+    for i = 0 to 63 do
+      Pmem.store pm (i * 8) 1L
+    done;
+    Pmem.crash pm;
+    List.init 64 (fun i -> Pmem.load pm (i * 8))
+  in
+  let fresh = fill (Pmem.create ~cache_lines:4 ~rng:(Rng.create 5) 4096) in
+  let again =
+    let pm2 = mk ~cache_lines:4 ~seed:9 () in
+    Pmem.store pm2 100 3L;
+    Pmem.reset ~rng:(Rng.create 5) pm2;
+    fill pm2
+  in
+  Alcotest.(check (list int64)) "reset replays create's evictions" fresh again
+
 let test_bounds () =
   let pm = mk ~size:128 () in
   Alcotest.check_raises "oob"
@@ -182,6 +245,9 @@ let suites =
         Alcotest.test_case "clwb clean noop" `Quick test_clwb_clean_line_noop;
         Alcotest.test_case "poke" `Quick test_poke_bypasses_cache;
         Alcotest.test_case "flush_all" `Quick test_flush_all;
+        Alcotest.test_case "flush_all order = dirty index" `Quick
+          test_flush_all_dirty_index_order;
+        Alcotest.test_case "reset = fresh create" `Quick test_reset_is_fresh;
         Alcotest.test_case "bounds" `Quick test_bounds;
         qtest prop_flushed_survives_crash;
         qtest prop_snapshot_matches_persisted;

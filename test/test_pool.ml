@@ -8,6 +8,8 @@ open Ido_util
 open Ido_runtime
 open Ido_check
 
+let qtest = QCheck_alcotest.to_alcotest
+
 let ordering () =
   Pool.with_pool 4 (fun pool ->
       let xs = List.init 64 Fun.id in
@@ -86,6 +88,89 @@ let submit_after_shutdown () =
       ignore (Pool.submit pool (fun () -> 0)))
 
 (* ------------------------------------------------------------------ *)
+(* Stress: the work-stealing scheduler under a deep queue of uneven
+   tasks must keep every ordering guarantee it makes when idle. *)
+
+(* Durations spanning ~3 orders of magnitude, so steals, helping
+   awaits and the idle spin/park protocol all trigger. *)
+let uneven_work i =
+  if i mod 97 = 0 then ignore (Sys.opaque_identity (Array.init 30_000 Fun.id))
+  else if i mod 13 = 0 then
+    ignore (Sys.opaque_identity (Array.init 2_000 Fun.id))
+  else if i mod 3 = 0 then ignore (Sys.opaque_identity (List.init 50 Fun.id))
+
+let stress_ordering () =
+  Pool.with_pool 4 (fun pool ->
+      let n = 1000 in
+      let ran = Atomic.make 0 in
+      let xs = List.init n Fun.id in
+      let ys =
+        Pool.map_list pool
+          (fun i ->
+            uneven_work i;
+            Atomic.incr ran;
+            i * 3)
+          xs
+      in
+      Alcotest.(check int) "every task ran" n (Atomic.get ran);
+      Alcotest.(check (list int))
+        "1000 results in submission order"
+        (List.map (fun i -> i * 3) xs)
+        ys)
+
+let stress_exception_backtrace () =
+  Printexc.record_backtrace true;
+  Pool.with_pool 4 (fun pool ->
+      let futs =
+        List.init 300 (fun i ->
+            ( i,
+              Pool.submit pool (fun () ->
+                  (* Recording is per-domain: enable it where the raise
+                     happens so the captured backtrace is non-empty. *)
+                  Printexc.record_backtrace true;
+                  uneven_work i;
+                  if i mod 71 = 0 then raise (Boom i);
+                  i) ))
+      in
+      List.iter
+        (fun (i, fut) ->
+          if i mod 71 = 0 then (
+            match Pool.await fut with
+            | _ -> Alcotest.fail "await should re-raise under load"
+            | exception Boom j ->
+                Alcotest.(check int) "task's own exception payload" i j;
+                (* raise_with_backtrace re-raised the task's trace, not
+                   an empty one minted on the awaiting domain. *)
+                Alcotest.(check bool)
+                  "backtrace propagated" true
+                  (String.length (Printexc.get_backtrace ()) > 0))
+          else Alcotest.(check int) "result" i (Pool.await fut))
+        futs)
+
+let stress_shutdown_under_load () =
+  (* Shutdown with 1000 tasks still queued: the drain must run every
+     one of them (none dropped, none double-run) before join. *)
+  let n = 1000 in
+  let ran = Atomic.make 0 in
+  let pool = Pool.create 4 in
+  let futs =
+    List.init n (fun i ->
+        Pool.submit pool (fun () ->
+            uneven_work i;
+            Atomic.incr ran;
+            i))
+  in
+  (* Await a few mid-load, then shut down with the rest in flight. *)
+  List.iteri
+    (fun i fut -> if i < 10 then Alcotest.(check int) "early await" i (Pool.await fut))
+    futs;
+  Pool.shutdown pool;
+  Alcotest.(check int) "all tasks ran exactly once" n (Atomic.get ran);
+  Alcotest.check_raises "closed after drain"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      ignore (Pool.submit pool (fun () -> 0)))
+
+(* ------------------------------------------------------------------ *)
 (* Parallel exploration determinism: the whole report — schedule
    length, sampled indices, verdicts, counterexample — must be
    digest-identical between a serial and a pooled run. *)
@@ -116,6 +201,34 @@ let parallel_explore_identical scheme workload () =
     "report digest matches serial" (report_digest serial)
     (report_digest pooled)
 
+(* Chunked dispatch must be invisible in the output: for each spec the
+   explore report digest is identical across every (chunk, -j) pairing,
+   including chunks larger than the whole injection plan. *)
+let chunked_explore_identical scheme workload () =
+  let s = Engine.defaults ~ops:10 ~scheme ~workload () in
+  let expected = report_digest (Engine.explore s ~budget:20) in
+  List.iter
+    (fun jobs ->
+      Pool.with_pool jobs (fun pool ->
+          List.iter
+            (fun chunk ->
+              Alcotest.(check string)
+                (Printf.sprintf "chunk=%d -j%d = serial" chunk jobs)
+                expected
+                (report_digest (Engine.explore ~pool ~chunk s ~budget:20)))
+            [ 1; 7; 64 ]))
+    [ 1; 4 ]
+
+(* Random chunk sizes (including 0 = auto) against the pure map. *)
+let prop_map_chunks_is_map =
+  QCheck.Test.make ~name:"map_chunks f = List.map f at any chunk size"
+    ~count:25
+    QCheck.(pair (int_bound 40) (list_of_size Gen.(int_range 0 60) small_int))
+    (fun (chunk, xs) ->
+      Pool.with_pool 3 (fun pool ->
+          Pool.map_chunks ~chunk pool (fun x -> (3 * x) + 1) xs
+          = List.map (fun x -> (3 * x) + 1) xs))
+
 (* The figure sweeps route their cells through Exp.pmap; a pooled
    panel must render byte-identically to the serial one. *)
 let parallel_sweep_identical () =
@@ -140,6 +253,13 @@ let suites =
         Alcotest.test_case "create rejects jobs < 1" `Quick invalid_jobs;
         Alcotest.test_case "submit after shutdown rejected" `Quick
           submit_after_shutdown;
+        Alcotest.test_case "1000 uneven tasks keep submission order" `Quick
+          stress_ordering;
+        Alcotest.test_case "exceptions re-raise with backtrace under load"
+          `Quick stress_exception_backtrace;
+        Alcotest.test_case "shutdown drains 1000 queued tasks" `Quick
+          stress_shutdown_under_load;
+        qtest prop_map_chunks_is_map;
       ] );
     ( "pool-drivers",
       [
@@ -147,6 +267,10 @@ let suites =
           (parallel_explore_identical Scheme.Ido "queue");
         Alcotest.test_case "explore atlas/stack: -j4 = serial" `Quick
           (parallel_explore_identical Scheme.Atlas "stack");
+        Alcotest.test_case "explore ido/queue: every chunk x -j" `Quick
+          (chunked_explore_identical Scheme.Ido "queue");
+        Alcotest.test_case "explore justdo/stack: every chunk x -j" `Quick
+          (chunked_explore_identical Scheme.Justdo "stack");
         Alcotest.test_case "fig6 sweep: pooled = serial" `Quick
           parallel_sweep_identical;
       ] );
