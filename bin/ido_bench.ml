@@ -50,6 +50,16 @@ let ops_arg =
 
 let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Random seed")
 
+let opt_arg =
+  Arg.(
+    value & flag
+    & info [ "opt" ]
+        ~doc:
+          "Run the persistence-redundancy optimizer (verified by \
+           $(b,ido_check optimize)) over the instrumented program before \
+           measuring; the JSON record defaults to the _opt variant of the \
+           output path.")
+
 let jobs_arg =
   Arg.(
     value
@@ -206,12 +216,20 @@ let profile_cmd =
   let out_arg =
     Arg.(
       value
-      & opt string "BENCH_obs.json"
-      & info [ "out" ] ~doc:"Output path for the JSON record")
+      & opt (some string) None
+      & info [ "out" ]
+          ~doc:
+            "Output path for the JSON record (default BENCH_obs.json, or \
+             BENCH_opt.json under --opt)")
   in
-  let run scheme workload threads ops seed out =
+  let run scheme workload threads ops seed opt out =
+    let out =
+      match out with
+      | Some o -> o
+      | None -> if opt then "BENCH_opt.json" else "BENCH_obs.json"
+    in
     let program = Ido_workloads.Workload.named workload in
-    let p = Exp.profile ~seed ~scheme ~threads ~total_ops:ops program in
+    let p = Exp.profile ~seed ~scheme ~threads ~total_ops:ops ~opt program in
     let r = p.Exp.prun in
     let roll = p.Exp.rollup in
     let per_op n = float_of_int n /. float_of_int (max 1 r.Exp.ops) in
@@ -224,6 +242,7 @@ let profile_cmd =
       \  \"scheme\": %S,\n\
       \  \"workload\": %S,\n\
       \  \"threads\": %d,\n\
+      \  \"opt\": %b,\n\
       \  \"ops\": %d,\n\
       \  \"sim_ns\": %d,\n\
       \  \"mops\": %.3f,\n\
@@ -233,8 +252,8 @@ let profile_cmd =
        %.1f},\n\
       \  \"consistency\": %S\n\
        }\n"
-      (Scheme.name scheme) workload threads r.Exp.ops r.Exp.sim_ns r.Exp.mops
-      p.Exp.fases
+      (Scheme.name scheme) workload threads opt r.Exp.ops r.Exp.sim_ns
+      r.Exp.mops p.Exp.fases
       (Ido_obs.Obs.rollup_to_json roll)
       (per_op roll.Ido_obs.Obs.flushes)
       (per_op roll.Ido_obs.Obs.fences)
@@ -258,7 +277,7 @@ let profile_cmd =
     (Cmd.info "profile" ~doc)
     Term.(
       const run $ scheme_arg $ workload_arg $ threads_arg $ ops_arg $ seed_arg
-      $ out_arg)
+      $ opt_arg $ out_arg)
 
 (* Minimal float-field scanner for the baseline record (the harness's
    [Spec.Fields] parses ints and strings only). *)
@@ -478,8 +497,11 @@ let serve_cmd =
   let out_arg =
     Arg.(
       value
-      & opt string "BENCH_serve.json"
-      & info [ "out" ] ~doc:"Output path for the JSON record")
+      & opt (some string) None
+      & info [ "out" ]
+          ~doc:
+            "Output path for the JSON record (default BENCH_serve.json, or \
+             BENCH_serve_opt.json under --opt)")
   in
   let requests_arg =
     Arg.(
@@ -506,12 +528,17 @@ let serve_cmd =
              shard; 0 = auto-size).  Cells are byte-identical at every \
              chunk size.")
   in
-  let run workload seed requests period uniform jobs chunk out =
+  let run workload seed requests period uniform opt jobs chunk out =
+    let out =
+      match out with
+      | Some o -> o
+      | None -> if opt then "BENCH_serve_opt.json" else "BENCH_serve.json"
+    in
     with_jobs jobs (fun pool ->
         let zipf = if uniform then None else Some 0.99 in
         let mk scheme shards batch =
           Ido_serve.Config.make ~seed ~shards ~batch ~requests
-            ~period_ns:period ?zipf ~workload ~scheme ()
+            ~period_ns:period ?zipf ~opt ~workload ~scheme ()
         in
         let cells =
           List.concat_map
@@ -583,8 +610,8 @@ let serve_cmd =
           $ Arg.(
               value & opt string "kvcache50"
               & info [ "workload" ] ~doc:"Served workload"))
-      $ seed_arg $ requests_arg $ period_arg $ uniform_arg $ jobs_arg
-      $ chunk_arg $ out_arg)
+      $ seed_arg $ requests_arg $ period_arg $ uniform_arg $ opt_arg
+      $ jobs_arg $ chunk_arg $ out_arg)
 
 let () =
   let cmds =

@@ -71,6 +71,14 @@ let strict_arg =
     & info [ "strict" ]
         ~doc:"Shorthand for --oracle atomic (even for origin)")
 
+let opt_arg =
+  Arg.(
+    value & flag
+    & info [ "opt" ]
+        ~doc:
+          "Run the persistence-redundancy optimizer over the instrumented \
+           program before executing")
+
 let jobs_arg =
   Arg.(
     value
@@ -96,9 +104,11 @@ let with_jobs jobs f =
   else if jobs = 1 then f None
   else Ido_util.Pool.with_pool jobs (fun pool -> f (Some pool))
 
-let spec_of scheme workload seed threads ops cache_lines oracle strict =
+let spec_of ?(opt = false) scheme workload seed threads ops cache_lines oracle
+    strict =
   let spec =
-    Engine.defaults ?threads ~ops ~cache_lines ~strict ~seed ~scheme ~workload ()
+    Engine.defaults ?threads ~ops ~cache_lines ~strict ~seed ~opt ~scheme
+      ~workload ()
   in
   match oracle with
   | `Auto -> spec
@@ -130,6 +140,9 @@ let guard f =
       Printf.eprintf "ido_check: %s\n"
         (Ido_analysis.Diag.render (overflow_diag ov));
       3
+  | Ido_opt.Opt.Opt_violation msg ->
+      Printf.eprintf "ido_check: OPTIMIZATION VIOLATION\n%s\n" msg;
+      1
 
 let pp_injection (inj : Engine.injection) =
   Printf.printf "  index %d (%s): %s\n" inj.index
@@ -144,10 +157,12 @@ let explore_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print every injection")
   in
-  let run scheme workload seed threads ops cache_lines oracle strict budget
+  let run scheme workload seed threads ops cache_lines oracle strict opt budget
       verbose jobs chunk =
     guard @@ fun () ->
-    let spec = spec_of scheme workload seed threads ops cache_lines oracle strict in
+    let spec =
+      spec_of ~opt scheme workload seed threads ops cache_lines oracle strict
+    in
     let last = ref 0 in
     let progress k n =
       (* One status line per ~5% on a terminal-unfriendly stream. *)
@@ -182,8 +197,8 @@ let explore_cmd =
     (Cmd.info "explore" ~doc)
     Term.(
       const run $ scheme_arg $ workload_arg $ seed_arg $ threads_arg $ ops_arg
-      $ cache_lines_arg $ oracle_arg $ strict_arg $ budget_arg $ verbose_arg
-      $ jobs_arg $ chunk_arg)
+      $ cache_lines_arg $ oracle_arg $ strict_arg $ opt_arg $ budget_arg
+      $ verbose_arg $ jobs_arg $ chunk_arg)
 
 let replay_cmd =
   let doc = "Replay a single crash index from a repro line." in
@@ -193,9 +208,11 @@ let replay_cmd =
       & opt (some int) None
       & info [ "index" ] ~doc:"Crash just before this event index")
   in
-  let run scheme workload seed threads ops cache_lines oracle strict index =
+  let run scheme workload seed threads ops cache_lines oracle strict opt index =
     guard @@ fun () ->
-    let spec = spec_of scheme workload seed threads ops cache_lines oracle strict in
+    let spec =
+      spec_of ~opt scheme workload seed threads ops cache_lines oracle strict
+    in
     let inj = Engine.inject spec index in
     pp_injection inj;
     match inj.Engine.verdict with Ok () -> 0 | Error _ -> 1
@@ -204,7 +221,7 @@ let replay_cmd =
     (Cmd.info "replay" ~doc)
     Term.(
       const run $ scheme_arg $ workload_arg $ seed_arg $ threads_arg $ ops_arg
-      $ cache_lines_arg $ oracle_arg $ strict_arg $ index_arg)
+      $ cache_lines_arg $ oracle_arg $ strict_arg $ opt_arg $ index_arg)
 
 let schedule_cmd =
   let doc = "Print the recorded persist-event schedule (for debugging)." in
@@ -281,7 +298,7 @@ let trace_cmd =
              trace file's header and compare digests (exit 0 iff they \
              match and the rollup reconciles)")
   in
-  let run scheme workload seed threads ops cache_lines oracle strict index
+  let run scheme workload seed threads ops cache_lines oracle strict opt index
       replay_file out =
     guard @@ fun () ->
     match replay_file with
@@ -296,7 +313,8 @@ let trace_cmd =
         if matches && tr.Engine.t_consistency = Ok () then 0 else 1
     | None ->
         let spec =
-          spec_of scheme workload seed threads ops cache_lines oracle strict
+          spec_of ~opt scheme workload seed threads ops cache_lines oracle
+            strict
         in
         let tr = Engine.run_traced ?index spec in
         (match out with
@@ -311,8 +329,8 @@ let trace_cmd =
     (Cmd.info "trace" ~doc)
     Term.(
       const run $ scheme_arg $ workload_arg $ seed_arg $ threads_arg $ ops_arg
-      $ cache_lines_arg $ oracle_arg $ strict_arg $ index_arg $ replay_arg
-      $ out_arg)
+      $ cache_lines_arg $ oracle_arg $ strict_arg $ opt_arg $ index_arg
+      $ replay_arg $ out_arg)
 
 let pp_diag d = print_endline ("  " ^ Ido_analysis.Diag.render d)
 
@@ -354,19 +372,32 @@ let lint_cmd =
              program (the exit status then demonstrates the failure \
              path)")
   in
-  let run scheme workload explain mutant jobs =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit diagnostics as one NDJSON object per line \
+             (func/pos/code/message, byte-stable) instead of the text \
+             report")
+  in
+  let run scheme workload explain mutant json jobs chunk =
     guard @@ fun () ->
+    let pp_json d = print_endline (Ido_analysis.Diag.json d) in
     match mutant with
     | Some n -> (
         match Ido_lint.Mutate.find n with
         | None -> invalid_arg (Printf.sprintf "unknown mutant %S" n)
         | Some m ->
             let o = Lintrun.run_mutant m in
-            Printf.printf "%s on %s (mutant %s): %d diagnostic(s)\n"
-              (Scheme.name m.Ido_lint.Mutate.scheme)
-              m.Ido_lint.Mutate.workload m.Ido_lint.Mutate.name
-              (List.length o.Lintrun.mdiags);
-            List.iter pp_diag o.Lintrun.mdiags;
+            if json then List.iter pp_json o.Lintrun.mdiags
+            else begin
+              Printf.printf "%s on %s (mutant %s): %d diagnostic(s)\n"
+                (Scheme.name m.Ido_lint.Mutate.scheme)
+                m.Ido_lint.Mutate.workload m.Ido_lint.Mutate.name
+                (List.length o.Lintrun.mdiags);
+              List.iter pp_diag o.Lintrun.mdiags
+            end;
             if o.Lintrun.mdiags = [] then 0 else 1)
     | None ->
     let schemes = match scheme with Some s -> [ s ] | None -> Scheme.all in
@@ -376,31 +407,36 @@ let lint_cmd =
       | None -> Ido_workloads.Workload.names
     in
     let pairs =
-      with_jobs jobs (fun pool -> Lintrun.sweep ?pool ~schemes ~workloads ())
+      with_jobs jobs (fun pool ->
+          Lintrun.sweep ?pool ~chunk ~schemes ~workloads ())
     in
     let dirty = List.filter (fun p -> p.Lintrun.diags <> []) pairs in
-    List.iter
-      (fun (p : Lintrun.pair) ->
-        Printf.printf "%s on %s: %d diagnostic(s)\n" (Scheme.name p.scheme)
-          p.workload
-          (List.length p.diags);
-        List.iter pp_diag p.diags)
-      dirty;
-    Printf.printf "linted %d pair(s): %d clean, %d with diagnostics\n"
-      (List.length pairs)
-      (List.length pairs - List.length dirty)
-      (List.length dirty);
-    if explain then
+    if json then
+      List.iter (fun (p : Lintrun.pair) -> List.iter pp_json p.diags) dirty
+    else begin
       List.iter
-        (fun (c, s) -> Printf.printf "  %s  %s\n" c s)
-        Ido_lint.Lint.codes;
+        (fun (p : Lintrun.pair) ->
+          Printf.printf "%s on %s: %d diagnostic(s)\n" (Scheme.name p.scheme)
+            p.workload
+            (List.length p.diags);
+          List.iter pp_diag p.diags)
+        dirty;
+      Printf.printf "linted %d pair(s): %d clean, %d with diagnostics\n"
+        (List.length pairs)
+        (List.length pairs - List.length dirty)
+        (List.length dirty);
+      if explain then
+        List.iter
+          (fun (c, s) -> Printf.printf "  %s  %s\n" c s)
+          Ido_lint.Lint.codes
+    end;
     if dirty = [] then 0 else 1
   in
   Cmd.v
     (Cmd.info "lint" ~doc)
     Term.(
       const run $ all_scheme_arg $ all_workload_arg $ explain_arg $ mutant_arg
-      $ jobs_arg)
+      $ json_arg $ jobs_arg $ chunk_arg)
 
 let mutants_cmd =
   let doc =
@@ -419,7 +455,7 @@ let mutants_cmd =
       value & flag
       & info [ "verbose"; "v" ] ~doc:"Print every mutant's diagnostics")
   in
-  let run name verbose jobs =
+  let run name verbose jobs chunk =
     guard @@ fun () ->
     let outcomes =
       match name with
@@ -427,7 +463,7 @@ let mutants_cmd =
           match Ido_lint.Mutate.find n with
           | Some m -> [ Lintrun.run_mutant m ]
           | None -> invalid_arg (Printf.sprintf "unknown mutant %S" n))
-      | None -> with_jobs jobs (fun pool -> Lintrun.run_corpus ?pool ())
+      | None -> with_jobs jobs (fun pool -> Lintrun.run_corpus ?pool ~chunk ())
     in
     List.iter
       (fun (o : Lintrun.outcome) ->
@@ -445,7 +481,7 @@ let mutants_cmd =
   in
   Cmd.v
     (Cmd.info "mutants" ~doc)
-    Term.(const run $ name_arg $ verbose_arg $ jobs_arg)
+    Term.(const run $ name_arg $ verbose_arg $ jobs_arg $ chunk_arg)
 
 let fuzz_cmd =
   let doc =
@@ -512,7 +548,7 @@ let fuzz_cmd =
       & info [ "shrink-budget" ] ~doc:"Extra executions per finding")
   in
   let run seed budget scheme workload rediscover min_found out shrink_budget
-      jobs chunk =
+      opt jobs chunk =
     guard @@ fun () ->
     let d = Ido_fuzz.Fuzz.default_config in
     let config =
@@ -521,6 +557,7 @@ let fuzz_cmd =
         budget;
         rediscover;
         shrink_budget;
+        opt;
         schemes =
           (match scheme with
           | Some s -> [ s ]
@@ -553,8 +590,81 @@ let fuzz_cmd =
     (Cmd.info "fuzz" ~doc)
     Term.(
       const run $ fseed_arg $ budget_arg $ fscheme_arg $ fworkload_arg
-      $ rediscover_arg $ min_found_arg $ out_arg $ shrink_arg $ jobs_arg
-      $ chunk_arg)
+      $ rediscover_arg $ min_found_arg $ out_arg $ shrink_arg $ opt_arg
+      $ jobs_arg $ chunk_arg)
+
+let optimize_cmd =
+  let doc =
+    "Run the persistence-redundancy optimizer over every supported scheme x \
+     workload pair, enforce each rewrite's obligations (re-lint clean, full \
+     crash matrix with identical oracles, digest equality, rollup \
+     reconciliation within the declared delta classes), and report the \
+     clwb+fence events eliminated per cell.  Byte-identical output at every \
+     -j and --chunk.  Exit status 0 = all obligations held."
+  in
+  let all_scheme_arg =
+    Term.(
+      const (Option.map resolve_scheme)
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "scheme" ] ~doc:"Restrict to one scheme (default: all)"))
+  in
+  let all_workload_arg =
+    Term.(
+      const (Option.map resolve_workload)
+      $ Arg.(
+          value
+          & opt (some string) None
+          & info [ "workload" ] ~doc:"Restrict to one workload (default: all)"))
+  in
+  let budget_arg =
+    Arg.(
+      value & opt int 300
+      & info [ "budget" ]
+          ~doc:"Max injected crashes per cell's obligation matrix")
+  in
+  let verbose_arg =
+    Arg.(
+      value & flag
+      & info [ "verbose"; "v" ] ~doc:"Print every applied rewrite")
+  in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ] ~doc:"Append the O1xx rewrite table to the report")
+  in
+  let run scheme workload budget verbose explain jobs chunk =
+    guard @@ fun () ->
+    let schemes = match scheme with Some s -> [ s ] | None -> Scheme.all in
+    let workloads =
+      match workload with
+      | Some w -> [ w ]
+      | None -> Ido_workloads.Workload.names
+    in
+    let cells =
+      with_jobs jobs (fun pool ->
+          Optrun.sweep ?pool ~chunk ~schemes ~workloads ~budget ())
+    in
+    print_string (Optrun.render cells);
+    if verbose then
+      List.iter
+        (fun (c : Optrun.cell) ->
+          List.iter
+            (fun r -> print_endline ("  " ^ Ido_opt.Rewrite.render r))
+            c.Optrun.o_rewrites)
+        cells;
+    if explain then
+      List.iter
+        (fun (code, s) -> Printf.printf "  %s  %s\n" code s)
+        Ido_opt.Rewrite.codes;
+    0
+  in
+  Cmd.v
+    (Cmd.info "optimize" ~doc)
+    Term.(
+      const run $ all_scheme_arg $ all_workload_arg $ budget_arg $ verbose_arg
+      $ explain_arg $ jobs_arg $ chunk_arg)
 
 let serve_crash_cmd =
   let doc =
@@ -637,5 +747,5 @@ let () =
        (Cmd.group info
           [
             explore_cmd; replay_cmd; schedule_cmd; trace_cmd; lint_cmd;
-            mutants_cmd; fuzz_cmd; serve_crash_cmd;
+            mutants_cmd; fuzz_cmd; optimize_cmd; serve_crash_cmd;
           ]))

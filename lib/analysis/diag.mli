@@ -30,6 +30,14 @@ val render : t -> string
 (** ["func: [code] message at (b,i)"] — the canonical one-line form
     used by the legacy [string list] APIs and the CLI. *)
 
+val json : t -> string
+(** One-line NDJSON object with the stable field order
+    [func, pos, code, message]; [pos] is [[blk,idx]] or [null].
+    Shared by [ido_check lint --json] and the optimizer's [O1xx]
+    rewrite reports; byte stability is dune-rule-tested. *)
+
+val json_escape : string -> string
+
 val compare : t -> t -> int
 (** Order by function, position, code — the report order. *)
 

@@ -11,6 +11,7 @@ type spec = {
   ops : int;
   cache_lines : int;
   oracle_mode : Oracle.mode;
+  opt : bool;
 }
 
 let supported scheme workload =
@@ -18,7 +19,7 @@ let supported scheme workload =
   && Oracle.known workload
 
 let defaults ?threads ?ops ?(cache_lines = 4096) ?(strict = false) ?(seed = 42)
-    ~scheme ~workload () =
+    ?(opt = false) ~scheme ~workload () =
   if not (List.mem workload Workload.names) then
     invalid_arg ("Engine.defaults: unknown workload " ^ workload);
   if not (supported scheme workload) then
@@ -35,7 +36,7 @@ let defaults ?threads ?ops ?(cache_lines = 4096) ?(strict = false) ?(seed = 42)
     else match scheme with Scheme.Origin -> Oracle.Prefix | _ -> Oracle.Atomic
   in
   { scheme; workload; seed; threads; ops = Option.value ops ~default:60;
-    cache_lines; oracle_mode }
+    cache_lines; oracle_mode; opt }
 
 (* Conversions to/from the harness {!Ido_harness.Spec.t}: the five
    serialisable fields are shared; the engine adds cache geometry and
@@ -44,7 +45,8 @@ let base_spec (s : spec) : Ido_harness.Spec.t =
   Ido_harness.Spec.make ~seed:s.seed ~obs:true ~scheme:s.scheme
     ~workload:s.workload ~threads:s.threads ~ops:s.ops ()
 
-let of_base ?(cache_lines = 4096) ?oracle_mode (b : Ido_harness.Spec.t) : spec =
+let of_base ?(cache_lines = 4096) ?oracle_mode ?(opt = false)
+    (b : Ido_harness.Spec.t) : spec =
   let oracle_mode =
     match oracle_mode with
     | Some m -> m
@@ -61,6 +63,7 @@ let of_base ?(cache_lines = 4096) ?oracle_mode (b : Ido_harness.Spec.t) : spec =
     ops = b.Ido_harness.Spec.ops;
     cache_lines;
     oracle_mode;
+    opt;
   }
 
 (* A custom run: the same machine lifecycle, injection protocol and
@@ -74,6 +77,7 @@ type custom = {
   c_cache_lines : int;
   c_threads : int;
   c_worker_arg : int64;
+  c_opt : bool;
   c_validate : Ido_vm.Vm.t -> (unit, string) result;
 }
 
@@ -85,6 +89,7 @@ let custom_of_spec (s : spec) =
     c_cache_lines = s.cache_lines;
     c_threads = s.threads;
     c_worker_arg = Int64.of_int s.ops;
+    c_opt = s.opt;
     c_validate = (fun _ -> Ok ());
   }
 
@@ -92,6 +97,7 @@ let custom_config (c : custom) =
   { (Vm.config c.c_scheme) with
     seed = c.c_seed;
     cache_lines = c.c_cache_lines;
+    opt = c.c_opt;
     (* Each injection run starts from a pristine machine; the bounded
        check workloads fit comfortably in 1M words (8 MiB), an 8x
        saving over the benchmark default. *)
@@ -222,9 +228,10 @@ let mode_name = function Oracle.Atomic -> "atomic" | Oracle.Prefix -> "prefix"
 let repro_line spec index =
   Printf.sprintf
     "ido_check replay --scheme %s --workload %s --seed %d --threads %d \
-     --ops %d --cache-lines %d --oracle %s --index %d"
+     --ops %d --cache-lines %d --oracle %s --index %d%s"
     (Scheme.name spec.scheme) spec.workload spec.seed spec.threads spec.ops
     spec.cache_lines (mode_name spec.oracle_mode) index
+    (if spec.opt then " --opt" else "")
 
 (* Crash indices to visit: ascending, so the first violation of an
    exhaustive run is already minimal.  Sampled mode picks one index

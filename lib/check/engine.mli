@@ -30,6 +30,9 @@ type spec = {
   ops : int;  (** operations per worker thread *)
   cache_lines : int;
   oracle_mode : Oracle.mode;
+  opt : bool;
+      (** run the persistence-redundancy optimizer ([Ido_opt]) over
+          the instrumented program before executing *)
 }
 
 val supported : Scheme.t -> string -> bool
@@ -43,6 +46,7 @@ val defaults :
   ?cache_lines:int ->
   ?strict:bool ->
   ?seed:int ->
+  ?opt:bool ->
   scheme:Scheme.t ->
   workload:string ->
   unit ->
@@ -61,7 +65,11 @@ val base_spec : spec -> Ido_harness.Spec.t
     via {!Ido_harness.Spec.json_fields}. *)
 
 val of_base :
-  ?cache_lines:int -> ?oracle_mode:Oracle.mode -> Ido_harness.Spec.t -> spec
+  ?cache_lines:int ->
+  ?oracle_mode:Oracle.mode ->
+  ?opt:bool ->
+  Ido_harness.Spec.t ->
+  spec
 (** Rebuild an engine spec from a harness spec, defaulting the cache
     geometry and deriving the oracle mode from the scheme ([Prefix]
     for Origin, [Atomic] otherwise) unless overridden. *)
@@ -173,6 +181,7 @@ type custom = {
   c_cache_lines : int;
   c_threads : int;
   c_worker_arg : int64;  (** argument passed to each ["worker"] spawn *)
+  c_opt : bool;  (** optimize the instrumented program before running *)
   c_validate : Ido_vm.Vm.t -> (unit, string) result;
 }
 

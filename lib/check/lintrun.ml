@@ -14,12 +14,14 @@ let lint_pair scheme workload =
   let p = Instrument.instrument scheme (Workload.named workload) in
   Lint.lint_program scheme p
 
-let map_maybe_pool pool f xs =
-  match pool with
-  | Some pool when Ido_util.Pool.size pool > 1 -> Ido_util.Pool.map_list pool f xs
-  | _ -> List.map f xs
+(* [opt_map_list] degrades to [List.map] without a pool and keeps
+   submission order either way, so sweeps stay byte-identical at every
+   [-j] and every [--chunk]. *)
+let map_maybe_pool ?chunk pool f xs =
+  Ido_util.Pool.opt_map_list ?chunk pool f xs
 
-let sweep ?pool ?(schemes = Scheme.all) ?(workloads = Workload.names) () =
+let sweep ?pool ?chunk ?(schemes = Scheme.all) ?(workloads = Workload.names) ()
+    =
   let pairs =
     List.concat_map
       (fun workload ->
@@ -30,7 +32,7 @@ let sweep ?pool ?(schemes = Scheme.all) ?(workloads = Workload.names) () =
           schemes)
       workloads
   in
-  map_maybe_pool pool
+  map_maybe_pool ?chunk pool
     (fun (scheme, workload) ->
       { scheme; workload; diags = lint_pair scheme workload })
     pairs
@@ -53,4 +55,5 @@ let run_mutant (m : Mutate.t) =
   let caught = List.exists (fun d -> d.Diag.code = m.expect) mdiags in
   { mutant = m; mdiags; caught }
 
-let run_corpus ?pool () = map_maybe_pool pool run_mutant Mutate.corpus
+let run_corpus ?pool ?chunk () =
+  map_maybe_pool ?chunk pool run_mutant Mutate.corpus

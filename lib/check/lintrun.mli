@@ -23,13 +23,16 @@ val lint_pair : Scheme.t -> string -> Diag.t list
 
 val sweep :
   ?pool:Ido_util.Pool.t ->
+  ?chunk:int ->
   ?schemes:Scheme.t list ->
   ?workloads:string list ->
   unit ->
   pair list
 (** Lint every supported scheme/workload pair ({!Engine.supported}),
     in deterministic (workload-major) order.  Defaults to all schemes
-    and all {!Ido_workloads.Workload.names}. *)
+    and all {!Ido_workloads.Workload.names}.  [chunk] batches pairs
+    per pool task ({!Ido_util.Pool.opt_map_list}); results are
+    byte-identical at every [-j] and chunk size. *)
 
 type outcome = {
   mutant : Ido_lint.Mutate.t;
@@ -42,5 +45,5 @@ val run_mutant : Ido_lint.Mutate.t -> outcome
     instrumentation; hook-model variants lint the intact program
     against the buggy protocol) and lint. *)
 
-val run_corpus : ?pool:Ido_util.Pool.t -> unit -> outcome list
+val run_corpus : ?pool:Ido_util.Pool.t -> ?chunk:int -> unit -> outcome list
 (** Every {!Ido_lint.Mutate.corpus} entry, in corpus order. *)

@@ -1,0 +1,245 @@
+open Ido_runtime
+open Ido_workloads
+module Obs = Ido_obs.Obs
+module Opt = Ido_opt.Opt
+module Rewrite = Ido_opt.Rewrite
+
+(* Every optimizer rewrite is obligated: the optimized program must
+   re-lint clean, pass the same crash matrix the base program does
+   with identical oracles, and reconcile its crash-free obs rollup
+   against the base run's, with decreases confined to the applied
+   rewrites' declared delta classes.  Any divergence raises
+   {!Ido_opt.Opt.Opt_violation} naming the rewrites — an optimizer
+   that "wins" by breaking recovery is a hard error, never a stat. *)
+
+type cell = {
+  o_scheme : Scheme.t;
+  o_workload : string;
+  o_rewrites : Rewrite.t list;
+  o_base : Obs.rollup;  (** crash-free base rollup over the worker phase *)
+  o_opt : Obs.rollup;  (** same window, optimized program *)
+  o_tested : int;  (** crash points injected on the optimized program *)
+  o_total_events : int;  (** optimized persist-event schedule length *)
+  o_exhaustive : bool;
+}
+
+let persists (r : Obs.rollup) = r.Obs.flushes + r.Obs.fences
+let eliminated c = persists c.o_base - persists c.o_opt
+
+let pct c =
+  let b = persists c.o_base in
+  if b = 0 then 0.0 else 100.0 *. float_of_int (eliminated c) /. float_of_int b
+
+let codes_of rewrites =
+  List.sort_uniq compare (List.map (fun r -> r.Rewrite.code) rewrites)
+
+let name_rewrites rewrites =
+  String.concat "\n" (List.map Rewrite.render rewrites)
+
+(* ---------- rollup reconciliation ---------- *)
+
+(* Crash and recovery counts come from injected crashes, which no
+   rewrite touches: exactly equal, always.  Lock totals are NOT a
+   schedule-independent quantity — hand-over-hand traversals acquire
+   one lock per node visited, and how many nodes a traversal sees
+   depends on where the scheduler interleaves concurrent inserts,
+   which shifts once a rewrite changes per-thread instruction counts.
+   What optimization must preserve is lock discipline: every acquire
+   matched by a release, in both runs.  Evictions are exempt — an
+   emergent cache artifact that can drift either way once clwbs
+   disappear.  Every other field may only decrease, and only when
+   some applied rewrite declares it in its {!Rewrite.delta_class}. *)
+let exact_fields (r : Obs.rollup) =
+  [
+    ("crashes", r.Obs.crashes);
+    ("recovery_steps", r.Obs.recovery_steps);
+  ]
+
+let lock_discipline ~what ~which rewrites (r : Obs.rollup) =
+  if r.Obs.lock_acquires <> r.Obs.lock_releases then
+    Opt.violation
+      "%s: %s run breaks lock discipline (%d acquire(s), %d \
+       release(s))\napplied rewrites:\n%s"
+      what which r.Obs.lock_acquires r.Obs.lock_releases
+      (name_rewrites rewrites)
+
+let bounded_fields (r : Obs.rollup) =
+  [
+    ("stores", r.Obs.stores);
+    ("flushes", r.Obs.flushes);
+    ("fences", r.Obs.fences);
+    ("log_appends", r.Obs.log_appends);
+    ("log_bytes", r.Obs.log_bytes);
+    ("boundaries", r.Obs.boundaries);
+    ("elided_boundaries", r.Obs.elided_boundaries);
+    ("fase_enters", r.Obs.fase_enters);
+    ("fase_exits", r.Obs.fase_exits);
+  ]
+
+let reconcile ~what rewrites (base : Obs.rollup) (opt : Obs.rollup) =
+  let allowed =
+    List.sort_uniq compare
+      (List.concat_map
+         (fun r -> Rewrite.delta_class r.Rewrite.code)
+         rewrites)
+  in
+  List.iter2
+    (fun (f, b) (_, o) ->
+      if b <> o then
+        Opt.violation
+          "%s: rollup field %s must reconcile exactly (base %d, optimized \
+           %d)\napplied rewrites:\n%s"
+          what f b o (name_rewrites rewrites))
+    (exact_fields base) (exact_fields opt);
+  lock_discipline ~what ~which:"base" rewrites base;
+  lock_discipline ~what ~which:"optimized" rewrites opt;
+  List.iter2
+    (fun (f, b) (_, o) ->
+      if o > b then
+        Opt.violation
+          "%s: rollup field %s increased under optimization (base %d, \
+           optimized %d)\napplied rewrites:\n%s"
+          what f b o (name_rewrites rewrites)
+      else if o < b && not (List.mem f allowed) then
+        Opt.violation
+          "%s: rollup field %s decreased (base %d, optimized %d) outside \
+           the delta classes of the applied rewrites (%s)\napplied \
+           rewrites:\n%s"
+          what f b o
+          (String.concat "," allowed)
+          (name_rewrites rewrites))
+    (bounded_fields base) (bounded_fields opt)
+
+(* ---------- one cell ---------- *)
+
+let traced_rollup what rewrites spec =
+  let tr = Engine.run_traced spec in
+  (match tr.Engine.t_consistency with
+  | Ok () -> ()
+  | Error m ->
+      Opt.violation "%s: obs/counter reconciliation failed: %s\napplied \
+                     rewrites:\n%s"
+        what m (name_rewrites rewrites));
+  (Obs.total tr.Engine.t_obs, tr.Engine.t_digest)
+
+let run_cell ?(budget = 300) ~scheme ~workload () =
+  let spec = Engine.defaults ~scheme ~workload () in
+  let what = Printf.sprintf "%s/%s" (Scheme.name scheme) workload in
+  let program =
+    Ido_instrument.Instrument.instrument scheme (Workload.named workload)
+  in
+  let _, rewrites = Opt.optimize scheme program in
+  let base_rollup, base_digest = traced_rollup what rewrites spec in
+  if rewrites = [] then
+    (* no rewrite fired: the optimized program is the base program;
+       the obligations hold syntactically *)
+    {
+      o_scheme = scheme;
+      o_workload = workload;
+      o_rewrites = [];
+      o_base = base_rollup;
+      o_opt = base_rollup;
+      o_tested = 0;
+      o_total_events = 0;
+      o_exhaustive = true;
+    }
+  else begin
+    (* obligation 1: the optimized program re-lints clean *)
+    let optimized, _ =
+      Opt.optimize scheme
+        (Ido_instrument.Instrument.instrument scheme (Workload.named workload))
+    in
+    Opt.lint_obligation scheme optimized rewrites;
+    (* obligation 2: identical oracles across the full crash matrix *)
+    let ospec = { spec with Engine.opt = true } in
+    let report = Engine.explore ospec ~budget in
+    (match report.Engine.violations with
+    | [] -> ()
+    | inj :: _ ->
+        Opt.violation
+          "%s: optimized program fails the crash matrix at index %d (%s): \
+           %s\nrepro: %s\napplied rewrites:\n%s"
+          what inj.Engine.index
+          (Option.value inj.Engine.event ~default:"terminal")
+          (match inj.Engine.verdict with Error m -> m | Ok () -> "ok")
+          (Engine.repro_line ospec inj.Engine.index)
+          (name_rewrites rewrites));
+    (* obligation 3: the crash-free durable image is oracle-identical *)
+    let opt_rollup, opt_digest = traced_rollup what rewrites ospec in
+    if not (String.equal base_digest opt_digest) then
+      Opt.violation
+        "%s: final digest diverged (base %s, optimized %s)\napplied \
+         rewrites:\n%s"
+        what base_digest opt_digest (name_rewrites rewrites);
+    (* obligation 4: only predicted event deltas *)
+    reconcile ~what rewrites base_rollup opt_rollup;
+    {
+      o_scheme = scheme;
+      o_workload = workload;
+      o_rewrites = rewrites;
+      o_base = base_rollup;
+      o_opt = opt_rollup;
+      o_tested = report.Engine.tested;
+      o_total_events = report.Engine.total_events;
+      o_exhaustive = report.Engine.exhaustive;
+    }
+  end
+
+(* ---------- the sweep ---------- *)
+
+let sweep ?pool ?chunk ?(schemes = Scheme.all) ?(workloads = Workload.names)
+    ?budget () =
+  let cells =
+    List.concat_map
+      (fun workload ->
+        List.filter_map
+          (fun scheme ->
+            if Engine.supported scheme workload then Some (scheme, workload)
+            else None)
+          schemes)
+      workloads
+  in
+  Ido_util.Pool.opt_map_list ?chunk pool
+    (fun (scheme, workload) -> run_cell ?budget ~scheme ~workload ())
+    cells
+
+let render_cell c =
+  let codes = codes_of c.o_rewrites in
+  let tally code =
+    List.length (List.filter (fun r -> r.Rewrite.code = code) c.o_rewrites)
+  in
+  let rewrites =
+    if codes = [] then "no rewrites"
+    else
+      String.concat " "
+        (List.map (fun code -> Printf.sprintf "%sx%d" code (tally code)) codes)
+  in
+  let matrix =
+    if c.o_rewrites = [] then "matrix skipped (program unchanged)"
+    else
+      Printf.sprintf "matrix %d/%d ok%s" c.o_tested (c.o_total_events + 1)
+        (if c.o_exhaustive then " (exhaustive)" else "")
+  in
+  Printf.sprintf
+    "%-9s %-8s  %-24s  clwb+fence %6d -> %6d  (-%d, %.1f%%)  %s"
+    (Scheme.name c.o_scheme) c.o_workload rewrites (persists c.o_base)
+    (persists c.o_opt) (eliminated c) (pct c) matrix
+
+let render cells =
+  let lines = List.map render_cell cells in
+  let with_cut =
+    List.filter (fun c -> eliminated c > 0 && pct c >= 10.0) cells
+  in
+  let total_base =
+    List.fold_left (fun a c -> a + persists c.o_base) 0 cells
+  in
+  let total_opt = List.fold_left (fun a c -> a + persists c.o_opt) 0 cells in
+  String.concat "\n"
+    (lines
+    @ [
+        Printf.sprintf
+          "%d cell(s): clwb+fence %d -> %d overall; %d cell(s) at or above \
+           10%% elimination"
+          (List.length cells) total_base total_opt (List.length with_cut);
+      ])
+  ^ "\n"

@@ -19,7 +19,7 @@ type outcome = {
   o_hints : int list;
 }
 
-let instrumented (input : Input.t) =
+let instrumented ?(opt = false) (input : Input.t) =
   let before, after =
     List.partition
       (fun e -> Mutate.edit_stage e = Mutate.Before_instrument)
@@ -30,7 +30,7 @@ let instrumented (input : Input.t) =
       (fun p e -> Mutate.apply_edit e p)
       (Input.source_program input) before
   in
-  let p = Ido_instrument.Instrument.instrument input.Input.scheme src in
+  let p = Ido_instrument.Instrument.instrument ~opt input.Input.scheme src in
   List.fold_left (fun p e -> Mutate.apply_edit e p) p after
 
 let dedup_sorted xs = List.sort_uniq compare xs
@@ -54,10 +54,10 @@ let merge_features sets =
 
 (* ---------- static path ---------- *)
 
-let run_static (input : Input.t) =
+let run_static ~opt (input : Input.t) =
   let scheme_name = Scheme.name input.Input.scheme in
   let shape = Input.base_to_string input.Input.base in
-  match instrumented input with
+  match instrumented ~opt input with
   | exception (Failure msg | Invalid_argument msg) ->
       {
         o_input = input;
@@ -114,11 +114,11 @@ let genome_seed base =
     s;
   1 + (!h mod 1000)
 
-let custom_of_input (input : Input.t) ~validate =
+let custom_of_input ?(opt = false) (input : Input.t) ~validate =
   match input.Input.base with
   | Input.Workload workload ->
       let spec =
-        Engine.defaults ~scheme:input.Input.scheme ~workload ()
+        Engine.defaults ~opt ~scheme:input.Input.scheme ~workload ()
       in
       { (Engine.custom_of_spec spec) with Engine.c_validate = validate }
   | Input.Random _ ->
@@ -129,6 +129,7 @@ let custom_of_input (input : Input.t) ~validate =
         c_cache_lines = (Vm.config input.Input.scheme).Vm.cache_lines;
         c_threads = 1;
         c_worker_arg = 0L;
+        c_opt = opt;
         c_validate = validate;
       }
 
@@ -158,7 +159,7 @@ let classify_verdict msg =
   in
   if is_recovery then "F702" else "F701"
 
-let run_dynamic (input : Input.t) =
+let run_dynamic ~opt (input : Input.t) =
   let scheme_name = Scheme.name input.Input.scheme in
   (* For workload bases the registry oracle is the validator; for
      random genomes the reference heap of the crash-free run is, with
@@ -185,7 +186,7 @@ let run_dynamic (input : Input.t) =
         | Some _ -> Error "torn heap: neither reference nor initial state"
         | None -> Error "internal: reference heap missing")
   in
-  match custom_of_input input ~validate:(fun _ -> Ok ()) with
+  match custom_of_input ~opt input ~validate:(fun _ -> Ok ()) with
   | exception (Failure msg | Invalid_argument msg) ->
       {
         o_input = input;
@@ -269,8 +270,9 @@ let run_dynamic (input : Input.t) =
             o_hints = hints_of_schedule evs;
           })
 
-let run input =
-  if Input.static_only input then run_static input else run_dynamic input
+let run ?(opt = false) input =
+  if Input.static_only input then run_static ~opt input
+  else run_dynamic ~opt input
 
 let primary_code o =
   match o.o_failure with

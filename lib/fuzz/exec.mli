@@ -35,12 +35,16 @@ type outcome = {
           where region boundaries and FASE transitions persist *)
 }
 
-val instrumented : Input.t -> Ido_ir.Ir.program
-(** The input's program after stage-ordered edits and instrumentation.
+val instrumented : ?opt:bool -> Input.t -> Ido_ir.Ir.program
+(** The input's program after stage-ordered edits and instrumentation;
+    [~opt:true] additionally runs the persistence-redundancy optimizer
+    ([Ido_opt]) between instrumentation and the [After_instrument]
+    edits, mirroring the VM's own load path.
     @raise Failure when an edit or the instrumenter rejects it. *)
 
-val run : Input.t -> outcome
-(** Deterministic: same input, same outcome (features included). *)
+val run : ?opt:bool -> Input.t -> outcome
+(** Deterministic: same input (and [opt]), same outcome (features
+    included). *)
 
 val primary_code : outcome -> string option
 (** The first failure code, the finding's identity for deduplication

@@ -12,6 +12,9 @@ type config = {
   workloads : string list;
   rediscover : bool;
   shrink_budget : int;
+  opt : bool;
+      (* fuzz the optimized pipeline: every candidate is additionally
+         run through the persistence-redundancy optimizer (Ido_opt) *)
 }
 
 let default_config =
@@ -22,6 +25,7 @@ let default_config =
     workloads = Workload.names;
     rediscover = false;
     shrink_budget = 200;
+    opt = false;
   }
 
 type finding = {
@@ -248,7 +252,7 @@ let run ?pool ?(chunk = 0) config =
      and chunk size. *)
   let eval_batch inputs =
     executions := !executions + List.length inputs;
-    Pool.opt_map_list ~chunk pool Exec.run inputs
+    Pool.opt_map_list ~chunk pool (Exec.run ~opt:config.opt) inputs
   in
   let merge ~seed_stage outcomes =
     List.iter
@@ -265,7 +269,9 @@ let run ?pool ?(chunk = 0) config =
             in
             if not (Hashtbl.mem finding_keys key) then begin
               Hashtbl.replace finding_keys key ();
-              let s = Shrink.shrink ~budget:config.shrink_budget o in
+              let s =
+                Shrink.shrink ~budget:config.shrink_budget ~opt:config.opt o
+              in
               let entry =
                 Corpus.entry_of_outcome Corpus.Finding s.Shrink.s_outcome
               in

@@ -33,6 +33,9 @@ type config = {
       (** seed from clean workloads only and report which mutation-
           corpus entries the campaign re-found unaided *)
   shrink_budget : int;  (** extra executions per finding *)
+  opt : bool;
+      (** fuzz the optimized pipeline: every candidate additionally
+          runs through the persistence-redundancy optimizer *)
 }
 
 val default_config : config

@@ -18,6 +18,7 @@ val candidates : Input.t -> Input.t list
 (** The one-step shrink candidates of an input, each strictly smaller,
     in trial order (exposed for the property tests). *)
 
-val shrink : ?budget:int -> Exec.outcome -> result
-(** [budget] caps total {!Exec.run} calls (default 400).
+val shrink : ?budget:int -> ?opt:bool -> Exec.outcome -> result
+(** [budget] caps total {!Exec.run} calls (default 400); [opt] must
+    match the flag the outcome was produced under so re-runs reproduce.
     @raise Invalid_argument if the outcome is not a failure. *)

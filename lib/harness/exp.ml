@@ -32,7 +32,8 @@ type run = {
   clwbs : int;
 }
 
-let boot ?(seed = 42) ?latency ?(collect_region_stats = false) scheme program =
+let boot ?(seed = 42) ?latency ?(collect_region_stats = false) ?(opt = false)
+    scheme program =
   let base = Vm.config scheme in
   let cfg =
     {
@@ -40,6 +41,7 @@ let boot ?(seed = 42) ?latency ?(collect_region_stats = false) scheme program =
       seed;
       latency = Option.value ~default:base.Vm.latency latency;
       collect_region_stats;
+      opt;
     }
   in
   let m = Vm.create cfg program in
@@ -72,11 +74,13 @@ type profile = {
    name); the spec's [obs] flag decides whether the run carries an
    unbuffered observability sink reconciled against the pmem
    counters. *)
-let measure ?program (s : Spec.t) =
+let measure ?program ?(opt = false) (s : Spec.t) =
   let program =
     match program with Some p -> p | None -> Spec.program s
   in
-  let m = boot ~seed:s.Spec.seed ?latency:s.Spec.latency s.Spec.scheme program in
+  let m =
+    boot ~seed:s.Spec.seed ?latency:s.Spec.latency ~opt s.Spec.scheme program
+  in
   let c0 = Pmem.counters (Vm.pmem m) in
   let stores0 = c0.Pmem.stores
   and writebacks0 = c0.Pmem.writebacks
@@ -175,8 +179,8 @@ let throughput ?seed ?latency ?collect_region_stats ~scheme ~threads ~total_ops
             ()))
         .prun
 
-let profile ?seed ?latency ~scheme ~threads ~total_ops program =
-  measure ~program
+let profile ?seed ?latency ?opt ~scheme ~threads ~total_ops program =
+  measure ~program ?opt
     (spec_of_legacy ?seed ?latency ~obs:true ~scheme ~threads ~total_ops ())
 
 type crash_report = {

@@ -50,7 +50,7 @@ type profile = {
           deltas of the measured window *)
 }
 
-val measure : ?program:Ir.program -> Spec.t -> profile
+val measure : ?program:Ir.program -> ?opt:bool -> Spec.t -> profile
 (** The measurement entry point: initialise, make the setup durable,
     run [spec.threads] workers of [spec.ops] operations each to
     completion, and report.  With [spec.obs] set, an unbuffered
@@ -62,7 +62,9 @@ val measure : ?program:Ir.program -> Spec.t -> profile
     [?program] substitutes a custom-parameterised program for the
     registry's (the figure sweeps size workloads beyond what the
     registry names); the spec's [workload] field is then only a
-    label. *)
+    label.  [?opt] runs the persistence-redundancy optimizer
+    ([Ido_opt]) over the instrumented program before execution — the
+    same pipeline [ido_check optimize] verifies. *)
 
 type crash_report = {
   crashed_at : Timebase.ns;
@@ -99,6 +101,7 @@ val throughput :
 val profile :
   ?seed:int ->
   ?latency:Ido_nvm.Latency.t ->
+  ?opt:bool ->
   scheme:Scheme.t ->
   threads:int ->
   total_ops:int ->

@@ -190,10 +190,11 @@ let instrument_func scheme (f : Ir.func) =
         rewrite f ~cut_at:no_cuts ~pre ~post:enter_exit_post ~replace:keep
   end
 
-let instrument ?(lint = false) scheme (p : Ir.program) =
+let instrument ?(lint = false) ?(opt = false) scheme (p : Ir.program) =
   let p' =
     { Ir.funcs = List.map (fun (name, f) -> (name, instrument_func scheme f)) p.funcs }
   in
+  let p' = if opt then fst (Ido_opt.Opt.optimize scheme p') else p' in
   if lint then begin
     match Ido_lint.Lint.lint_program scheme p' with
     | [] -> ()

@@ -32,7 +32,7 @@ open Ido_runtime
 
 val instrument_func : Scheme.t -> Ir.func -> Ir.func
 
-val instrument : ?lint:bool -> Scheme.t -> Ir.program -> Ir.program
+val instrument : ?lint:bool -> ?opt:bool -> Scheme.t -> Ir.program -> Ir.program
 (** Instrument every function.  With [~lint:true] the result is passed
     through the static crash-consistency linter
     ({!Ido_lint.Lint.lint_program}) as a post-pass and [Failure] is

@@ -1,0 +1,42 @@
+(** Must-captured-cell dataflow over an instrumented function.
+
+    Tracks, per program point, the set of stable cells ({!Sym.expr})
+    whose old value is already captured by the scheme's per-store log
+    in the current protection window — the fact that makes a second
+    grant for the same cell redundant under the undo/redo/page-log
+    disciplines ({!Hook_model.grant_elidable}).  Captures come from
+    adjacent [grant hook; store] pairs and from {e hoisted} grant
+    hooks whose unique consumer store this module resolves.  Joins
+    intersect (a capture must hold on {e every} incoming path) and any
+    protection-structure change resets the set.
+
+    Both the linter ({!Transfer}) and the optimizer ([Ido_opt]) consume
+    this analysis, which is what keeps them agreeing by construction:
+    a grant the optimizer deletes is exactly one the linter excuses. *)
+
+open Ido_ir
+open Ido_runtime
+
+type cls =
+  | Adjacent  (** the next instruction is the consuming store *)
+  | Hoisted of Sym.expr
+      (** detached, but every path reaching a store consumes it for
+          this one stable cell (loop-preheader hoist) *)
+  | Orphan  (** detached with no resolvable consumer — an L202 *)
+
+type t
+
+val compute : Scheme.t -> Ir.func -> t
+
+val classify : t -> Ir.pos -> cls
+(** Classification of the grant hook at [pos]; [Orphan] for positions
+    that hold no grant hook. *)
+
+val captured_before : t -> Ir.pos -> Sym.expr list
+(** Sorted cells captured on every path to just before [pos]. *)
+
+val mem : t -> Ir.pos -> Sym.expr -> bool
+
+val clears : Ir.instr -> bool
+(** Does this instruction end the capture window (lock operations,
+    durable/txn boundaries, commits, calls, writing intrinsics)? *)

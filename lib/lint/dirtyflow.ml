@@ -1,0 +1,64 @@
+open Ido_ir
+open Ido_runtime
+
+type t = { func : Ir.func; scheme : Scheme.t; ins : bool array }
+
+(* Instructions that may dirty in-FASE program data under [scheme] —
+   the same set Transfer's [store_dirties_data] tracks, widened to be
+   context-insensitive (a store outside protection still marks the
+   function dirty here; may-analysis errs toward "dirty"). *)
+let dirties scheme = function
+  | Ir.Store { space = Ir.Persistent; _ } -> true
+  | Ir.Store { space = Ir.Stack; _ } -> (
+      match scheme with Scheme.Ido | Scheme.Justdo -> true | _ -> false)
+  | Ir.Call _ -> true
+  | Ir.Intrinsic { intr = Ir.Nv_alloc | Ir.Nv_free | Ir.Root_set; _ } -> true
+  | _ -> false
+
+(* Points where the runtime's tracked-line set is known empty again:
+   FASE entry resets it, a durable-commit hook flushes and fences it. *)
+let clears = function
+  | Ir.Hook Ir.Hfase_enter | Ir.Hook Ir.Hdurable_commit -> true
+  | _ -> false
+
+let step scheme dirty instr =
+  if clears instr then false else dirty || dirties scheme instr
+
+let block_out scheme (blk : Ir.block) dirty0 =
+  Array.fold_left (step scheme) dirty0 blk.Ir.instrs
+
+let compute scheme (func : Ir.func) =
+  let n = Array.length func.Ir.blocks in
+  let ins = Array.make n false in
+  let reached = Array.make n false in
+  reached.(0) <- true;
+  let work = Queue.create () in
+  Queue.add 0 work;
+  let on_queue = Array.make n false in
+  on_queue.(0) <- true;
+  while not (Queue.is_empty work) do
+    let b = Queue.pop work in
+    on_queue.(b) <- false;
+    let out = block_out scheme func.Ir.blocks.(b) ins.(b) in
+    List.iter
+      (fun s ->
+        let joined = (reached.(s) && ins.(s)) || out in
+        if (not reached.(s)) || joined <> ins.(s) then begin
+          reached.(s) <- true;
+          ins.(s) <- joined;
+          if not on_queue.(s) then begin
+            on_queue.(s) <- true;
+            Queue.add s work
+          end
+        end)
+      (Ir.successors func.Ir.blocks.(b).Ir.term)
+  done;
+  { func; scheme; ins }
+
+let dirty_at t (pos : Ir.pos) =
+  let blk = t.func.Ir.blocks.(pos.Ir.blk) in
+  let dirty = ref t.ins.(pos.Ir.blk) in
+  for i = 0 to pos.Ir.idx - 1 do
+    dirty := step t.scheme !dirty blk.Ir.instrs.(i)
+  done;
+  !dirty

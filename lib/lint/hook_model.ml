@@ -326,6 +326,23 @@ let log_grant_hook = function
 
 let tracks_stack_stores = function Scheme.Justdo -> true | _ -> false
 
+(* Which schemes keep their per-store grant sound when a cell's second
+   capture in the same FASE/txn is skipped: undo-style logs only need
+   the oldest value (newest-first restore), redo/page logs key by
+   cell/page.  JUSTDO is excluded — every Hjustdo_store re-arms the
+   resumption tuple, so each one is load-bearing. *)
+let grant_elidable = function
+  | Scheme.Atlas | Scheme.Nvml | Scheme.Nvthreads | Scheme.Mnemosyne -> true
+  | Scheme.Justdo | Scheme.Ido | Scheme.Origin -> false
+
+(* Which schemes tolerate a grant hook separated from its store (the
+   loop-preheader hoist): the hook arms a capture that the next
+   qualifying store consumes; Mnemosyne's txn_store resolves its own
+   log entry so hoisting buys nothing and stays disallowed. *)
+let grant_hoistable = function
+  | Scheme.Atlas | Scheme.Nvml | Scheme.Nvthreads -> true
+  | _ -> false
+
 let unlock_durable_cells = function
   | Scheme.Ido -> [ "lockrec"; "pc" ]
   | Scheme.Justdo -> [ "lockrec" ]

@@ -55,6 +55,17 @@ val log_grant_hook : Scheme.t -> Ir.hook option
 val tracks_stack_stores : Scheme.t -> bool
 (** JUSTDO logs stack stores too (NVM-resident stacks). *)
 
+val grant_elidable : Scheme.t -> bool
+(** May a second capture of an already-captured cell be skipped in the
+    same FASE/txn under this scheme's log discipline?  True for the
+    undo/redo/page-log schemes (the first capture carries recovery);
+    false for JUSTDO, whose every store hook re-arms the resumption
+    tuple. *)
+
+val grant_hoistable : Scheme.t -> bool
+(** May the grant hook sit away from its store (e.g. hoisted to a loop
+    preheader), armed until the next qualifying store consumes it? *)
+
 val unlock_durable_cells : Scheme.t -> string list
 (** Metadata cells that must be fence-durable before an in-FASE
     [Unlock] executes (the "single memory fence" contract: no two

@@ -149,6 +149,61 @@ let hoist_store_above_lock (p : Ir.program) =
       end)
     p
 
+(* Strip every hook from the first function that both writes
+   persistent memory and carries hooks — the write-free FASE elision
+   (O102) fired on a function that is not write-free. *)
+let strip_hooks_in_storing_func (p : Ir.program) =
+  let done_ = ref false in
+  map_program
+    (fun f ->
+      let has pred =
+        Array.exists
+          (fun (blk : Ir.block) -> Array.exists pred blk.Ir.instrs)
+          f.Ir.blocks
+      in
+      let stores = function
+        | Ir.Store { space = Ir.Persistent; _ } -> true
+        | _ -> false
+      and hook = function Ir.Hook _ -> true | _ -> false in
+      if !done_ || not (has stores && has hook) then f
+      else begin
+        done_ := true;
+        {
+          f with
+          Ir.blocks =
+            Array.map
+              (map_block
+                 (List.filter (function Ir.Hook _ -> false | _ -> true)))
+              f.Ir.blocks;
+        }
+      end)
+    p
+
+(* Move the first [pred] instruction after its immediate successor:
+   a capture grant detached from the store it was emitted for — the
+   loop-hoisting rewrite (O104) moved a grant whose consumption it
+   could not actually prove. *)
+let detach_first pred (p : Ir.program) =
+  let done_ = ref false in
+  map_program
+    (fun f ->
+      {
+        f with
+        Ir.blocks =
+          Array.map
+            (map_block (fun instrs ->
+                 let rec go = function
+                   | a :: b :: rest when (not !done_) && pred a ->
+                       done_ := true;
+                       b :: a :: rest
+                   | a :: rest -> a :: go rest
+                   | [] -> []
+                 in
+                 go instrs))
+            f.Ir.blocks;
+      })
+    p
+
 let id p = p
 
 (* ------------------------------------------------------------------ *)
@@ -268,6 +323,42 @@ let corpus =
       stage = Before_instrument;
       variant = None;
       transform = hoist_store_above_lock;
+    };
+    (* -- over-optimization (the Ido_opt rewrites fired past their
+          guards; the lint obligation must catch each) -- *)
+    {
+      name = "over-opt-flush-elim";
+      descr =
+        "O101 over-fires: delete a durable commit whose lines are dirty";
+      scheme = Scheme.Atlas;
+      workload = "queue";
+      expect = "L106";
+      stage = After_instrument;
+      variant = None;
+      transform = delete_first (is_hook Ir.Hdurable_commit);
+    };
+    {
+      name = "over-opt-fase-elide";
+      descr =
+        "O102 over-fires: strip every hook from a function that writes \
+         persistent memory";
+      scheme = Scheme.Justdo;
+      workload = "queue";
+      expect = "L201";
+      stage = After_instrument;
+      variant = None;
+      transform = strip_hooks_in_storing_func;
+    };
+    {
+      name = "over-opt-hoist";
+      descr =
+        "O104 over-fires: detach an undo capture grant from its store";
+      scheme = Scheme.Atlas;
+      workload = "queue";
+      expect = "L202";
+      stage = After_instrument;
+      variant = None;
+      transform = detach_first (is_hook Ir.Hundo_store);
     };
     (* -- runtime protocol variants (L301/L303) -- *)
     {

@@ -101,6 +101,7 @@ let item_str = function
 (* ------------------------------------------------------------------ *)
 
 let compare_sequences scheme fase (f : Ir.func) diags =
+  let df = Dirtyflow.compute scheme f in
   Array.iteri
     (fun b (blk : Ir.block) ->
       (* actual: hooks (filtered) and real instructions, with their
@@ -153,6 +154,17 @@ let compare_sequences scheme fase (f : Ir.func) diags =
                    (if want then "outermost" else "inner"))
               :: !diags
         | e :: exp', a :: act' when e = fst a -> walk exp' act'
+        (* a prescribed durable-commit may be elided (O101) where the
+           tracked-line set is provably clean on every incoming path —
+           there is nothing for the commit to flush *)
+        | Hk Ir.Hdurable_commit :: exp', act
+          when not
+                 (Dirtyflow.dirty_at df
+                    (match act with
+                    | (_, pos) :: _ -> pos
+                    | [] ->
+                        { Ir.blk = b; idx = Array.length blk.Ir.instrs })) ->
+            walk exp' act
         | (Hk h) :: _, act ->
             let pos = match act with (_, p) :: _ -> Some p | [] -> None in
             diags :=
@@ -316,6 +328,18 @@ let check scheme (f : Ir.func) =
                     "function has no FASE yet carries instrumentation hooks";
                 ]
           end
+          else if
+            (not (has_hooks f))
+            && not
+                 (Ir.fold_instrs
+                    (fun acc _ i -> acc || Dirtyflow.dirties scheme i)
+                    false f)
+          then
+            (* write-free FASE with every hook elided (O102): nothing
+               in it needs recovery, so the bare lock structure is the
+               whole contract.  All-or-nothing — a partially stripped
+               function still falls through to the sequence compare. *)
+            ()
           else begin
             compare_sequences scheme fase f diags;
             if scheme = Scheme.Ido then compare_plan f stripped diags

@@ -111,6 +111,7 @@ type ctx = {
   variant : string option;
   func : Ir.func;
   sym : Sym.t;
+  capflow : Capflow.t;
   mutable diags : Diag.t list;
   mutable accesses : access list;
   mutable edges : (Sym.expr * Sym.expr * Ir.pos) list;
@@ -200,7 +201,17 @@ let exec_instr c pos (st, pending) (instr : Ir.instr) =
      (the guarded store); anything else orphans it. *)
   let consume_for_store space =
     if store_needs_grant c.scheme st space then begin
-      if not pending then
+      (* an uncovered store is excused when the cell's old value is
+         provably captured already in this window, under a scheme
+         whose log discipline makes the second capture redundant *)
+      let captured () =
+        Hook_model.grant_elidable c.scheme
+        &&
+        match Sym.resolve_store_addr c.sym pos with
+        | Some cell -> Sym.is_stable cell && Capflow.mem c.capflow pos cell
+        | None -> false
+      in
+      if (not pending) && not (captured ()) then
         diag c ~pos "L201"
           "persistent store inside a FASE is not covered by a %s log hook"
           (match Hook_model.log_grant_hook c.scheme with
@@ -346,6 +357,28 @@ let exec_instr c pos (st, pending) (instr : Ir.instr) =
           (st, false)
           (Hook_model.model ?variant:c.variant c.scheme h)
       in
+      (* a detached grant is not an orphan when it is a resolvable
+         hoisted capture (Capflow consumes it at the loop's store);
+         otherwise pending survives and the next instruction reports
+         L202 as before *)
+      let pending =
+        if pending then begin
+          let blk = c.func.Ir.blocks.(pos.Ir.blk) in
+          let next_is_store =
+            pos.Ir.idx + 1 < Array.length blk.Ir.instrs
+            &&
+            match blk.Ir.instrs.(pos.Ir.idx + 1) with
+            | Ir.Store _ -> true
+            | _ -> false
+          in
+          if next_is_store then true
+          else
+            match Capflow.classify c.capflow pos with
+            | Capflow.Hoisted _ -> false
+            | Capflow.Adjacent | Capflow.Orphan -> true
+        end
+        else pending
+      in
       let st =
         match h with
         | Ir.Htxn_commit ->
@@ -397,6 +430,7 @@ let analyze ?variant scheme (func : Ir.func) =
       variant;
       func;
       sym = Sym.create func;
+      capflow = Capflow.compute scheme func;
       diags = [];
       accesses = [];
       edges = [];

@@ -1,0 +1,49 @@
+open Ido_ir
+open Ido_runtime
+
+exception Opt_violation of string
+
+let violation fmt = Printf.ksprintf (fun s -> raise (Opt_violation s)) fmt
+
+(* Per-function pass order.  O102 subsumes everything (there are no
+   hooks left); otherwise O103 first (delete duplicate adjacent
+   grants), then O104 (hoist the survivors out of loops), then O101
+   (drop clean commits).  Each pass computes its own analyses over the
+   function the previous pass produced. *)
+let optimize_func scheme fname f =
+  let f, r102 = Fasefree.run scheme fname f in
+  if r102 <> [] then (f, r102)
+  else
+    let f, r103 = Dupelim.run scheme fname f in
+    let f, r104 = Hoist.run scheme fname f in
+    let f, r101 = Flushelim.run scheme fname f in
+    (f, List.concat [ r103; r104; r101 ])
+
+let optimize scheme (p : Ir.program) =
+  let acc = ref [] in
+  let funcs =
+    List.map
+      (fun (name, f) ->
+        let f', rs = optimize_func scheme name f in
+        acc := rs :: !acc;
+        (name, f'))
+      p.Ir.funcs
+  in
+  let rewrites = List.sort Rewrite.compare (List.concat (List.rev !acc)) in
+  ({ Ir.funcs }, rewrites)
+
+(* First obligation on an optimized program: it must re-lint clean.
+   The linter was taught exactly the facts the rewrites rely on
+   (Capflow captures, Dirtyflow cleanliness, hook elision for
+   write-free functions), so a diagnostic here means a rewrite
+   over-fired — name the evidence and fail hard. *)
+let lint_obligation scheme optimized rewrites =
+  match Ido_lint.Lint.lint_program scheme optimized with
+  | [] -> ()
+  | diags ->
+      violation
+        "optimized program fails the linter under %s:\n%s\napplied rewrites:\n%s"
+        (Scheme.name scheme)
+        (String.concat "\n"
+           (List.map Ido_analysis.Diag.render diags))
+        (String.concat "\n" (List.map Rewrite.render rewrites))

@@ -9,24 +9,27 @@ type t = {
   requests : int;
   period_ns : int;
   zipf : float option;
+  opt : bool;
 }
 
 let make ?(seed = 42) ?(shards = 1) ?(batch = 1) ?(requests = 1000)
-    ?(period_ns = 1500) ?zipf ~workload ~scheme () =
+    ?(period_ns = 1500) ?zipf ?(opt = false) ~workload ~scheme () =
   if shards < 1 then invalid_arg "Serve: shards must be >= 1";
   if batch < 1 then invalid_arg "Serve: batch must be >= 1";
   if requests < 1 then invalid_arg "Serve: requests must be >= 1";
   if period_ns < 1 then invalid_arg "Serve: period_ns must be >= 1";
-  { workload; scheme; seed; shards; batch; requests; period_ns; zipf }
+  { workload; scheme; seed; shards; batch; requests; period_ns; zipf; opt }
 
 let label c =
-  Printf.sprintf "%s/%s s%d b%d" c.workload (Scheme.name c.scheme) c.shards
+  Printf.sprintf "%s/%s s%d b%d%s" c.workload (Scheme.name c.scheme) c.shards
     c.batch
+    (if c.opt then " opt" else "")
 
 let json_fields c =
   Printf.sprintf
     ({|"workload":"%s","scheme":"%s","seed":%d,"shards":%d,"batch":%d,|}
-   ^^ {|"requests":%d,"period_ns":%d,"zipf":%s|})
+   ^^ {|"requests":%d,"period_ns":%d,"zipf":%s,"opt":%b|})
     c.workload (Scheme.name c.scheme) c.seed c.shards c.batch c.requests
     c.period_ns
     (match c.zipf with None -> "null" | Some e -> Printf.sprintf "%.4f" e)
+    c.opt

@@ -17,6 +17,10 @@ type t = {
   period_ns : int;  (** mean interarrival gap, simulated ns *)
   zipf : float option;
       (** [Some e]: Zipfian keys with exponent [e]; [None]: uniform *)
+  opt : bool;
+      (** serve the optimized program: every shard VM runs the
+          persistence-redundancy optimizer ([Ido_opt]) over its
+          instrumented workload *)
 }
 
 val make :
@@ -26,12 +30,13 @@ val make :
   ?requests:int ->
   ?period_ns:int ->
   ?zipf:float ->
+  ?opt:bool ->
   workload:string ->
   scheme:Scheme.t ->
   unit ->
   t
 (** Defaults: seed 42, 1 shard, batch 1, 1000 requests, 1500 ns mean
-    interarrival, uniform keys.
+    interarrival, uniform keys, optimizer off.
     @raise Invalid_argument on a non-positive count. *)
 
 val label : t -> string

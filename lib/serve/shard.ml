@@ -31,6 +31,7 @@ let vm_config (c : Config.t) ~shard =
   {
     base with
     Vm.seed = c.Config.seed + (31 * (shard + 1));
+    opt = c.Config.opt;
     pmem_words = 1 lsl 22;
     undo_cap = 1 lsl 7;
     redo_cap = 1 lsl 7;

@@ -23,7 +23,9 @@ type run_outcome = [ `Idle | `Until | `Max_steps | `Deadlock ]
 
 let create (config : config) (program : Ir.program) =
   Ido_analysis.Validate.check_program_exn program;
-  let instrumented = Ido_instrument.Instrument.instrument config.scheme program in
+  let instrumented =
+    Ido_instrument.Instrument.instrument ~opt:config.opt config.scheme program
+  in
   let image = Image.build instrumented in
   let rng = Rng.create config.seed in
   let pmem = Pmem.create ~cache_lines:config.cache_lines ~rng:(Rng.split rng) config.pmem_words in
@@ -152,6 +154,7 @@ let make_thread m ~tid ~fname ~args ~stack_base ~stack_in_pmem ~log_node
     region_lines = Lineset.create ();
     fase_lines = Lineset.create ();
     last_lock = 0;
+    armed_grant = Grant_none;
     pending_data_line = -1;
     touched_pages = Hashtbl.create 8;
     txn = None;
@@ -324,6 +327,19 @@ let track_store m (t : thread) a =
 let do_store m (t : thread) where v =
   match where with
   | In_pmem a when m.config.scheme = Scheme.Nvthreads && t.in_fase -> (
+      (* A hoisted Hpage_log (O104) armed the grant; the first in-FASE
+         store consumes it, with exec_page_log's page dedup. *)
+      if t.armed_grant = Grant_page then begin
+        t.armed_grant <- Grant_none;
+        let page = Page_log.page_of a in
+        if not (Hashtbl.mem t.touched_pages page) then begin
+          obs_emit m
+            (Ido_obs.Obs.Log_append
+               { log = "page"; bytes = 8 * Page_log.entry_words });
+          let i = Page_log.log_page t.writer t.log_node ~page in
+          Hashtbl.replace t.touched_pages page i
+        end
+      end;
       match page_copy_slot t a with
       | Some (i, off) ->
           Pwriter.store t.writer (Page_log.copy_word_addr t.log_node i ~off) v;
@@ -337,6 +353,18 @@ let do_store m (t : thread) where v =
       match t.txn with
       | Some txn -> txn_store m t txn a v
       | None ->
+          (* A hoisted Hundo_store armed the grant: capture the old
+             value now, append-before-store exactly as the eager path
+             does. *)
+          if t.armed_grant = Grant_undo then begin
+            t.armed_grant <- Grant_none;
+            let old = Pwriter.load t.writer a in
+            obs_emit m
+              (Ido_obs.Obs.Log_append
+                 { log = "undo"; bytes = 8 * Undo_log.record_words });
+            Undo_log.log_write t.writer t.log_node ~addr:a ~old
+              ~seq:(next_seq m)
+          end;
           Pwriter.store t.writer a v;
           track_store m t a)
   | In_vmem a ->
@@ -361,6 +389,20 @@ let upcoming_store m t fr =
   upcoming m t fr (function
     | Ir.Store { space; base; off; src } -> Some (space, base, off, src)
     | _ -> None)
+
+(* Like [upcoming_store] but total: a grant hook the optimizer hoisted
+   out of a loop (O104) has its consuming store in another block. *)
+let upcoming_store_opt (fr : frame) =
+  let blk = fr.func.blocks.(fr.blk) in
+  let n = Array.length blk.instrs in
+  let rec go i =
+    if i >= n then None
+    else
+      match blk.instrs.(i) with
+      | Ir.Store { space; base; off; src } -> Some (space, base, off, src)
+      | _ -> go (i + 1)
+  in
+  go (fr.idx + 1)
 
 let upcoming_unlock m t fr =
   upcoming m t fr (function Ir.Unlock op -> Some op | _ -> None)
@@ -476,6 +518,7 @@ let undo_record_bytes = 8 * Undo_log.record_words
 
 let exec_fase_enter m (t : thread) _fr =
   t.in_fase <- true;
+  t.armed_grant <- Grant_none;
   (* Every dynamic FASE gets a globally unique id so per-FASE rollups
      never conflate two executions of the same static section. *)
   t.fase_id <- m.next_fase_id;
@@ -506,6 +549,7 @@ let exec_fase_enter m (t : thread) _fr =
   | Scheme.Mnemosyne | Scheme.Origin -> ()
 
 let exec_fase_exit m (t : thread) _fr =
+  t.armed_grant <- Grant_none;
   (match m.config.scheme with
   | Scheme.Atlas ->
       obs_emit m
@@ -552,6 +596,7 @@ let exec_fase_exit m (t : thread) _fr =
   if t.recovery_mode then t.status <- Done
 
 let exec_lock_acquired m (t : thread) _fr =
+  t.armed_grant <- Grant_none;
   let holder = t.last_lock in
   match m.config.scheme with
   | Scheme.Ido ->
@@ -581,6 +626,7 @@ let exec_lock_acquired m (t : thread) _fr =
   | _ -> ()
 
 let exec_lock_release m (t : thread) fr ~outermost =
+  t.armed_grant <- Grant_none;
   match m.config.scheme with
   | Scheme.Ido ->
       (* Clear the lock record; an outermost release also clears the
@@ -651,28 +697,36 @@ let exec_justdo_store m (t : thread) fr =
     ~value:(eval fr src)
 
 let exec_undo_store m (t : thread) fr =
-  let space, base, off, _src = upcoming_store m t fr in
-  match resolve m t fr space base off with
-  | In_pmem a ->
-      let old = Pwriter.load t.writer a in
-      obs_emit m
-        (Ido_obs.Obs.Log_append { log = "undo"; bytes = undo_record_bytes });
-      Undo_log.log_write t.writer t.log_node ~addr:a ~old ~seq:(next_seq m)
-  | In_vmem _ -> ()
+  match upcoming_store_opt fr with
+  | Some (space, base, off, _src) -> (
+      match resolve m t fr space base off with
+      | In_pmem a ->
+          let old = Pwriter.load t.writer a in
+          obs_emit m
+            (Ido_obs.Obs.Log_append { log = "undo"; bytes = undo_record_bytes });
+          Undo_log.log_write t.writer t.log_node ~addr:a ~old ~seq:(next_seq m)
+      | In_vmem _ -> ())
+  | None ->
+      (* No store left in this block: a hoisted grant (O104).  Arm the
+         slot; the consuming store captures its own address, so the
+         append still lands append-before-store. *)
+      t.armed_grant <- Grant_undo
 
 let exec_page_log m (t : thread) fr =
-  let space, base, off, _src = upcoming_store m t fr in
-  match resolve m t fr space base off with
-  | In_pmem a ->
-      let page = Page_log.page_of a in
-      if not (Hashtbl.mem t.touched_pages page) then begin
-        obs_emit m
-          (Ido_obs.Obs.Log_append
-             { log = "page"; bytes = 8 * Page_log.entry_words });
-        let i = Page_log.log_page t.writer t.log_node ~page in
-        Hashtbl.replace t.touched_pages page i
-      end
-  | In_vmem _ -> ()
+  match upcoming_store_opt fr with
+  | Some (space, base, off, _src) -> (
+      match resolve m t fr space base off with
+      | In_pmem a ->
+          let page = Page_log.page_of a in
+          if not (Hashtbl.mem t.touched_pages page) then begin
+            obs_emit m
+              (Ido_obs.Obs.Log_append
+                 { log = "page"; bytes = 8 * Page_log.entry_words });
+            let i = Page_log.log_page t.writer t.log_node ~page in
+            Hashtbl.replace t.touched_pages page i
+          end
+      | In_vmem _ -> ())
+  | None -> t.armed_grant <- Grant_page
 
 let exec_txn_begin m (t : thread) fr =
   let blk = fr.blk and idx = fr.idx in
@@ -758,6 +812,7 @@ let exec_txn_commit m (t : thread) _fr =
       end
 
 let exec_durable_commit m (t : thread) _fr =
+  t.armed_grant <- Grant_none;
   match m.config.scheme with
   | Scheme.Atlas | Scheme.Nvml ->
       (* Flush the FASE's delayed data write-backs (Atlas defers them

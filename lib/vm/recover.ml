@@ -76,6 +76,7 @@ let resume_thread m ~node ~fname ~(pos : Ir.pos) ~regs ~stack ~held =
       region_lines = Lineset.create ();
       fase_lines = Lineset.create ();
       last_lock = 0;
+      armed_grant = Grant_none;
       pending_data_line = -1;
       touched_pages = Hashtbl.create 8;
       txn = None;

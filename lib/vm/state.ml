@@ -19,6 +19,9 @@ type config = {
   redo_cap : int;  (* REDO entries per transaction (Mnemosyne) *)
   page_cap : int;  (* page images per FASE (NVThreads) *)
   collect_region_stats : bool;
+  opt : bool;
+      (* run the persistence-redundancy optimizer (Ido_opt) over the
+         instrumented program at load time *)
   (* Ablation knobs (all on by default; see DESIGN.md ablations): *)
   elide_clean_boundaries : bool;
       (* skip lock-induced boundary persists while the region is clean *)
@@ -40,6 +43,7 @@ let default_config scheme =
     redo_cap = 1 lsl 12;
     page_cap = 64;
     collect_region_stats = false;
+    opt = false;
     elide_clean_boundaries = true;
     coalesce_registers = true;
     single_fence_locks = true;
@@ -68,6 +72,12 @@ type txn = {
 
 type thread_status = Runnable | Blocked | Done
 
+(* A log grant armed by a detached (hoisted) grant hook, consumed by
+   the next qualifying persistent store of the thread.  Adjacent
+   [hook; store] pairs keep the eager capture path; arming only covers
+   the optimizer's loop-preheader hoists (O104). *)
+type armed = Grant_none | Grant_undo | Grant_page
+
 type frame = {
   fname : string;
   func : Ir.func;
@@ -95,6 +105,7 @@ type thread = {
   region_lines : Lineset.t;  (* dirty lines since boundary *)
   fase_lines : Lineset.t;  (* dirty lines since FASE begin *)
   mutable last_lock : int;  (* operand of the last Lock executed *)
+  mutable armed_grant : armed;
   mutable pending_data_line : int;  (* JUSTDO: line awaiting flush; -1 none *)
   touched_pages : (int, int) Hashtbl.t;  (* NVThreads: page -> entry index *)
   mutable txn : txn option;

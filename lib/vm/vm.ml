@@ -13,6 +13,7 @@ type config = State.config = {
   redo_cap : int;
   page_cap : int;
   collect_region_stats : bool;
+  opt : bool;
   elide_clean_boundaries : bool;
   coalesce_registers : bool;
   single_fence_locks : bool;

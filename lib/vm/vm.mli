@@ -32,6 +32,10 @@ type config = State.config = {
   redo_cap : int;
   page_cap : int;
   collect_region_stats : bool;
+  opt : bool;
+      (** run the persistence-redundancy optimizer ([Ido_opt]) over the
+          instrumented program at load time; every applied rewrite is
+          verified (re-lint + crash matrix) by [ido_check optimize] *)
   elide_clean_boundaries : bool;
       (** ablation: skip lock-induced boundary persists for clean
           regions (on in real iDO) *)

@@ -332,6 +332,7 @@ let rediscover_pair () =
       workloads = [ "queue" ];
       rediscover = true;
       shrink_budget = 40;
+      opt = false;
     }
   in
   let r = Fuzz.run ?pool:None config in

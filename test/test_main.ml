@@ -7,4 +7,4 @@ let () =
    @ Test_vm.suites @ Test_runtime.suites @ Test_recovery.suites
    @ Test_workloads.suites @ Test_harness.suites @ Test_check.suites
    @ Test_obs.suites @ Test_pool.suites @ Test_lint.suites
-   @ Test_serve.suites @ Test_fuzz.suites)
+   @ Test_serve.suites @ Test_fuzz.suites @ Test_opt.suites)

@@ -1,0 +1,312 @@
+(* The persistence-redundancy optimizer (Ido_opt).
+
+   Each O1xx rewrite fires on a hand-built minimal trigger with its
+   obligations held (the optimized program lints clean, reaches the
+   same final heap, stays crash-atomic, and never emits more persist
+   traffic than the base program); the over-optimization corpus
+   entries — each modelling one rewrite fired past its guard — are
+   caught by the lint obligation; and, property-checked over the PR-3
+   random-CFG generator, optimization across every scheme preserves
+   lint-cleanliness, crash atomicity, and the persist-event bound. *)
+
+open Ido_ir
+open Ido_runtime
+module Vm = Ido_vm.Vm
+module Pmem = Ido_nvm.Pmem
+module Wcommon = Ido_workloads.Wcommon
+module Instrument = Ido_instrument.Instrument
+module Opt = Ido_opt.Opt
+module Rewrite = Ido_opt.Rewrite
+module Mutate = Ido_lint.Mutate
+module Lintrun = Ido_check.Lintrun
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let codes rewrites =
+  List.sort_uniq compare (List.map (fun r -> r.Rewrite.code) rewrites)
+
+let optimize scheme prog =
+  Opt.optimize scheme (Instrument.instrument scheme prog)
+
+(* ------------------------------------------------------------------ *)
+(* Scaffold: [init] allocates a small cell array (plus two lock
+   words) and publishes it as root 0; [worker] is built to order.     *)
+
+let cells = 8
+
+let with_worker build =
+  let b, _ = Builder.create ~name:"init" ~nparams:0 in
+  let arr = Wcommon.alloc_node b (cells + 2) [] in
+  for i = 0 to cells - 1 do
+    Builder.store b Ir.Persistent (Ir.Reg arr) i
+      (Ir.Imm (Int64.of_int (100 + i)))
+  done;
+  Wcommon.set_root b 0 (Ir.Reg arr);
+  Builder.ret b None;
+  let init = Builder.finish b in
+  let b, _ = Builder.create ~name:"worker" ~nparams:1 in
+  let arr = Wcommon.get_root b 0 in
+  build b arr;
+  Builder.ret b None;
+  { Ir.funcs = [ ("init", init); ("worker", Builder.finish b) ] }
+
+let heap_of m =
+  let pm = Vm.pmem m in
+  let arr = Int64.to_int (Ido_region.Region.get_root (Vm.region m) 0) in
+  Array.init cells (fun i -> Pmem.load pm (arr + i))
+
+let initial_heap = Array.init cells (fun i -> Int64.of_int (100 + i))
+
+(* Crash-free run to completion; persist traffic is measured from the
+   durable-setup point, exactly the window the optimizer may shrink.
+   [heap] abstracts the heap reader: the hand-built triggers and the
+   random-CFG programs size their cell arrays differently. *)
+let run_full_with heap scheme ~opt prog =
+  let m = Vm.create { (Vm.config scheme) with opt } prog in
+  ignore (Vm.spawn m ~fname:"init" ~args:[]);
+  ignore (Vm.run m);
+  Vm.flush_all m;
+  let c0 = Pmem.counters (Vm.pmem m) in
+  let t0 = Vm.clock m in
+  ignore (Vm.spawn m ~fname:"worker" ~args:[ 0L ]);
+  (match Vm.run m with `Idle -> () | _ -> failwith "opt test: run stuck");
+  Vm.flush_all m;
+  let c1 = Pmem.counters (Vm.pmem m) in
+  let persists = c1.Pmem.clwbs - c0.Pmem.clwbs + c1.Pmem.fences - c0.Pmem.fences in
+  (heap m, persists, Vm.clock m - t0)
+
+let run_crash_with heap scheme ~opt prog crash_at =
+  let m = Vm.create { (Vm.config scheme) with opt } prog in
+  ignore (Vm.spawn m ~fname:"init" ~args:[]);
+  ignore (Vm.run m);
+  Vm.flush_all m;
+  let t0 = Vm.clock m in
+  ignore (Vm.spawn m ~fname:"worker" ~args:[ 0L ]);
+  (match Vm.run ~until:(t0 + crash_at) m with
+  | `Until | `Idle -> ()
+  | _ -> failwith "opt test: crash run stuck");
+  Vm.crash m;
+  ignore (Vm.recover m);
+  heap m
+
+let run_full scheme ~opt prog = run_full_with heap_of scheme ~opt prog
+let run_crash scheme ~opt prog at = run_crash_with heap_of scheme ~opt prog at
+
+(* The random-CFG programs allocate Test_idempotence's 16-cell array. *)
+let tfull scheme ~opt prog =
+  run_full_with Test_idempotence.heap_cells scheme ~opt prog
+
+let tcrash scheme ~opt prog at =
+  run_crash_with Test_idempotence.heap_cells scheme ~opt prog at
+
+(* The full obligation bundle on a hand-built trigger: the named
+   rewrite fires, the optimized program re-lints clean, both pipelines
+   reach the same final heap, the optimized run saves persist events,
+   and crash+recovery of the optimized program never exposes a torn
+   heap. *)
+let check_trigger scheme prog code =
+  let optimized, rewrites = optimize scheme prog in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s fires on its trigger (got %s)" code
+       (String.concat "," (codes rewrites)))
+    true
+    (List.mem code (codes rewrites));
+  Opt.lint_obligation scheme optimized rewrites;
+  let base_heap, base_persists, _ = run_full scheme ~opt:false prog in
+  let opt_heap, opt_persists, end_clock = run_full scheme ~opt:true prog in
+  Alcotest.(check bool)
+    (code ^ ": optimized run reaches the base final heap")
+    true (opt_heap = base_heap);
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: persist events do not increase (%d -> %d)" code
+       base_persists opt_persists)
+    true
+    (opt_persists <= base_persists);
+  List.iter
+    (fun frac ->
+      let got =
+        run_crash scheme ~opt:true prog (max 1 (end_clock * frac / 10))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: crash at %d/10 recovers all-or-nothing" code frac)
+        true
+        (got = base_heap || got = initial_heap))
+    [ 1; 3; 5; 7; 9 ]
+
+(* -- O101: the second critical section only reads, so its unlock's
+      durable commit covers provably-clean lines -- *)
+let o101_trigger () =
+  let prog =
+    with_worker (fun b arr ->
+        let l1 = Builder.bin b Ir.Add (Ir.Reg arr) (Ir.Imm (Int64.of_int cells)) in
+        let l2 =
+          Builder.bin b Ir.Add (Ir.Reg arr) (Ir.Imm (Int64.of_int (cells + 1)))
+        in
+        Builder.lock b (Ir.Reg l1);
+        Builder.store b Ir.Persistent (Ir.Reg arr) 0 (Ir.Imm 7L);
+        Builder.unlock b (Ir.Reg l1);
+        Builder.lock b (Ir.Reg l2);
+        ignore (Builder.load b Ir.Persistent (Ir.Reg arr) 1);
+        Builder.unlock b (Ir.Reg l2))
+  in
+  check_trigger Scheme.Atlas prog "O101"
+
+(* -- O102: a write-free critical section needs no hooks at all -- *)
+let o102_trigger () =
+  let prog =
+    with_worker (fun b arr ->
+        let l = Builder.bin b Ir.Add (Ir.Reg arr) (Ir.Imm (Int64.of_int cells)) in
+        Builder.lock b (Ir.Reg l);
+        ignore (Builder.load b Ir.Persistent (Ir.Reg arr) 0);
+        Builder.unlock b (Ir.Reg l))
+  in
+  check_trigger Scheme.Ido prog "O102";
+  (* all-or-nothing: every hook is gone from the optimized worker *)
+  let optimized, _ = optimize Scheme.Ido prog in
+  let worker = List.assoc "worker" optimized.Ir.funcs in
+  Alcotest.(check bool)
+    "O102 strips every hook" false
+    (Array.exists
+       (fun (blk : Ir.block) -> Array.exists Ir.is_hook blk.Ir.instrs)
+       worker.Ir.blocks)
+
+(* -- O103: the same stable cell stored twice in one protection
+      window; the second capture grant duplicates the first -- *)
+let o103_trigger () =
+  let prog =
+    with_worker (fun b arr ->
+        let l = Builder.bin b Ir.Add (Ir.Reg arr) (Ir.Imm (Int64.of_int cells)) in
+        Builder.lock b (Ir.Reg l);
+        Builder.store b Ir.Persistent (Ir.Reg arr) 0 (Ir.Imm 7L);
+        Builder.store b Ir.Persistent (Ir.Reg arr) 0 (Ir.Imm 8L);
+        Builder.unlock b (Ir.Reg l))
+  in
+  check_trigger Scheme.Atlas prog "O103"
+
+(* -- O104: a do-while loop re-capturing the same cell on every
+      iteration; the grant hoists to the preheader -- *)
+let o104_trigger () =
+  let prog =
+    with_worker (fun b arr ->
+        let l = Builder.bin b Ir.Add (Ir.Reg arr) (Ir.Imm (Int64.of_int cells)) in
+        Builder.lock b (Ir.Reg l);
+        let i = Builder.mov b (Ir.Imm 0L) in
+        let body = Builder.block b "body" in
+        let exit_ = Builder.block b "exit" in
+        Builder.br b body;
+        Builder.switch_to b body;
+        Builder.store b Ir.Persistent (Ir.Reg arr) 0 (Ir.Reg i);
+        Builder.assign_bin b i Ir.Add (Ir.Reg i) (Ir.Imm 1L);
+        let c = Builder.bin b Ir.Lt (Ir.Reg i) (Ir.Imm 3L) in
+        Builder.cbr b (Ir.Reg c) body exit_;
+        Builder.switch_to b exit_;
+        Builder.unlock b (Ir.Reg l))
+  in
+  check_trigger Scheme.Atlas prog "O104"
+
+(* ------------------------------------------------------------------ *)
+(* Over-optimization corpus: each entry models one rewrite fired past
+   its guard; the lint obligation must catch all three.               *)
+
+let over_opt_mutants =
+  [ "over-opt-flush-elim"; "over-opt-fase-elide"; "over-opt-hoist" ]
+
+let over_opt_caught () =
+  List.iter
+    (fun name ->
+      match Mutate.find name with
+      | None -> Alcotest.fail (name ^ " missing from the mutation corpus")
+      | Some m ->
+          let o = Lintrun.run_mutant m in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s caught as %s" name m.Mutate.expect)
+            true o.Lintrun.caught)
+    over_opt_mutants
+
+(* ------------------------------------------------------------------ *)
+(* Properties over the PR-3 random-CFG generator.                     *)
+
+let all_schemes = Scheme.all
+
+let runnable_schemes =
+  Scheme.[ Ido; Justdo; Atlas; Mnemosyne; Nvthreads ]
+
+(* Optimization preserves lint-cleanliness for every scheme whose
+   instrumented base program lints clean (all seven are exercised; the
+   implication is vacuous only where the base itself diagnoses). *)
+let prop_optimized_lint_clean =
+  QCheck.Test.make ~name:"optimized random CFGs re-lint clean" ~count:30
+    Test_idempotence.trees_arb
+    (fun trees ->
+      let prog = Test_idempotence.program_of_trees trees in
+      List.for_all
+        (fun scheme ->
+          let base = Instrument.instrument scheme prog in
+          let optimized, rewrites = Opt.optimize scheme base in
+          Ido_lint.Lint.lint_program scheme base <> []
+          ||
+          match Opt.lint_obligation scheme optimized rewrites with
+          | () -> true
+          | exception Opt.Opt_violation msg ->
+              QCheck.Test.fail_reportf "%s: %s" (Scheme.name scheme) msg)
+        all_schemes)
+
+(* Same final heap, and never more persist traffic, on every scheme
+   the random programs can run under. *)
+let prop_optimized_counters_bounded =
+  QCheck.Test.make
+    ~name:"optimization never increases persist events" ~count:15
+    Test_idempotence.trees_arb
+    (fun trees ->
+      let prog = Test_idempotence.program_of_trees trees in
+      List.for_all
+        (fun scheme ->
+          let base_heap, base_persists, _ = tfull scheme ~opt:false prog in
+          let opt_heap, opt_persists, _ = tfull scheme ~opt:true prog in
+          (base_heap = opt_heap && opt_persists <= base_persists)
+          || QCheck.Test.fail_reportf
+               "%s: heap %s, persists %d -> %d" (Scheme.name scheme)
+               (if base_heap = opt_heap then "ok" else "DIVERGED")
+               base_persists opt_persists)
+        runnable_schemes)
+
+(* The optimized program stays crash-atomic at every injection
+   instant: after crash + recovery the heap is the reference or the
+   initial state, never a torn mixture. *)
+let prop_optimized_crash_atomic =
+  QCheck.Test.make
+    ~name:"optimized random CFGs stay crash-atomic" ~count:10
+    Test_idempotence.trees_arb
+    (fun trees ->
+      let prog = Test_idempotence.program_of_trees trees in
+      List.for_all
+        (fun scheme ->
+          let reference, _, end_clock = tfull scheme ~opt:true prog in
+          List.for_all
+            (fun frac ->
+              let got =
+                tcrash scheme ~opt:true prog (max 1 (end_clock * frac / 10))
+              in
+              got = reference || got = Test_idempotence.initial_cells
+              || QCheck.Test.fail_reportf "%s: torn heap at %d/10"
+                   (Scheme.name scheme) frac)
+            [ 2; 5; 8 ])
+        runnable_schemes)
+
+let suites =
+  [
+    ( "opt",
+      [
+        Alcotest.test_case "O101 clean durable commit elided" `Quick
+          o101_trigger;
+        Alcotest.test_case "O102 write-free FASE elided" `Quick o102_trigger;
+        Alcotest.test_case "O103 duplicate capture elided" `Quick o103_trigger;
+        Alcotest.test_case "O104 loop-invariant capture hoisted" `Quick
+          o104_trigger;
+        Alcotest.test_case "over-optimization corpus caught" `Quick
+          over_opt_caught;
+        qtest prop_optimized_lint_clean;
+        qtest prop_optimized_counters_bounded;
+        qtest prop_optimized_crash_atomic;
+      ] );
+  ]
