@@ -489,10 +489,13 @@ let selftime_cmd =
 let serve_cmd =
   let doc =
     "Sharded request-serving benchmark: a seeded open-loop generator \
-     routes requests by key hash to per-shard machines; reports \
-     throughput and p50/p95/p99/max request latency per (scheme x \
-     shards x batch) cell, with obs/counter reconciliation on every \
-     shard.  Output is byte-identical at every -j."
+     streams requests by key hash to per-shard machines (nothing is \
+     materialised; latencies feed a constant-memory quantile sketch); \
+     reports throughput and p50/p95/p99/max request latency per \
+     (scheme x shards x batch) cell, with obs/counter reconciliation \
+     on every shard.  Output is byte-identical at every -j.  \
+     BENCH_SCALE=full appends a 10M-request hmap/ido cell that runs \
+     in bounded RSS."
   in
   let out_arg =
     Arg.(
@@ -540,7 +543,7 @@ let serve_cmd =
           Ido_serve.Config.make ~seed ~shards ~batch ~requests
             ~period_ns:period ?zipf ~opt ~workload ~scheme ()
         in
-        let cells =
+        let sweep =
           List.concat_map
             (fun scheme ->
               List.concat_map
@@ -553,6 +556,25 @@ let serve_cmd =
                 [ 1; 4 ])
             [ Scheme.Ido; Scheme.Justdo ]
         in
+        (* BENCH_SCALE=full: one 10M-request cell — the constant-memory
+           acceptance run (streaming generator + sketch + arena
+           recycling keep RSS flat; CI pins it with ulimit -v).  hmap
+           updates keys in place, so its region footprint is bounded by
+           the key range, not the request count.  No obs sink: the
+           sweep cells above already reconcile every scheme, and the
+           per-event hook would dominate host time at this scale. *)
+        let scale_cells =
+          match Sys.getenv_opt "BENCH_SCALE" with
+          | Some "full" ->
+              [
+                Ido_serve.Serve.run_cell ?pool ~chunk
+                  (Ido_serve.Config.make ~seed ~shards:4 ~batch:8
+                     ~requests:10_000_000 ~period_ns:period ?zipf ~opt
+                     ~workload:"hmap" ~scheme:Scheme.Ido ());
+              ]
+          | _ -> []
+        in
+        let cells = sweep @ scale_cells in
         print_string (Ido_serve.Report.render cells);
         print_newline ();
         let oc = open_out out in
@@ -578,7 +600,7 @@ let serve_cmd =
                 && g.Ido_serve.Config.batch = batch
               then Some c.Ido_serve.Serve.stats.Ido_serve.Lat.p99
               else None)
-            cells
+            sweep
         in
         let pairs =
           List.concat_map

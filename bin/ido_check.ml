@@ -670,7 +670,10 @@ let serve_crash_cmd =
   let doc =
     "Power-fail one shard mid-stream during a sharded serving run, recover \
      it, finish serving the stream, and re-validate every shard's oracle \
-     and obs/counter reconciliation.  Exit status 0 = all shards clean."
+     and obs/counter reconciliation.  The crash point is planned from the \
+     per-shard request counts alone (no stream is materialised), so the \
+     check scales to arbitrarily long streams.  Exit status 0 = all \
+     shards clean."
   in
   let shards_arg =
     Arg.(value & opt int 4 & info [ "shards" ] ~doc:"Key-hash shards")

@@ -19,6 +19,16 @@ let create w region ~tid ~nregs =
   Pwriter.fence w;
   node
 
+(* Hand a finished thread's arena to a fresh thread: a Done owner left
+   recovery_pc = 0 and an empty lock array, but both are re-cleared so
+   the recycled node is clean by construction, not by trust. *)
+let rebind w node ~tid =
+  Lognode.store_tid w node ~tid;
+  Pwriter.store w (node + off_pc) 0L;
+  Pwriter.store w (node + off_bitmap) 0L;
+  Pwriter.clwb_lines w [ node + 1; node + off_pc; node + off_bitmap ];
+  Pwriter.fence w
+
 (* recovery_pc and lock_array entries carry a boundary epoch in their
    high bits (one atomic 8-byte word each).  Recovery re-acquires only
    locks stamped with an epoch older than the pc's: locks taken after

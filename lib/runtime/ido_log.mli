@@ -14,6 +14,12 @@ val lock_slots : int
 
 val create : Pwriter.t -> Region.t -> tid:int -> nregs:int -> Pmem.addr
 
+val rebind : Pwriter.t -> Pmem.addr -> tid:int -> unit
+(** Recycle a finished thread's arena for a fresh thread: rebind the
+    owner tid and re-clear the recovery pc and lock array, one
+    write-back + fence.  Caller must guarantee the previous owner is
+    Done ({!Ido_vm.Vm.reap} recycles only at quiescent points). *)
+
 val set_recovery_pc : Pwriter.t -> Pmem.addr -> epoch:int -> int -> unit
 (** Store + write-back, {e no} fence (step 2 of the boundary).  The
     boundary epoch rides in the word's high bits (one atomic 8-byte

@@ -22,6 +22,18 @@ let create w region ~tid ~nregs =
   Pwriter.fence w;
   node
 
+(* Hand a finished thread's arena to a fresh thread: disarm the
+   resumption tuple and clear the lock machinery so recovery can never
+   attribute the previous owner's state to the new tid. *)
+let rebind w node ~tid =
+  Lognode.store_tid w node ~tid;
+  Pwriter.store w (node + off_valid) 0L;
+  Pwriter.store w (node + off_bitmap) 0L;
+  Pwriter.store w (node + off_intent) 0L;
+  Pwriter.clwb_lines w
+    [ node + 1; node + off_valid; node + off_bitmap; node + off_intent ];
+  Pwriter.fence w
+
 (* Arming must be crash-atomic together with the register/stack
    snapshot (see {!snapshot_regs}): real JUSTDO keeps every word of
    this resumption state permanently in NVM (the no-register-caching

@@ -20,6 +20,11 @@ open Ido_region
 
 val create : Pwriter.t -> Region.t -> tid:int -> nregs:int -> Pmem.addr
 
+val rebind : Pwriter.t -> Pmem.addr -> tid:int -> unit
+(** Recycle a finished thread's arena: rebind the owner tid, disarm
+    the resumption tuple, clear lock array and intent word, one
+    write-back + fence.  Previous owner must be Done. *)
+
 val log_store :
   Pwriter.t -> Pmem.addr -> pc:int -> addr:Pmem.addr -> value:int64 -> unit
 (** Persist the JUSTDO entry: stores + write-back + {e one} fence. *)

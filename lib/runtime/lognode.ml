@@ -36,6 +36,10 @@ let push w region ~kind ~tid ~payload_words =
   ignore pm;
   r
 
+(* Unflushed: rebind sequences in the scheme runtimes batch the tid
+   store with their own state resets under one write-back + fence. *)
+let store_tid w addr ~tid = Pwriter.store w (addr + 1) (Int64.of_int tid)
+
 let next pm addr = Int64.to_int (Pmem.load pm addr)
 let tid pm addr = Int64.to_int (Pmem.load pm (addr + 1))
 let kind pm addr = Int64.to_int (Pmem.load pm (addr + 2))

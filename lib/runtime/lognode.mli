@@ -38,6 +38,12 @@ val push : Pwriter.t -> Region.t -> kind:int -> tid:int -> payload_words:int -> 
 val payload_base : int
 (** Offset of the payload within a node (3). *)
 
+val store_tid : Pwriter.t -> Pmem.addr -> tid:int -> unit
+(** Store a new owner tid into a node's prefix, {e without} flushing:
+    the scheme runtimes' [rebind] operations batch it with their own
+    state resets under a single write-back + fence.  Used when a
+    finished thread's log arena is recycled for a fresh spawn. *)
+
 val next : Pmem.t -> Pmem.addr -> Pmem.addr
 (** 0 terminates the list. *)
 

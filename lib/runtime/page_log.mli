@@ -30,6 +30,11 @@ val page_of : Pmem.addr -> int
 
 val create : Pwriter.t -> Region.t -> tid:int -> cap_pages:int -> Pmem.addr
 
+val rebind : Pwriter.t -> Pmem.addr -> tid:int -> unit
+(** Recycle a finished thread's arena: rebind the owner tid, status
+    back to idle, page set emptied, one write-back + fence.  Previous
+    owner must be Done. *)
+
 val begin_fase : Pwriter.t -> Pmem.addr -> seq:int -> unit
 
 val find_page : Pmem.t -> Pmem.addr -> int -> int option

@@ -26,6 +26,16 @@ let create w region ~tid ~cap_entries =
   Pwriter.fence w;
   node
 
+(* Hand a finished thread's arena to a fresh thread: back to Idle with
+   an empty write set, so recovery can neither replay nor discard the
+   previous owner's entries under the new tid. *)
+let rebind w node ~tid =
+  Lognode.store_tid w node ~tid;
+  Pwriter.store w (node + off_status) 0L;
+  Pwriter.store w (node + off_count) 0L;
+  Pwriter.clwb_lines w [ node + 1; node + off_status; node + off_count ];
+  Pwriter.fence w
+
 let count pm node = Int64.to_int (Pmem.load pm (node + off_count))
 
 let begin_txn w node =

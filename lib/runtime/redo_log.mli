@@ -15,6 +15,11 @@ type status = Idle | Filling | Committed
 
 val create : Pwriter.t -> Region.t -> tid:int -> cap_entries:int -> Pmem.addr
 
+val rebind : Pwriter.t -> Pmem.addr -> tid:int -> unit
+(** Recycle a finished thread's arena: rebind the owner tid, status
+    back to Idle, write set emptied, one write-back + fence.  Previous
+    owner must be Done. *)
+
 val begin_txn : Pwriter.t -> Pmem.addr -> unit
 val append : Pwriter.t -> Pmem.addr -> addr:Pmem.addr -> value:int64 -> unit
 val count : Pmem.t -> Pmem.addr -> int

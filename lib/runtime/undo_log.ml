@@ -34,6 +34,20 @@ let create w region ~kind ~tid ~cap_records =
   Pwriter.fence w;
   node
 
+(* Hand a finished thread's arena to a fresh thread.  Truncating the
+   record buffer is safe only at a quiescent point (no open FASE
+   anywhere): the happens-before cascade in {!Atlas_recovery} can roll
+   a *completed* FASE back only through a lock released at a later
+   sequence number by a FASE that is itself rolled back, and every
+   sequence number the recycled log could contain predates any FASE
+   still to come.  {!Ido_vm.Vm.reap} enforces that discipline. *)
+let rebind w node ~tid =
+  Lognode.store_tid w node ~tid;
+  Pwriter.store w (node + off_head) 0L;
+  Pwriter.store w (node + off_total) 0L;
+  Pwriter.clwb_lines w [ node + 1; node + off_head; node + off_total ];
+  Pwriter.fence w
+
 let cap pm node = Int64.to_int (Pmem.load pm (node + off_cap))
 let head pm node = Int64.to_int (Pmem.load pm (node + off_head))
 let total pm node = Int64.to_int (Pmem.load pm (node + off_total))

@@ -25,6 +25,12 @@ type record = { tag : tag; a : int64; b : int64; seq : int }
 val create : Pwriter.t -> Region.t -> kind:int -> tid:int -> cap_records:int -> Pmem.addr
 (** [kind] is {!Lognode.kind_atlas} or {!Lognode.kind_nvml}. *)
 
+val rebind : Pwriter.t -> Pmem.addr -> tid:int -> unit
+(** Recycle a finished thread's arena: rebind the owner tid and
+    truncate the record buffer, one write-back + fence.  Only legal at
+    a quiescent point (no open FASE on any thread) — see the
+    happens-before argument in the implementation. *)
+
 val append : Pwriter.t -> Pmem.addr -> tag -> a:int64 -> b:int64 -> seq:int -> unit
 (** Append and persist one record (stores, write-backs, one fence). *)
 

@@ -39,6 +39,15 @@ val make :
     interarrival, uniform keys, optimizer off.
     @raise Invalid_argument on a non-positive count. *)
 
+val shard_seed : ?salt:int -> t -> int -> int
+(** [shard_seed ?salt c shard] derives a non-negative per-shard seed
+    by SplitMix64-mixing [(c.seed, salt, shard)] — seed splitting.
+    Each consumer of per-shard randomness (the stream generator, the
+    shard VM) uses a distinct [salt] (default [0]) so their streams
+    stay independent.  Deterministic in the cell parameters alone, so
+    shards may be generated and simulated in any order, on any
+    domain, with identical results. *)
+
 val label : t -> string
 (** ["kvcache50/ido s4 b8"] — the row label in rendered reports. *)
 

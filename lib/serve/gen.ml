@@ -24,35 +24,160 @@ let shard_of ~shards key =
   Int64.to_int (Int64.rem (Int64.logand (mix64 key) Int64.max_int)
                   (Int64.of_int shards))
 
-let stream (c : Config.t) ~key_range =
-  let rng = Rng.create c.Config.seed in
-  let zipf = Option.map (fun e -> Zipf.create ~exponent:e key_range) c.Config.zipf in
-  let arrival = ref 0 in
-  Array.init c.Config.requests (fun id ->
-      (* Open loop: exponential interarrivals with mean [period_ns],
-         independent of completions — so shards simulate independently
-         and a crash on one shard never reshapes another's stream. *)
-      let u = Rng.float rng 1.0 in
-      let gap =
-        max 1
-          (int_of_float
-             ((-.float_of_int c.Config.period_ns *. log (1.0 -. u)) +. 0.5))
-      in
-      arrival := !arrival + gap;
-      let key =
-        match zipf with
-        | Some z -> Zipf.sample z rng
-        | None -> Rng.int rng key_range
-      in
-      let dice = Rng.int rng 100 in
-      let value = Rng.int rng 1_000_000 in
-      { id; arrival = !arrival; key; dice; value;
-        shard = shard_of ~shards:c.Config.shards key })
+(* Inverse-CDF exponential gap.  [u] comes from [Rng.float rng 1.0],
+   which is < 1.0 by construction, but the clamp is load-bearing
+   anyway: a float rounding to 1.0 would make [log (1.0 -. u)] equal
+   to -infinity, and the poisoned gap would corrupt the arrival clock
+   for the rest of the stream.  Clamping the survival probability at
+   [2^-53] (one ulp below 1.0 from below) caps the gap at
+   [mean * 53 ln 2] — the longest gap a 53-bit uniform can
+   legitimately express. *)
+let gap_of_u ~mean u =
+  let survival = Float.max (1.0 -. u) 0x1p-53 in
+  max 1 (int_of_float ((-.mean *. log survival) +. 0.5))
 
-let partition (c : Config.t) reqs =
-  let buckets = Array.make c.Config.shards [] in
-  for i = Array.length reqs - 1 downto 0 do
-    let r = reqs.(i) in
-    buckets.(r.shard) <- r :: buckets.(r.shard)
+type plan = {
+  config : Config.t;
+  key_range : int;
+  mass : float array;  (* per shard, key-probability mass; sums to ~1 *)
+  counts : int array;  (* per shard, apportioned request count *)
+}
+
+let plan (c : Config.t) ~key_range =
+  let shards = c.Config.shards in
+  let zipf =
+    Option.map (fun e -> Zipf.create ~exponent:e key_range) c.Config.zipf
+  in
+  let pmf k =
+    match zipf with
+    | Some z -> Zipf.pmf z k
+    | None -> 1.0 /. float_of_int key_range
+  in
+  (* O(key_range) pass: each key's probability goes to its shard. *)
+  let mass = Array.make shards 0.0 in
+  for k = 0 to key_range - 1 do
+    let s = shard_of ~shards k in
+    mass.(s) <- mass.(s) +. pmf k
   done;
-  Array.map Array.of_list buckets
+  let total_mass = Array.fold_left ( +. ) 0.0 mass in
+  (* Largest-remainder apportionment of the request count.  The
+     fractional remainders sum to the leftover count and each is < 1,
+     so at least [leftover] shards have a positive remainder: a
+     zero-mass shard (remainder 0, sorted last) is never reached.
+     Ties break by shard index — fully deterministic. *)
+  let n = c.Config.requests in
+  let quota = Array.map (fun m -> float_of_int n *. m /. total_mass) mass in
+  let counts = Array.map (fun q -> int_of_float (floor q)) quota in
+  let leftover = n - Array.fold_left ( + ) 0 counts in
+  let order = Array.init shards Fun.id in
+  Array.sort
+    (fun a b ->
+      let fa = quota.(a) -. floor quota.(a)
+      and fb = quota.(b) -. floor quota.(b) in
+      if fa <> fb then Float.compare fb fa else Int.compare a b)
+    order;
+  for i = 0 to leftover - 1 do
+    let s = order.(i mod shards) in
+    counts.(s) <- counts.(s) + 1
+  done;
+  (* Belt and braces against float drift in the remainder argument: a
+     request on a shard that owns no keys would never find a key to
+     serve (the rejection sampler below could not terminate). *)
+  for s = 0 to shards - 1 do
+    if mass.(s) = 0.0 && counts.(s) > 0 then begin
+      let heaviest = ref 0 in
+      for t = 1 to shards - 1 do
+        if mass.(t) > mass.(!heaviest) then heaviest := t
+      done;
+      counts.(!heaviest) <- counts.(!heaviest) + counts.(s);
+      counts.(s) <- 0
+    end
+  done;
+  { config = c; key_range; mass; counts }
+
+let shard_count p shard = p.counts.(shard)
+let counts p = Array.copy p.counts
+
+type stream = {
+  shard : int;
+  shards : int;
+  key_range : int;
+  total : int;
+  rng : Rng.t;
+  zipf : Zipf.t option;
+  mean_gap : float;  (* period_ns / shard mass: thinned Poisson *)
+  mutable emitted : int;
+  mutable arrival : int;
+  mutable lookahead : request option;
+}
+
+let sub_stream (p : plan) shard =
+  let c = p.config in
+  {
+    shard;
+    shards = c.Config.shards;
+    key_range = p.key_range;
+    total = p.counts.(shard);
+    (* salt 1: the stream draws must stay independent of the shard
+       VM's own randomness, which is seeded with the salt-0 seed. *)
+    rng = Rng.create (Config.shard_seed ~salt:1 c shard);
+    zipf =
+      Option.map (fun e -> Zipf.create ~exponent:e p.key_range) c.Config.zipf;
+    mean_gap = float_of_int c.Config.period_ns /. p.mass.(shard);
+    emitted = 0;
+    arrival = 0;
+    lookahead = None;
+  }
+
+let length s = s.total
+
+(* Draw the next request of the sub-stream.  The key is
+   rejection-sampled from the cell's full key distribution until it
+   routes here: conditioning preserves both the routing invariant
+   (every key served by shard [s] satisfies [shard_of key = s]) and
+   the within-shard key skew.  Terminates because the shard's mass is
+   positive whenever [total > 0] (see [plan]). *)
+let emit s =
+  if s.emitted >= s.total then None
+  else begin
+    let u = Rng.float s.rng 1.0 in
+    s.arrival <- s.arrival + gap_of_u ~mean:s.mean_gap u;
+    let rec draw_key () =
+      let k =
+        match s.zipf with
+        | Some z -> Zipf.sample z s.rng
+        | None -> Rng.int s.rng s.key_range
+      in
+      if shard_of ~shards:s.shards k = s.shard then k else draw_key ()
+    in
+    let key = draw_key () in
+    let dice = Rng.int s.rng 100 in
+    let value = Rng.int s.rng 1_000_000 in
+    let r =
+      { id = s.emitted; arrival = s.arrival; key; dice; value; shard = s.shard }
+    in
+    s.emitted <- s.emitted + 1;
+    Some r
+  end
+
+let peek s =
+  match s.lookahead with
+  | Some _ as r -> r
+  | None ->
+      let r = emit s in
+      s.lookahead <- r;
+      r
+
+let next s =
+  match s.lookahead with
+  | Some _ as r ->
+      s.lookahead <- None;
+      r
+  | None -> emit s
+
+let materialize (p : plan) shard =
+  let s = sub_stream p shard in
+  Array.init s.total (fun _ ->
+      match next s with
+      | Some r -> r
+      | None -> assert false (* [total] requests by construction *))

@@ -22,23 +22,27 @@ let run_cell ?pool ?(chunk = 1) ?(obs = false) ?crash (config : Config.t) =
      lazy and lazy forcing is not domain-safe. *)
   let program = Workload.program w in
   let oracle = w.Workload.oracle in
-  let streams =
-    Gen.partition config
-      (Gen.stream config ~key_range:w.Workload.request.Workload.key_range)
+  (* The plan (per-shard masses and counts) is the only whole-stream
+     computation; each shard then pulls its requests lazily from a
+     stream it creates on its own domain. *)
+  let plan =
+    Gen.plan config ~key_range:w.Workload.request.Workload.key_range
   in
   (* One pool task per shard by default (shards are coarse); [chunk]
      batches consecutive shards when a sweep runs many small cells. *)
   let outcomes =
     Pool.opt_map_list ~chunk pool
       (fun shard ->
-        Shard.run ~obs ?crash ~shard ~config ~program ~oracle streams.(shard))
+        Shard.run ~obs ?crash ~shard ~config ~program ~oracle
+          (Gen.sub_stream plan shard))
       (List.init config.Config.shards Fun.id)
   in
-  let latencies =
-    Array.concat (List.map (fun o -> o.Shard.latencies) outcomes)
-  in
+  (* Bucket-wise sketch merge: exact, order-independent in value but
+     merged in shard order all the same. *)
+  let lat = Lat.create () in
+  List.iter (fun o -> Lat.merge ~into:lat o.Shard.lat) outcomes;
   let dropped = List.fold_left (fun a o -> a + o.Shard.dropped) 0 outcomes in
-  let stats = Lat.of_latencies ~dropped latencies in
+  let stats = Lat.stats ~dropped lat in
   let makespan_ns =
     List.fold_left (fun a o -> max a o.Shard.busy_until) 0 outcomes
   in
@@ -56,13 +60,20 @@ let run_cell ?pool ?(chunk = 1) ?(obs = false) ?crash (config : Config.t) =
 
 let default_crash (config : Config.t) =
   (* Deterministic mid-stream crash point: pick the shard from the
-     seed, crash in the batch around the middle of its sub-stream. *)
+     seed, crash in the batch around the middle of its sub-stream.
+     Sub-stream lengths come from the plan — nothing is generated.
+     If the seeded shard happens to own no requests, fall back to the
+     busiest one so the crash always lands. *)
   let w = Workload.get config.Config.workload in
-  let streams =
-    Gen.partition config
-      (Gen.stream config ~key_range:w.Workload.request.Workload.key_range)
+  let plan =
+    Gen.plan config ~key_range:w.Workload.request.Workload.key_range
   in
   let rng = Rng.create (config.Config.seed lxor 0x5eed) in
-  let shard = Rng.int rng config.Config.shards in
-  let len = Array.length streams.(shard) in
-  { Shard.shard; at_request = len / 2; after_ns = 400 }
+  let shard = ref (Rng.int rng config.Config.shards) in
+  if Gen.shard_count plan !shard = 0 then begin
+    for s = 0 to config.Config.shards - 1 do
+      if Gen.shard_count plan s > Gen.shard_count plan !shard then shard := s
+    done
+  end;
+  let len = Gen.shard_count plan !shard in
+  { Shard.shard = !shard; at_request = len / 2; after_ns = 400 }

@@ -1,13 +1,17 @@
-(** Cell orchestration: generate the stream, fan the shards out over
-    an optional domain pool, and merge their outcomes.
+(** Cell orchestration: plan the stream, fan the shards out over an
+    optional domain pool, and merge their outcomes.
 
-    Shards are independent simulations over disjoint sub-streams, and
-    the merge is in shard order (submission order on the pool), so a
-    cell's result is byte-identical at every [-j]. *)
+    Shards are independent simulations over disjoint lazily-generated
+    sub-streams ({!Gen.sub_stream}), and the merge is in shard order
+    (submission order on the pool), so a cell's result is
+    byte-identical at every [-j] and chunk size.  End to end the cell
+    is constant-memory: no request array, no retained latency
+    samples — per-shard {!Lat.t} sketches merge bucket-wise into the
+    cell sketch. *)
 
 type cell = {
   config : Config.t;
-  stats : Lat.stats;  (** latency stats over every served request *)
+  stats : Lat.stats;  (** sketch-derived stats over served requests *)
   makespan_ns : int;  (** max shard busy horizon, simulated wall ns *)
   mops : float;  (** served / makespan, Mops/s *)
   shards : Shard.outcome list;  (** per-shard detail, shard order *)
@@ -30,5 +34,7 @@ val run_cell :
 
 val default_crash : Config.t -> Shard.crash_plan
 (** A deterministic mid-stream crash point: the shard is drawn from
-    the cell seed, the crash hits the batch containing the middle
-    request of that shard's sub-stream, 400 simulated ns in. *)
+    the cell seed (falling back to the busiest shard if the drawn one
+    has no requests), the crash hits the batch containing the middle
+    request of that shard's sub-stream, 400 simulated ns in.  Uses
+    only the plan — no requests are generated. *)

@@ -12,7 +12,7 @@ type outcome = {
   shard : int;
   served : int;
   dropped : int;
-  latencies : int array;
+  lat : Lat.t;
   busy_until : int;
   sim_ns : int;
   crashed : bool;
@@ -21,16 +21,17 @@ type outcome = {
   consistency : (unit, string) result;
 }
 
-(* A shard machine serves thousands of one-request threads, so the
+(* A shard machine serves millions of one-request threads, so the
    benchmark-sized per-thread logs would exhaust persistent memory:
    shrink the log capacities to what a single request can need and
-   give the region 4M words.  [reap] (below) keeps the scheduler's
-   table small in the same way. *)
+   give the region 4M words.  [reap] between batches recycles the
+   finished threads' stacks and log arenas, so the footprint tracks
+   the batch size, not the requests served. *)
 let vm_config (c : Config.t) ~shard =
   let base = Vm.config c.Config.scheme in
   {
     base with
-    Vm.seed = c.Config.seed + (31 * (shard + 1));
+    Vm.seed = Config.shard_seed c shard;
     opt = c.Config.opt;
     pmem_words = 1 lsl 22;
     undo_cap = 1 lsl 7;
@@ -47,7 +48,8 @@ let oracle_mode (c : Config.t) =
   | Ido_runtime.Scheme.Origin -> Oracle.Prefix
   | _ -> Oracle.Atomic
 
-(* Serve one shard's sub-stream to completion.
+(* Serve one shard's sub-stream to completion, pulling requests
+   lazily — at most [batch] requests are ever in memory.
 
    Simulated wall time and the machine's internal clock are related by
    a per-batch offset: a batch dispatched at wall time [t0] starts at
@@ -56,7 +58,7 @@ let oracle_mode (c : Config.t) =
    The offset form survives crash/recovery, where the machine clock
    rewinds to the floor while wall time keeps advancing. *)
 let run ?(obs = false) ?crash ~shard ~config ~program ~oracle
-    (requests : Gen.request array) =
+    (stream : Gen.stream) =
   let c = config in
   let m = Vm.create (vm_config c ~shard) program in
   ignore (Vm.spawn m ~fname:"init" ~args:[]);
@@ -80,90 +82,97 @@ let run ?(obs = false) ?crash ~shard ~config ~program ~oracle
     end
     else None
   in
-  let n = Array.length requests in
-  let latencies = ref [] in
+  let lat = Lat.create () in
   let served = ref 0 and dropped = ref 0 in
   let busy = ref (Vm.clock m) in
   let crashed = ref false and recovery_ns = ref 0 in
   let sim_total = ref 0 in
-  let i = ref 0 in
-  while !i < n do
-    let t0 = max !busy requests.(!i).Gen.arrival in
-    (* Drain up to [batch] requests that have arrived by [t0]; the
-       head has (t0 >= its arrival), so a batch is never empty. *)
-    let j = ref !i in
-    while
-      !j < n && !j - !i < c.Config.batch && requests.(!j).Gen.arrival <= t0
-    do
-      incr j
-    done;
-    Vm.reap m;
-    let base_clock = Vm.clock m in
-    let batch = Array.sub requests !i (!j - !i) in
-    let threads =
-      Array.map
-        (fun r ->
-          Vm.spawn m ~fname:"request"
-            ~args:
-              [
-                Int64.of_int r.Gen.dice;
-                Int64.of_int r.Gen.key;
-                Int64.of_int r.Gen.value;
-              ])
-        batch
-    in
-    let crash_here =
-      match crash with
-      | Some (pl : crash_plan)
-        when (not !crashed)
-             && pl.shard = shard
-             && pl.at_request >= !i
-             && pl.at_request < !j ->
-          Some pl
-      | _ -> None
-    in
-    (match crash_here with
-    | None ->
-        (match Vm.run m with
-        | `Idle -> ()
-        | `Deadlock -> failwith "Serve: batch deadlocked"
-        | _ -> failwith "Serve: batch did not finish");
-        Array.iteri
-          (fun k th ->
-            let r = batch.(k) in
-            let finish = t0 + (Vm.thread_clock th - base_clock) in
-            latencies := (finish - r.Gen.arrival) :: !latencies;
-            incr served)
-          threads;
-        let end_clock = Vm.clock m in
-        sim_total := !sim_total + (end_clock - base_clock);
-        busy := t0 + (end_clock - base_clock)
-    | Some pl ->
-        (* Power-fail [after_ns] into this batch.  Requests whose
-           thread already recorded its observation completed and count
-           toward the latency stream; the rest are dropped.  Recovery
-           time is added to the shard's busy horizon — subsequent
-           arrivals queue behind it. *)
-        crashed := true;
-        ignore (Vm.run ~until:(base_clock + pl.after_ns) m);
-        let crash_clock = Vm.clock m in
-        Array.iteri
-          (fun k th ->
-            let r = batch.(k) in
-            if Vm.observations th <> [] then begin
-              let finish = t0 + (Vm.thread_clock th - base_clock) in
-              latencies := (finish - r.Gen.arrival) :: !latencies;
-              incr served
-            end
-            else incr dropped)
-          threads;
-        Vm.crash m;
-        let stats = Vm.recover m in
-        let rec_ns = stats.Ido_vm.Recover.simulated_time in
-        recovery_ns := !recovery_ns + rec_ns;
-        sim_total := !sim_total + (crash_clock - base_clock) + rec_ns;
-        busy := t0 + (crash_clock - base_clock) + rec_ns);
-    i := !j
+  let continue = ref true in
+  while !continue do
+    match Gen.peek stream with
+    | None -> continue := false
+    | Some first ->
+        let t0 = max !busy first.Gen.arrival in
+        (* Drain up to [batch] requests that have arrived by [t0]; the
+           head has (t0 >= its arrival), so a batch is never empty. *)
+        let start_idx = first.Gen.id in
+        let acc = ref [] and bn = ref 0 in
+        let draining = ref true in
+        while !draining do
+          match Gen.peek stream with
+          | Some r when !bn < c.Config.batch && r.Gen.arrival <= t0 ->
+              ignore (Gen.next stream);
+              acc := r :: !acc;
+              incr bn
+          | _ -> draining := false
+        done;
+        let batch = Array.of_list (List.rev !acc) in
+        let end_idx = start_idx + Array.length batch in
+        Vm.reap m;
+        let base_clock = Vm.clock m in
+        let threads =
+          Array.map
+            (fun r ->
+              Vm.spawn m ~fname:"request"
+                ~args:
+                  [
+                    Int64.of_int r.Gen.dice;
+                    Int64.of_int r.Gen.key;
+                    Int64.of_int r.Gen.value;
+                  ])
+            batch
+        in
+        let crash_here =
+          match crash with
+          | Some (pl : crash_plan)
+            when (not !crashed)
+                 && pl.shard = shard
+                 && pl.at_request >= start_idx
+                 && pl.at_request < end_idx ->
+              Some pl
+          | _ -> None
+        in
+        (match crash_here with
+        | None ->
+            (match Vm.run m with
+            | `Idle -> ()
+            | `Deadlock -> failwith "Serve: batch deadlocked"
+            | _ -> failwith "Serve: batch did not finish");
+            Array.iteri
+              (fun k th ->
+                let r = batch.(k) in
+                let finish = t0 + (Vm.thread_clock th - base_clock) in
+                Lat.add lat (finish - r.Gen.arrival);
+                incr served)
+              threads;
+            let end_clock = Vm.clock m in
+            sim_total := !sim_total + (end_clock - base_clock);
+            busy := t0 + (end_clock - base_clock)
+        | Some pl ->
+            (* Power-fail [after_ns] into this batch.  Requests whose
+               thread already recorded its observation completed and
+               count toward the latency stream; the rest are dropped.
+               Recovery time is added to the shard's busy horizon —
+               subsequent arrivals queue behind it. *)
+            crashed := true;
+            ignore (Vm.run ~until:(base_clock + pl.after_ns) m);
+            let crash_clock = Vm.clock m in
+            Array.iteri
+              (fun k th ->
+                let r = batch.(k) in
+                if Vm.observations th <> [] then begin
+                  let finish = t0 + (Vm.thread_clock th - base_clock) in
+                  Lat.add lat (finish - r.Gen.arrival);
+                  incr served
+                end
+                else incr dropped)
+              threads;
+            Vm.crash m;
+            let stats = Vm.recover m in
+            let rec_ns = stats.Ido_vm.Recover.simulated_time in
+            recovery_ns := !recovery_ns + rec_ns;
+            sim_total := !sim_total + (crash_clock - base_clock) + rec_ns;
+            busy := t0 + (crash_clock - base_clock) + rec_ns)
   done;
   Vm.flush_all m;
   let consistency =
@@ -184,7 +193,7 @@ let run ?(obs = false) ?crash ~shard ~config ~program ~oracle
     shard;
     served = !served;
     dropped = !dropped;
-    latencies = Array.of_list (List.rev !latencies);
+    lat;
     busy_until = !busy;
     sim_ns = !sim_total;
     crashed = !crashed;

@@ -1,14 +1,18 @@
 (** One shard: a private machine serving its key-partition of the
     request stream under the configured scheme.
 
-    Each queued batch (up to [Config.batch] arrived requests) is
-    dispatched as one thread per request via the workload's
-    [request(dice, key, value)] entry point; {!Ido_vm.Vm.reap} runs
-    between batches so scheduling stays proportional to the batch
-    size, not to the requests served so far.  Request latency is
-    [finish - arrival] in simulated wall ns, where a batch dispatched
-    at wall time [max busy arrival] maps machine clocks through a
-    per-batch offset (the mapping survives crash/recovery). *)
+    Requests are pulled lazily from the shard's {!Gen.stream} — at
+    most [Config.batch] are in memory at once.  Each queued batch (up
+    to [Config.batch] arrived requests) is dispatched as one thread
+    per request via the workload's [request(dice, key, value)] entry
+    point; {!Ido_vm.Vm.reap} runs between batches, recycling the
+    finished threads' stacks and log arenas so both scheduling and
+    memory stay proportional to the batch size, not to the requests
+    served so far.  Latencies feed a constant-memory {!Lat.t} sketch.
+    Request latency is [finish - arrival] in simulated wall ns, where
+    a batch dispatched at wall time [max busy arrival] maps machine
+    clocks through a per-batch offset (the mapping survives
+    crash/recovery). *)
 
 open Ido_workloads
 
@@ -24,7 +28,7 @@ type outcome = {
   shard : int;
   served : int;
   dropped : int;  (** requests in flight at the crash *)
-  latencies : int array;  (** per served request, sub-stream order *)
+  lat : Lat.t;  (** latency sketch over the served requests *)
   busy_until : int;  (** wall ns when the shard went idle *)
   sim_ns : int;  (** machine time actually simulated (busy time) *)
   crashed : bool;
@@ -44,7 +48,7 @@ val run :
   config:Config.t ->
   program:Ido_ir.Ir.program ->
   oracle:Oracle.impl ->
-  Gen.request array ->
+  Gen.stream ->
   outcome
 (** Serve the (arrival-ordered) sub-stream to completion.  With
     [?obs], an unbuffered sink watches everything after durable setup

@@ -56,6 +56,8 @@ let create (config : config) (program : Ir.program) =
     obs_tid = -1;
     obs_fase = -1;
     next_fase_id = 0;
+    free_stacks = [];
+    free_log_nodes = [];
   }
 
 let obs_kind_of_pmem m (ev : Pmem.event) : Ido_obs.Obs.kind =
@@ -120,7 +122,9 @@ let reset m =
   Cdf.clear m.livein_per_region;
   m.total_ops <- 0;
   m.crashed <- false;
-  m.next_fase_id <- 0
+  m.next_fase_id <- 0;
+  m.free_stacks <- [];
+  m.free_log_nodes <- []
 
 let emit_event m ev =
   match m.event_hook with Some f -> f ev | None -> ()
@@ -173,26 +177,59 @@ let spawn m ~fname ~args =
   m.next_tid <- tid + 1;
   let in_pmem = stack_in_pmem m.config in
   let stack_base =
-    if in_pmem then Region.alloc m.region m.config.stack_words
-    else Vmem.alloc m.vmem m.config.stack_words
+    match m.free_stacks with
+    | base :: rest ->
+        (* Recycled stack: zero it so the new thread sees exactly what
+           a fresh allocation would have given it.  Poke, not store:
+           allocator-side initialisation, no persist events or cost —
+           the same convention as fresh (zeroed) memory. *)
+        m.free_stacks <- rest;
+        if in_pmem then
+          for a = base to base + m.config.stack_words - 1 do
+            Pmem.poke m.pmem a 0L
+          done
+        else
+          for a = base to base + m.config.stack_words - 1 do
+            Vmem.store m.vmem a 0L
+          done;
+        base
+    | [] ->
+        if in_pmem then Region.alloc m.region m.config.stack_words
+        else Vmem.alloc m.vmem m.config.stack_words
   in
   let w = Pwriter.create m.pmem m.config.latency in
   let log_node =
-    match m.config.scheme with
-    | Scheme.Ido -> Ido_log.create w m.region ~tid ~nregs:(Image.max_regs m.image)
-    | Scheme.Justdo ->
-        Justdo_log.create w m.region ~tid ~nregs:(Image.max_regs m.image)
-    | Scheme.Atlas ->
-        Undo_log.create w m.region ~kind:Lognode.kind_atlas ~tid
-          ~cap_records:m.config.undo_cap
-    | Scheme.Nvml ->
-        Undo_log.create w m.region ~kind:Lognode.kind_nvml ~tid
-          ~cap_records:m.config.undo_cap
-    | Scheme.Mnemosyne ->
-        Redo_log.create w m.region ~tid ~cap_entries:m.config.redo_cap
-    | Scheme.Nvthreads ->
-        Page_log.create w m.region ~tid ~cap_pages:m.config.page_cap
-    | Scheme.Origin -> 0
+    match (m.config.scheme, m.free_log_nodes) with
+    | Scheme.Origin, _ -> 0
+    | scheme, node :: rest ->
+        (* Recycled arena: rebind the clean node to the new tid instead
+           of growing the region and the log-head chain. *)
+        m.free_log_nodes <- rest;
+        (match scheme with
+        | Scheme.Ido -> Ido_log.rebind w node ~tid
+        | Scheme.Justdo -> Justdo_log.rebind w node ~tid
+        | Scheme.Atlas | Scheme.Nvml -> Undo_log.rebind w node ~tid
+        | Scheme.Mnemosyne -> Redo_log.rebind w node ~tid
+        | Scheme.Nvthreads -> Page_log.rebind w node ~tid
+        | Scheme.Origin -> ());
+        node
+    | scheme, [] -> (
+        match scheme with
+        | Scheme.Ido ->
+            Ido_log.create w m.region ~tid ~nregs:(Image.max_regs m.image)
+        | Scheme.Justdo ->
+            Justdo_log.create w m.region ~tid ~nregs:(Image.max_regs m.image)
+        | Scheme.Atlas ->
+            Undo_log.create w m.region ~kind:Lognode.kind_atlas ~tid
+              ~cap_records:m.config.undo_cap
+        | Scheme.Nvml ->
+            Undo_log.create w m.region ~kind:Lognode.kind_nvml ~tid
+              ~cap_records:m.config.undo_cap
+        | Scheme.Mnemosyne ->
+            Redo_log.create w m.region ~tid ~cap_entries:m.config.redo_cap
+        | Scheme.Nvthreads ->
+            Page_log.create w m.region ~tid ~cap_pages:m.config.page_cap
+        | Scheme.Origin -> 0)
   in
   ignore (Pwriter.take_cost w);
   let t =
@@ -1132,6 +1169,24 @@ let run ?until ?(max_steps = max_int) m : run_outcome =
    ones carrying the latest time. *)
 let reap m =
   m.clock_floor <- max_clock m;
+  (* Recycle the reaped threads' stacks and log arenas, but only at a
+     quiescent point (every thread Done): a completed FASE's undo
+     records may still be needed by Atlas's happens-before cascade
+     while any FASE is open, and quiescence is the one point where no
+     future rollback can reach a reaped log (all its sequence numbers
+     predate any FASE still to come).  This keeps both memory and the
+     recovery-time log scan proportional to the live thread count —
+     without it a spawn-per-request driver exhausts the region. *)
+  let quiescent =
+    Vec.fold_left (fun acc t -> acc && t.status = Done) true m.threads
+  in
+  if quiescent then
+    Vec.iter
+      (fun t ->
+        m.free_stacks <- t.stack_base :: m.free_stacks;
+        if t.log_node <> 0 then
+          m.free_log_nodes <- t.log_node :: m.free_log_nodes)
+      m.threads;
   Vec.filter_in_place (fun t -> t.status <> Done) m.threads
 
 let crash m =
@@ -1149,4 +1204,8 @@ let crash m =
   m.write_versions <- Hashtbl.create 64;
   m.commit_token_free_at <- 0;
   Vec.iter (fun t -> t.status <- Done) m.threads;
-  Vec.clear m.threads
+  Vec.clear m.threads;
+  (* Volatile allocator bookkeeping does not survive power failure;
+     recovery walks the persistent log chain, not these lists. *)
+  m.free_stacks <- [];
+  m.free_log_nodes <- []

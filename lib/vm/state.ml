@@ -153,6 +153,15 @@ type t = {
   mutable obs_tid : int;  (* thread context for pmem-level obs events *)
   mutable obs_fase : int;  (* FASE context; -1 outside any FASE *)
   mutable next_fase_id : int;  (* global FASE id allocator *)
+  mutable free_stacks : int list;
+      (* recycled per-thread stack bases (each config.stack_words
+         long, pmem or vmem per the scheme) — refilled by [reap] at
+         quiescent points so a spawn-per-request driver keeps memory
+         proportional to live threads, not to requests served *)
+  mutable free_log_nodes : int list;
+      (* recycled per-thread log arenas, left in each scheme's clean
+         state; spawn rebinds one instead of growing the region and
+         the log-head chain *)
 }
 
 (* Tag subsequent pmem-level obs events with a thread's identity (or

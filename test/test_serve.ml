@@ -1,9 +1,12 @@
 (* Tier-1 coverage for the request-serving layer (lib/serve) and the
    first-class Spec/Workload API it is built on: nearest-rank
-   percentile accounting on hand-computed streams, generator and
-   routing invariants, -j determinism of a full cell, crash+recovery
-   oracle validation on a random shard (qcheck), Spec JSON
-   round-tripping, and the workload registry contract. *)
+   percentile accounting on hand-computed streams, the log-bucketed
+   quantile sketch against the exact reference (qcheck), streaming
+   generator invariants and its equivalence to the materialised
+   reference, the interarrival boundary-draw regression,
+   -j determinism of a full cell, crash+recovery oracle validation on
+   a random shard (qcheck), Spec JSON round-tripping, and the
+   workload registry contract. *)
 
 open Ido_runtime
 open Ido_serve
@@ -59,57 +62,219 @@ let percentile_matches_spec =
         (list_of_size Gen.(int_range 1 60) (int_bound 1000))
         (float_range 1.0 100.0))
     (fun (l, q) ->
-      let s = Array.of_list (List.sort compare l) in
+      let s = Array.of_list (List.sort Int.compare l) in
       let n = Array.length s in
       let rank = int_of_float (ceil (q /. 100.0 *. float_of_int n)) in
       let rank = max 1 (min n rank) in
       Lat.percentile s q = s.(rank - 1))
 
 (* ------------------------------------------------------------------ *)
-(* Gen: stream and routing invariants. *)
+(* Lat: the quantile sketch against the exact reference. *)
+
+let sketch_of_list l =
+  let t = Lat.create () in
+  List.iter (Lat.add t) l;
+  t
+
+let sketch_edges () =
+  let empty = Lat.create () in
+  Alcotest.(check int) "empty count" 0 (Lat.count empty);
+  Alcotest.(check int) "empty p99" 0 (Lat.percentile_sketch empty 99.0);
+  let st = Lat.stats empty in
+  Alcotest.(check int) "empty served" 0 st.Lat.served;
+  Alcotest.(check (float 1e-9)) "empty mean" 0.0 st.Lat.mean_ns;
+  (* A single sample is reported exactly at every quantile (the
+     bucket top is capped at the observed max). *)
+  let one = sketch_of_list [ 123_456_789 ] in
+  let st = Lat.stats ~dropped:3 one in
+  Alcotest.(check int) "n=1 p50 exact" 123_456_789 st.Lat.p50;
+  Alcotest.(check int) "n=1 p99 exact" 123_456_789 st.Lat.p99;
+  Alcotest.(check int) "n=1 max exact" 123_456_789 st.Lat.max_ns;
+  Alcotest.(check int) "dropped carried" 3 st.Lat.dropped;
+  Alcotest.(check (float 1e-9)) "n=1 mean exact" 123_456_789.0 st.Lat.mean_ns
+
+let sketch_exact_small () =
+  (* Values below 128 have unit buckets: the sketch IS nearest-rank. *)
+  let l = List.init 127 (fun i -> (i * 89) mod 127) in
+  let t = sketch_of_list l in
+  let sorted = Array.of_list (List.sort Int.compare l) in
+  List.iter
+    (fun q ->
+      Alcotest.(check int)
+        (Printf.sprintf "p%.0f exact below 128" q)
+        (Lat.percentile sorted q)
+        (Lat.percentile_sketch t q))
+    [ 1.0; 50.0; 90.0; 95.0; 99.0; 100.0 ]
+
+let sketch_within_bound =
+  QCheck.Test.make
+    ~name:"sketch quantile within documented relative error of nearest-rank"
+    ~count:300
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 1 400) (int_bound 2_000_000_000))
+        (float_range 1.0 100.0))
+    (fun (l, q) ->
+      let t = sketch_of_list l in
+      let sorted = Array.of_list (List.sort Int.compare l) in
+      let exact = Lat.percentile sorted q in
+      let approx = Lat.percentile_sketch t q in
+      if approx < exact then
+        QCheck.Test.fail_reportf "under-report: %d < exact %d" approx exact;
+      let bound =
+        exact + int_of_float (ceil (float_of_int exact *. Lat.relative_error))
+      in
+      if approx > bound then
+        QCheck.Test.fail_reportf "over bound: %d > %d (exact %d)" approx bound
+          exact;
+      true)
+
+let sketch_merge_is_exact =
+  QCheck.Test.make ~name:"merged sketches = sketch of concatenation" ~count:100
+    QCheck.(
+      pair
+        (list_of_size Gen.(int_range 0 200) (int_bound 1_000_000))
+        (list_of_size Gen.(int_range 0 200) (int_bound 1_000_000)))
+    (fun (a, b) ->
+      let merged = sketch_of_list a in
+      Lat.merge ~into:merged (sketch_of_list b);
+      let whole = sketch_of_list (a @ b) in
+      Lat.stats merged = Lat.stats whole)
+
+(* ------------------------------------------------------------------ *)
+(* Gen: the interarrival sampler at its boundaries (regression: a
+   boundary draw u = 1.0 used to produce log 0 = -inf and poison the
+   arrival clock with min_int gaps). *)
+
+let gap_boundaries () =
+  (* u = 1.0: survival clamps at 2^-53, so the gap is the largest a
+     53-bit uniform can express: 1500 * 53 ln 2, rounded = 55105. *)
+  Alcotest.(check int) "u=1.0 clamps finite" 55105
+    (Gen.gap_of_u ~mean:1500.0 1.0);
+  Alcotest.(check int) "u=0.0 floors at 1" 1 (Gen.gap_of_u ~mean:1500.0 0.0);
+  Alcotest.(check bool)
+    "u just below 1.0 stays below the clamp" true
+    (Gen.gap_of_u ~mean:1500.0 (1.0 -. epsilon_float)
+    <= Gen.gap_of_u ~mean:1500.0 1.0);
+  (* Median of the exponential: mean * ln 2. *)
+  Alcotest.(check int) "median draw" 1040 (Gen.gap_of_u ~mean:1500.0 0.5)
+
+let gap_always_positive =
+  QCheck.Test.make ~name:"gap is a positive int at every u in [0,1]"
+    ~count:500
+    QCheck.(float_range 0.0 1.0)
+    (fun u ->
+      let g = Gen.gap_of_u ~mean:1500.0 u in
+      g >= 1 && g <= 55105)
+
+(* ------------------------------------------------------------------ *)
+(* Gen: streaming plan and per-shard iterator invariants. *)
 
 let config ?(workload = "queue") ?(scheme = Scheme.Ido) ?(seed = 7)
     ?(shards = 4) ?(batch = 4) ?(requests = 200) ?zipf () =
   Config.make ~seed ~shards ~batch ~requests ?zipf ~workload ~scheme ()
 
+let plan_conserves_requests () =
+  List.iter
+    (fun shards ->
+      let c = config ~shards ~requests:503 ~zipf:0.99 () in
+      let p = Gen.plan c ~key_range:64 in
+      let total = Array.fold_left ( + ) 0 (Gen.counts p) in
+      Alcotest.(check int)
+        (Printf.sprintf "counts sum at %d shards" shards)
+        503 total)
+    [ 1; 2; 3; 4; 7; 16 ]
+
+let plan_zero_mass_shards () =
+  (* More shards than keys: some shards own no keys, must get no
+     requests, and their streams must be empty immediately. *)
+  let c = config ~shards:16 ~requests:100 () in
+  let p = Gen.plan c ~key_range:8 in
+  Alcotest.(check int) "counts still sum" 100
+    (Array.fold_left ( + ) 0 (Gen.counts p));
+  let owned = Array.make 16 false in
+  for k = 0 to 7 do
+    owned.(Gen.shard_of ~shards:16 k) <- true
+  done;
+  for s = 0 to 15 do
+    if not owned.(s) then begin
+      Alcotest.(check int) (Printf.sprintf "shard %d keyless" s) 0
+        (Gen.shard_count p s);
+      Alcotest.(check bool)
+        (Printf.sprintf "shard %d stream empty" s)
+        true
+        (Gen.peek (Gen.sub_stream p s) = None)
+    end
+  done
+
 let stream_invariants () =
   let c = config ~requests:500 ~zipf:0.99 () in
-  let s = Gen.stream c ~key_range:64 in
-  Alcotest.(check int) "length" 500 (Array.length s);
-  Array.iteri
-    (fun i (r : Gen.request) ->
-      if r.Gen.id <> i then Alcotest.failf "id %d at position %d" r.Gen.id i;
-      if i > 0 && s.(i - 1).Gen.arrival > r.Gen.arrival then
-        Alcotest.failf "arrivals not monotone at %d" i;
-      if r.Gen.key < 0 || r.Gen.key >= 64 then
-        Alcotest.failf "key %d out of range" r.Gen.key;
-      if r.Gen.dice < 0 || r.Gen.dice >= 100 then
-        Alcotest.failf "dice %d out of range" r.Gen.dice;
-      if r.Gen.shard <> Gen.shard_of ~shards:4 r.Gen.key then
-        Alcotest.failf "shard mismatch at %d" i)
-    s
+  let p = Gen.plan c ~key_range:64 in
+  for shard = 0 to 3 do
+    let s = Gen.sub_stream p shard in
+    Alcotest.(check int) "length = plan count" (Gen.shard_count p shard)
+      (Gen.length s);
+    let prev_arrival = ref 0 in
+    let i = ref 0 in
+    let rec go () =
+      match Gen.next s with
+      | None -> ()
+      | Some (r : Gen.request) ->
+          if r.Gen.id <> !i then
+            Alcotest.failf "id %d at position %d" r.Gen.id !i;
+          if r.Gen.arrival <= !prev_arrival then
+            Alcotest.failf "arrivals not strictly increasing at %d" !i;
+          prev_arrival := r.Gen.arrival;
+          if r.Gen.key < 0 || r.Gen.key >= 64 then
+            Alcotest.failf "key %d out of range" r.Gen.key;
+          if r.Gen.dice < 0 || r.Gen.dice >= 100 then
+            Alcotest.failf "dice %d out of range" r.Gen.dice;
+          if r.Gen.shard <> shard then
+            Alcotest.failf "request on wrong shard at %d" !i;
+          if Gen.shard_of ~shards:4 r.Gen.key <> shard then
+            Alcotest.failf "key %d routes off-shard" r.Gen.key;
+          incr i;
+          go ()
+    in
+    go ();
+    Alcotest.(check int) "yields exactly length" (Gen.length s) !i
+  done
+
+let streaming_matches_materialized () =
+  (* peek/next driving (with redundant peeks) must reproduce the
+     materialised reference array element for element. *)
+  List.iter
+    (fun shards ->
+      let c = config ~shards ~requests:300 ~zipf:0.99 () in
+      let p = Gen.plan c ~key_range:256 in
+      for shard = 0 to shards - 1 do
+        let reference = Gen.materialize p shard in
+        let s = Gen.sub_stream p shard in
+        Array.iteri
+          (fun i r ->
+            (match Gen.peek s with
+            | Some peeked when peeked = r -> ()
+            | _ -> Alcotest.failf "peek differs at %d (shards=%d)" i shards);
+            match Gen.next s with
+            | Some nexted when nexted = r -> ()
+            | _ -> Alcotest.failf "next differs at %d (shards=%d)" i shards)
+          reference;
+        Alcotest.(check bool)
+          (Printf.sprintf "exhausted after %d" (Array.length reference))
+          true
+          (Gen.next s = None)
+      done)
+    [ 1; 2; 4; 5 ]
 
 let stream_deterministic () =
   let c = config ~requests:300 () in
-  let a = Gen.stream c ~key_range:128 and b = Gen.stream c ~key_range:128 in
-  Alcotest.(check bool) "same seed, same stream" true (a = b)
-
-let partition_preserves () =
-  let c = config ~shards:3 ~requests:400 () in
-  let s = Gen.stream c ~key_range:256 in
-  let parts = Gen.partition c s in
-  Alcotest.(check int) "3 sub-streams" 3 (Array.length parts);
-  let total = Array.fold_left (fun a p -> a + Array.length p) 0 parts in
-  Alcotest.(check int) "no request lost" (Array.length s) total;
-  Array.iteri
-    (fun sh p ->
-      Array.iteri
-        (fun i (r : Gen.request) ->
-          if r.Gen.shard <> sh then Alcotest.failf "request on wrong shard";
-          if i > 0 && p.(i - 1).Gen.arrival > r.Gen.arrival then
-            Alcotest.failf "sub-stream %d not arrival-ordered" sh)
-        p)
-    parts
+  let p1 = Gen.plan c ~key_range:128 and p2 = Gen.plan c ~key_range:128 in
+  for shard = 0 to 3 do
+    Alcotest.(check bool)
+      (Printf.sprintf "shard %d: same seed, same stream" shard)
+      true
+      (Gen.materialize p1 shard = Gen.materialize p2 shard)
+  done
 
 let shard_of_stable () =
   (* A key must route identically however often we ask. *)
@@ -175,8 +340,9 @@ let crash_random_shard =
   QCheck.Test.make ~name:"oracles pass after a mid-stream shard crash"
     ~count:12 crash_arb (fun (seed, shards, batch, scheme, crash_shard, after_ns) ->
       let c = config ~workload:"queue" ~scheme ~seed ~shards ~batch ~requests:120 () in
-      let streams = Gen.partition c (Gen.stream c ~key_range:1024) in
-      let sub = Array.length streams.(crash_shard) in
+      let module W = Ido_workloads.Workload in
+      let key_range = (W.get "queue").W.request.W.key_range in
+      let sub = Gen.shard_count (Gen.plan c ~key_range) crash_shard in
       QCheck.assume (sub > 0);
       let crash =
         { Shard.shard = crash_shard; at_request = sub / 2; after_ns }
@@ -276,12 +442,25 @@ let suites =
         Alcotest.test_case "of_latencies on empty" `Quick of_latencies_empty;
         qtest percentile_matches_spec;
       ] );
+    ( "serve-sketch",
+      [
+        Alcotest.test_case "sketch edge cases (n=0, n=1)" `Quick sketch_edges;
+        Alcotest.test_case "sketch exact below 128" `Quick sketch_exact_small;
+        qtest sketch_within_bound;
+        qtest sketch_merge_is_exact;
+      ] );
     ( "serve-gen",
       [
+        Alcotest.test_case "interarrival boundary draws" `Quick gap_boundaries;
+        qtest gap_always_positive;
+        Alcotest.test_case "plan conserves requests" `Quick
+          plan_conserves_requests;
+        Alcotest.test_case "keyless shards get nothing" `Quick
+          plan_zero_mass_shards;
         Alcotest.test_case "stream invariants" `Quick stream_invariants;
+        Alcotest.test_case "streaming = materialized reference" `Quick
+          streaming_matches_materialized;
         Alcotest.test_case "stream deterministic" `Quick stream_deterministic;
-        Alcotest.test_case "partition preserves order" `Quick
-          partition_preserves;
         Alcotest.test_case "shard routing stable" `Quick shard_of_stable;
       ] );
     ( "serve-cell",
