@@ -203,8 +203,8 @@ let serve_panel () =
     match scale with Ido_harness.Exp.Quick -> 500 | _ -> 4000
   in
   let mk scheme =
-    Ido_serve.Config.make ~shards:4 ~batch:8 ~requests ~zipf:0.99
-      ~workload:"kvcache50" ~scheme ()
+    Ido_serve.Config.make ~topology:(Ido_serve.Topology.static 4) ~batch:8
+      ~requests ~zipf:0.99 ~workload:"kvcache50" ~scheme ()
   in
   let run pool =
     List.map

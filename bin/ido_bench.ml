@@ -486,16 +486,35 @@ let selftime_cmd =
       const run $ jobs_arg $ out_arg $ budget_arg $ baseline_arg
       $ tolerance_arg)
 
+(* Config construction is where usage validation lives (Zipf
+   exponents, topology shapes, list flags): surface those
+   Invalid_argument diagnostics as exit 2, never a backtrace. *)
+let usage_guard f =
+  try f ()
+  with Invalid_argument msg ->
+    Printf.eprintf "ido_bench: %s\n" msg;
+    exit 2
+
+let resolve_topology name =
+  match Ido_serve.Topology.of_name name with
+  | Ok t -> t
+  | Error msg ->
+      Printf.eprintf "ido_bench: %s\n" msg;
+      exit 2
+
 let serve_cmd =
   let doc =
-    "Sharded request-serving benchmark: a seeded open-loop generator \
-     streams requests by key hash to per-shard machines (nothing is \
-     materialised; latencies feed a constant-memory quantile sketch); \
-     reports throughput and p50/p95/p99/max request latency per \
-     (scheme x shards x batch) cell, with obs/counter reconciliation \
-     on every shard.  Output is byte-identical at every -j.  \
-     BENCH_SCALE=full appends a 10M-request hmap/ido cell that runs \
-     in bounded RSS."
+    "Sharded request-serving benchmark over a declarative sweep: a seeded \
+     open-loop generator streams requests by key hash to per-group \
+     machines (nothing is materialised; latencies feed a constant-memory \
+     quantile sketch); reports throughput and p50/p95/p99/max request \
+     latency per (scheme x topology x batch) cell, with obs/counter \
+     reconciliation on every machine.  --storm runs the fault matrix \
+     instead: each cell is served under a deterministic single crash and \
+     a correlated crash storm, with failover/resharding accounting and a \
+     per-cell SLA verdict (recovery stall vs --sla budget).  Output is \
+     byte-identical at every -j and --chunk.  BENCH_SCALE=full appends a \
+     10M-request hmap/ido cell that runs in bounded RSS."
   in
   let out_arg =
     Arg.(
@@ -503,8 +522,9 @@ let serve_cmd =
       & opt (some string) None
       & info [ "out" ]
           ~doc:
-            "Output path for the JSON record (default BENCH_serve.json, or \
-             BENCH_serve_opt.json under --opt)")
+            "Output path for the JSON record (default BENCH_serve.json; \
+             BENCH_serve_opt.json under --opt; BENCH_serve_elastic.json \
+             under --storm)")
   in
   let requests_arg =
     Arg.(
@@ -519,42 +539,127 @@ let serve_cmd =
   let uniform_arg =
     Arg.(
       value & flag
-      & info [ "uniform" ]
-          ~doc:"Uniform keys instead of the default Zipfian (0.99)")
+      & info [ "uniform" ] ~doc:"Uniform keys instead of Zipfian")
+  in
+  let zipf_arg =
+    Arg.(
+      value & opt float 0.99
+      & info [ "zipf" ]
+          ~doc:
+            "Zipf exponent for the key distribution (must be positive and \
+             not 1.0; ignored under --uniform)")
+  in
+  let schemes_arg =
+    Term.(
+      const (List.map resolve_scheme)
+      $ Arg.(
+          value
+          & opt (list string) [ "ido"; "justdo" ]
+          & info [ "schemes" ] ~doc:"Comma-separated scheme list"))
+  in
+  let topologies_arg =
+    Term.(
+      const (Option.map (List.map resolve_topology))
+      $ Arg.(
+          value
+          & opt (some (list string)) None
+          & info [ "topologies" ]
+              ~doc:
+                "Comma-separated topology list (s<groups>[r<replicas>]\
+                 [sp|mg], e.g. s4,s4r1,s4sp); default s1,s4 — or s4,s4r1 \
+                 under --storm"))
+  in
+  let batches_arg =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "batches" ]
+          ~doc:
+            "Comma-separated batch sizes; default 1,8 — or 8 under --storm")
+  in
+  let storm_arg =
+    Arg.(
+      value & flag
+      & info [ "storm" ]
+          ~doc:
+            "Serve every cell under the fault matrix (single crash + \
+             correlated storm) and report per-cell SLA verdicts")
+  in
+  let sla_arg =
+    Arg.(
+      value & opt int 50_000
+      & info [ "sla" ]
+          ~doc:
+            "Recovery budget (simulated ns): the largest single stall a \
+             cell may incur and still pass its SLA verdict")
   in
   let chunk_arg =
     Arg.(
       value & opt int 1
       & info [ "chunk" ]
           ~doc:
-            "Shards per pool task within a cell (default 1: one task per \
-             shard; 0 = auto-size).  Cells are byte-identical at every \
-             chunk size.")
+            "Units per pool task within a cell (default 1: one task per \
+             group unit; 0 = auto-size).  Cells are byte-identical at \
+             every chunk size.")
   in
-  let run workload seed requests period uniform opt jobs chunk out =
+  let run workload seed requests period uniform zipf opt jobs chunk schemes
+      topologies batches storm sla out =
     let out =
       match out with
       | Some o -> o
-      | None -> if opt then "BENCH_serve_opt.json" else "BENCH_serve.json"
+      | None ->
+          if storm then "BENCH_serve_elastic.json"
+          else if opt then "BENCH_serve_opt.json"
+          else "BENCH_serve.json"
     in
+    let topologies =
+      match topologies with
+      | Some ts -> ts
+      | None ->
+          usage_guard (fun () ->
+              if storm then
+                [
+                  Ido_serve.Topology.static 4;
+                  Ido_serve.Topology.replicated ~replicas:1 4;
+                ]
+              else [ Ido_serve.Topology.static 1; Ido_serve.Topology.static 4 ])
+    in
+    let batches =
+      match batches with Some bs -> bs | None -> if storm then [ 8 ] else [ 1; 8 ]
+    in
+    let sweep_spec =
+      {
+        (Ido_serve.Sweep.default ~workload) with
+        Ido_serve.Sweep.seed;
+        requests;
+        period_ns = period;
+        zipf = (if uniform then None else Some zipf);
+        opt;
+        schemes;
+        topologies;
+        batches;
+      }
+    in
+    let configs = usage_guard (fun () -> Ido_serve.Sweep.cells sweep_spec) in
     with_jobs jobs (fun pool ->
-        let zipf = if uniform then None else Some 0.99 in
-        let mk scheme shards batch =
-          Ido_serve.Config.make ~seed ~shards ~batch ~requests
-            ~period_ns:period ?zipf ~opt ~workload ~scheme ()
+        let faults config =
+          if storm then
+            usage_guard (fun () ->
+                [
+                  Ido_serve.Fault.single_crash config;
+                  Ido_serve.Fault.storm config;
+                ])
+          else [ Ido_serve.Fault.none ]
         in
         let sweep =
           List.concat_map
-            (fun scheme ->
-              List.concat_map
-                (fun shards ->
-                  List.map
-                    (fun batch ->
-                      Ido_serve.Serve.run_cell ?pool ~chunk ~obs:true
-                        (mk scheme shards batch))
-                    [ 1; 8 ])
-                [ 1; 4 ])
-            [ Scheme.Ido; Scheme.Justdo ]
+            (fun config ->
+              List.map
+                (fun fault ->
+                  Ido_serve.Serve.run_cell ?pool ~chunk ~obs:true ~fault
+                    config)
+                (faults config))
+            configs
         in
         (* BENCH_SCALE=full: one 10M-request cell — the constant-memory
            acceptance run (streaming generator + sketch + arena
@@ -566,17 +671,26 @@ let serve_cmd =
         let scale_cells =
           match Sys.getenv_opt "BENCH_SCALE" with
           | Some "full" ->
-              [
-                Ido_serve.Serve.run_cell ?pool ~chunk
-                  (Ido_serve.Config.make ~seed ~shards:4 ~batch:8
-                     ~requests:10_000_000 ~period_ns:period ?zipf ~opt
-                     ~workload:"hmap" ~scheme:Scheme.Ido ());
-              ]
+              let spec =
+                {
+                  sweep_spec with
+                  Ido_serve.Sweep.workload = "hmap";
+                  requests = 10_000_000;
+                  schemes = [ Scheme.Ido ];
+                  topologies = [ Ido_serve.Topology.static 4 ];
+                  batches = [ 8 ];
+                }
+              in
+              List.map
+                (fun config -> Ido_serve.Serve.run_cell ?pool ~chunk config)
+                (usage_guard (fun () -> Ido_serve.Sweep.cells spec))
           | _ -> []
         in
         let cells = sweep @ scale_cells in
         print_string (Ido_serve.Report.render cells);
         print_newline ();
+        if storm then
+          print_endline (Ido_serve.Report.sla_verdicts ~budget_ns:sla cells);
         let oc = open_out out in
         output_string oc (Ido_serve.Report.to_json cells);
         output_char oc '\n';
@@ -587,37 +701,39 @@ let serve_cmd =
         in
         Printf.printf "wrote %s (%d cells)\n" out (List.length cells);
         (* The paper-consistent ordering, restated as queueing: on
-           every matched (shards x batch) cell, JUSTDO's
+           every matched fault-free (topology x batch) cell, JUSTDO's
            log-everything critical sections must stretch the tail
-           beyond iDO's.  CI greps for the "ok" verdict. *)
-        let p99 scheme shards batch =
+           beyond iDO's.  CI greps for the "ok" verdict.  Vacuously ok
+           when the scheme list doesn't pair ido with justdo. *)
+        let p99 scheme topology batch =
           List.find_map
             (fun c ->
               let g = c.Ido_serve.Serve.config in
               if
                 g.Ido_serve.Config.scheme = scheme
-                && g.Ido_serve.Config.shards = shards
+                && g.Ido_serve.Config.topology = topology
                 && g.Ido_serve.Config.batch = batch
+                && c.Ido_serve.Serve.fault.Ido_serve.Fault.label = "none"
               then Some c.Ido_serve.Serve.stats.Ido_serve.Lat.p99
               else None)
             sweep
         in
         let pairs =
           List.concat_map
-            (fun shards -> List.map (fun batch -> (shards, batch)) [ 1; 8 ])
-            [ 1; 4 ]
+            (fun t -> List.map (fun b -> (t, b)) batches)
+            topologies
         in
-        let ordered =
-          List.filter
-            (fun (s, b) ->
-              match (p99 Scheme.Justdo s b, p99 Scheme.Ido s b) with
-              | Some j, Some i -> j > i
-              | _ -> false)
-            pairs
+        let matched, ordered =
+          List.fold_left
+            (fun (m, o) (t, b) ->
+              match (p99 Scheme.Justdo t b, p99 Scheme.Ido t b) with
+              | Some j, Some i -> (m + 1, if j > i then o + 1 else o)
+              | _ -> (m, o))
+            (0, 0) pairs
         in
         Printf.printf "tail ordering: %s (justdo p99 > ido p99 on %d/%d cells)\n"
-          (if List.length ordered = List.length pairs then "ok" else "INVERTED")
-          (List.length ordered) (List.length pairs);
+          (if ordered = matched then "ok" else "INVERTED")
+          ordered matched;
         if List.exists bad cells then begin
           prerr_endline "ido_bench serve: oracle or obs reconciliation failure";
           exit 1
@@ -632,8 +748,9 @@ let serve_cmd =
           $ Arg.(
               value & opt string "kvcache50"
               & info [ "workload" ] ~doc:"Served workload"))
-      $ seed_arg $ requests_arg $ period_arg $ uniform_arg $ opt_arg
-      $ jobs_arg $ chunk_arg $ out_arg)
+      $ seed_arg $ requests_arg $ period_arg $ uniform_arg $ zipf_arg
+      $ opt_arg $ jobs_arg $ chunk_arg $ schemes_arg $ topologies_arg
+      $ batches_arg $ storm_arg $ sla_arg $ out_arg)
 
 let () =
   let cmds =

@@ -128,6 +128,23 @@ let overflow_diag (ov : Lognode.overflow) =
    unwritable --out path or unreadable --replay file raises
    [Sys_error]: an environment/usage problem, reported like an unknown
    name (exit 2), never a backtrace. *)
+(* Config construction inside a command body is usage validation (Zipf
+   exponents, topology shapes): exit 2 like the name resolvers, not
+   [guard]'s generic Invalid_argument status. *)
+let usage f =
+  try f ()
+  with Invalid_argument msg ->
+    Printf.eprintf "ido_check: %s\n" msg;
+    exit 2
+
+let zipf_arg =
+  Arg.(
+    value & opt float 0.99
+    & info [ "zipf" ]
+        ~doc:
+          "Zipf exponent for the serving key distribution (must be \
+           positive and not 1.0)")
+
 let guard f =
   try f () with
   | Invalid_argument msg ->
@@ -684,30 +701,36 @@ let serve_crash_cmd =
   let requests_arg =
     Arg.(value & opt int 1200 & info [ "requests" ] ~doc:"Total requests")
   in
-  let run scheme workload seed shards batch requests jobs chunk =
+  let run scheme workload seed shards batch requests zipf jobs chunk =
     guard @@ fun () ->
     let config =
-      Ido_serve.Config.make ~seed ~shards ~batch ~requests ~zipf:0.99
-        ~workload ~scheme ()
+      usage @@ fun () ->
+      Ido_serve.Config.make ~seed
+        ~topology:(Ido_serve.Topology.static shards)
+        ~batch ~requests ~zipf ~workload ~scheme ()
     in
+    (* The deprecated shim on purpose: this check pins the historical
+       single-crash output byte for byte. *)
     let crash = Ido_serve.Serve.default_crash config in
     let cell =
       with_jobs jobs (fun pool ->
-          Ido_serve.Serve.run_cell ?pool ~chunk ~obs:true ~crash config)
+          Ido_serve.Serve.run_cell ?pool ~chunk ~obs:true
+            ~fault:(Ido_serve.Fault.of_crash crash)
+            config)
     in
     let pp_result = function Ok () -> "ok" | Error m -> "FAIL: " ^ m in
     Printf.printf
       "%s: crash on shard %d at request %d (+%d ns into its batch)\n"
       (Ido_serve.Config.label config)
-      crash.Ido_serve.Shard.shard crash.Ido_serve.Shard.at_request
-      crash.Ido_serve.Shard.after_ns;
+      crash.Ido_serve.Fault.shard crash.Ido_serve.Fault.at_request
+      crash.Ido_serve.Fault.after_ns;
     List.iter
       (fun (o : Ido_serve.Shard.outcome) ->
         Printf.printf
           "  shard %d: served %d, dropped %d%s; oracle %s; obs %s\n"
-          o.Ido_serve.Shard.shard o.Ido_serve.Shard.served
+          o.Ido_serve.Shard.group o.Ido_serve.Shard.served
           o.Ido_serve.Shard.dropped
-          (if o.Ido_serve.Shard.crashed then
+          (if o.Ido_serve.Shard.crashes > 0 then
              Printf.sprintf " (crashed; recovery %d ns)"
                o.Ido_serve.Shard.recovery_ns
            else "")
@@ -716,7 +739,7 @@ let serve_crash_cmd =
       cell.Ido_serve.Serve.shards;
     let crashed_somewhere =
       List.exists
-        (fun o -> o.Ido_serve.Shard.crashed)
+        (fun o -> o.Ido_serve.Shard.crashes > 0)
         cell.Ido_serve.Serve.shards
     in
     if not crashed_somewhere then begin
@@ -736,7 +759,106 @@ let serve_crash_cmd =
     (Cmd.info "serve-crash" ~doc)
     Term.(
       const run $ scheme_arg $ workload_arg $ seed_arg $ shards_arg $ batch_arg
-      $ requests_arg $ jobs_arg $ chunk_arg)
+      $ requests_arg $ zipf_arg $ jobs_arg $ chunk_arg)
+
+let serve_failover_cmd =
+  let doc =
+    "Power-fail a replicated group's primary mid-stream and require the \
+     warm replica to absorb it: the promoted replica replays only the \
+     unacknowledged batch tail, every request is served (zero dropped, \
+     some replayed), and every surviving machine's oracle and \
+     obs/counter reconciliation stay clean.  Exit status 0 = failover \
+     fully absorbed the crash."
+  in
+  let topology_arg =
+    Arg.(
+      value & opt string "s4r1"
+      & info [ "topology" ]
+          ~doc:
+            "Serving topology (s<groups>[r<replicas>][sp|mg]); needs at \
+             least one replica")
+  in
+  let batch_arg =
+    Arg.(value & opt int 8 & info [ "batch" ] ~doc:"Max requests per dispatch")
+  in
+  let requests_arg =
+    Arg.(value & opt int 1200 & info [ "requests" ] ~doc:"Total requests")
+  in
+  let run scheme workload seed topology batch requests zipf jobs chunk =
+    guard @@ fun () ->
+    let topology =
+      match Ido_serve.Topology.of_name topology with
+      | Ok t when t.Ido_serve.Topology.replicas >= 1 -> t
+      | Ok t ->
+          Printf.eprintf
+            "ido_check: serve-failover needs a replicated topology (got %s \
+             with 0 replicas)\n"
+            (Ido_serve.Topology.name t);
+          exit 2
+      | Error msg ->
+          Printf.eprintf "ido_check: %s\n" msg;
+          exit 2
+    in
+    let config =
+      usage @@ fun () ->
+      Ido_serve.Config.make ~seed ~topology ~batch ~requests ~zipf ~workload
+        ~scheme ()
+    in
+    let fault = Ido_serve.Fault.single_crash config in
+    let cell =
+      with_jobs jobs (fun pool ->
+          Ido_serve.Serve.run_cell ?pool ~chunk ~obs:true ~fault config)
+    in
+    let pp_result = function Ok () -> "ok" | Error m -> "FAIL: " ^ m in
+    Printf.printf "%s under %s (detect %d ns)\n"
+      (Ido_serve.Config.label config)
+      fault.Ido_serve.Fault.label fault.Ido_serve.Fault.detect_ns;
+    List.iter
+      (fun (o : Ido_serve.Shard.outcome) ->
+        Printf.printf
+          "  group %d: served %d (replayed %d), dropped %d, failovers %d; \
+           oracle %s; obs %s\n"
+          o.Ido_serve.Shard.group o.Ido_serve.Shard.served
+          o.Ido_serve.Shard.replayed o.Ido_serve.Shard.dropped
+          o.Ido_serve.Shard.failovers
+          (pp_result o.Ido_serve.Shard.oracle)
+          (pp_result o.Ido_serve.Shard.consistency))
+      cell.Ido_serve.Serve.shards;
+    Printf.printf "unavailability %d ns (max single stall %d ns)\n"
+      cell.Ido_serve.Serve.unavail_ns cell.Ido_serve.Serve.max_stall_ns;
+    let failovers =
+      List.fold_left
+        (fun a (o : Ido_serve.Shard.outcome) -> a + o.Ido_serve.Shard.failovers)
+        0 cell.Ido_serve.Serve.shards
+    in
+    let dropped =
+      List.fold_left
+        (fun a (o : Ido_serve.Shard.outcome) -> a + o.Ido_serve.Shard.dropped)
+        0 cell.Ido_serve.Serve.shards
+    in
+    let fail msg =
+      print_endline ("serve-failover: " ^ msg);
+      1
+    in
+    if failovers < 1 then fail "no failover happened (stream too short?)"
+    else if dropped > 0 then
+      fail (Printf.sprintf "%d requests dropped despite a warm replica" dropped)
+    else if cell.Ido_serve.Serve.replayed < 1 then
+      fail "no requests replayed (crash missed every in-flight batch?)"
+    else if
+      cell.Ido_serve.Serve.oracle = Ok ()
+      && cell.Ido_serve.Serve.consistency = Ok ()
+    then begin
+      print_endline "failover absorbed the crash: zero dropped, all consistent";
+      0
+    end
+    else 1
+  in
+  Cmd.v
+    (Cmd.info "serve-failover" ~doc)
+    Term.(
+      const run $ scheme_arg $ workload_arg $ seed_arg $ topology_arg
+      $ batch_arg $ requests_arg $ zipf_arg $ jobs_arg $ chunk_arg)
 
 let () =
   let info =
@@ -751,4 +873,5 @@ let () =
           [
             explore_cmd; replay_cmd; schedule_cmd; trace_cmd; lint_cmd;
             mutants_cmd; fuzz_cmd; optimize_cmd; serve_crash_cmd;
+            serve_failover_cmd;
           ]))

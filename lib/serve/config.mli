@@ -1,9 +1,10 @@
 (** One serving cell: which workload/scheme to serve, how the request
-    stream is generated, and how it is sharded and batched.
+    stream is generated, and the {!Topology.t} it is served on.
 
-    Everything downstream — the generated stream, the per-shard
-    simulations, the reported percentiles — is a deterministic
-    function of this record, independent of host parallelism. *)
+    Everything downstream — the generated stream, the per-group
+    simulations, failover and resharding, the reported percentiles —
+    is a deterministic function of this record, independent of host
+    parallelism. *)
 
 open Ido_runtime
 
@@ -11,21 +12,24 @@ type t = {
   workload : string;  (** a {!Ido_workloads.Workload.names} entry *)
   scheme : Scheme.t;
   seed : int;  (** seeds both the stream generator and the shard VMs *)
-  shards : int;  (** key-hash partitions, one private machine each *)
+  topology : Topology.t;
+      (** the declarative shard map: routing groups, warm replicas,
+          optional mid-stream reshard (replaces the old bare
+          [shards : int]) *)
   batch : int;  (** max queued requests drained per dispatch *)
   requests : int;  (** total requests in the open-loop stream *)
   period_ns : int;  (** mean interarrival gap, simulated ns *)
   zipf : float option;
       (** [Some e]: Zipfian keys with exponent [e]; [None]: uniform *)
   opt : bool;
-      (** serve the optimized program: every shard VM runs the
+      (** serve the optimized program: every machine runs the
           persistence-redundancy optimizer ([Ido_opt]) over its
           instrumented workload *)
 }
 
 val make :
   ?seed:int ->
-  ?shards:int ->
+  ?topology:Topology.t ->
   ?batch:int ->
   ?requests:int ->
   ?period_ns:int ->
@@ -35,21 +39,32 @@ val make :
   scheme:Scheme.t ->
   unit ->
   t
-(** Defaults: seed 42, 1 shard, batch 1, 1000 requests, 1500 ns mean
-    interarrival, uniform keys, optimizer off.
-    @raise Invalid_argument on a non-positive count. *)
+(** Defaults: seed 42, [Topology.static 1], batch 1, 1000 requests,
+    1500 ns mean interarrival, uniform keys, optimizer off.
+    @raise Invalid_argument on a non-positive count or a Zipf exponent
+    that is [<= 0] or [= 1.0] (the CLIs map this to exit 2). *)
+
+val shards : t -> int
+(** The topology's routing-group count — what key routing and the
+    {!Gen.plan} partition over. *)
+
+val mid_stream_ns : t -> int
+(** [requests * period_ns / 2] — the expected middle of the arrival
+    horizon; the default instant for wall-clock fault events and
+    mid-stream resharding. *)
 
 val shard_seed : ?salt:int -> t -> int -> int
 (** [shard_seed ?salt c shard] derives a non-negative per-shard seed
     by SplitMix64-mixing [(c.seed, salt, shard)] — seed splitting.
     Each consumer of per-shard randomness (the stream generator, the
-    shard VM) uses a distinct [salt] (default [0]) so their streams
-    stay independent.  Deterministic in the cell parameters alone, so
-    shards may be generated and simulated in any order, on any
-    domain, with identical results. *)
+    primary VM, each replica, a split child) uses a distinct [salt]
+    (default [0]) so their streams stay independent.  Deterministic in
+    the cell parameters alone, so groups may be generated and
+    simulated in any order, on any domain, with identical results. *)
 
 val label : t -> string
-(** ["kvcache50/ido s4 b8"] — the row label in rendered reports. *)
+(** ["kvcache50/ido s4r1 b8"] — the row label in rendered reports;
+    identical to the historical label on static topologies. *)
 
 val json_fields : t -> string
 (** The cell parameters as a JSON fragment (no braces), stable field

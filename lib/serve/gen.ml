@@ -44,7 +44,7 @@ type plan = {
 }
 
 let plan (c : Config.t) ~key_range =
-  let shards = c.Config.shards in
+  let shards = Config.shards c in
   let zipf =
     Option.map (fun e -> Zipf.create ~exponent:e key_range) c.Config.zipf
   in
@@ -115,7 +115,7 @@ let sub_stream (p : plan) shard =
   let c = p.config in
   {
     shard;
-    shards = c.Config.shards;
+    shards = Config.shards c;
     key_range = p.key_range;
     total = p.counts.(shard);
     (* salt 1: the stream draws must stay independent of the shard
@@ -174,6 +174,80 @@ let next s =
       s.lookahead <- None;
       r
   | None -> emit s
+
+(* ------------------------------------------------------------------ *)
+(* Elastic-topology helpers: which group is hot/cold, and how a split
+   re-derives the hot group's masses over the new map. *)
+
+let hottest p =
+  let h = ref 0 in
+  Array.iteri (fun s m -> if m > p.mass.(!h) then h := s) p.mass;
+  !h
+
+let coldest p =
+  let hot = hottest p in
+  let shards = Array.length p.mass in
+  if shards = 1 then 0
+  else begin
+    let c = ref (if hot = 0 then 1 else 0) in
+    Array.iteri
+      (fun s m -> if s <> hot && m < p.mass.(!c) then c := s)
+      p.mass;
+    !c
+  end
+
+(* Second, salted mix: the split half must be independent of the
+   primary route (bit of [mix64 key mod shards]) so a split cuts every
+   group's key space roughly in half regardless of the group count. *)
+let split_bit key =
+  Int64.to_int (Int64.logand (mix64 (key lxor 0x5b1d)) 1L) = 1
+
+type split_info = {
+  stay_mass : float;
+  move_mass : float;
+  stay_expect : int;
+  move_expect : int;
+}
+
+let split_info (p : plan) ~group ~remaining =
+  let c = p.config in
+  let zipf =
+    Option.map (fun e -> Zipf.create ~exponent:e p.key_range) c.Config.zipf
+  in
+  let pmf k =
+    match zipf with
+    | Some z -> Zipf.pmf z k
+    | None -> 1.0 /. float_of_int p.key_range
+  in
+  let shards = Config.shards c in
+  let stay = ref 0.0 and move = ref 0.0 in
+  for k = 0 to p.key_range - 1 do
+    if shard_of ~shards k = group then
+      if split_bit k then move := !move +. pmf k else stay := !stay +. pmf k
+  done;
+  (* Largest-remainder apportionment over the two-entry map; the tie
+     breaks toward the staying half (lower index in the new map). *)
+  let total = !stay +. !move in
+  let stay_expect =
+    if total <= 0.0 then remaining
+    else begin
+      let q_stay = float_of_int remaining *. !stay /. total in
+      let q_move = float_of_int remaining *. !move /. total in
+      let fl_stay = int_of_float (floor q_stay)
+      and fl_move = int_of_float (floor q_move) in
+      let leftover = remaining - fl_stay - fl_move in
+      let frac_stay = q_stay -. floor q_stay
+      and frac_move = q_move -. floor q_move in
+      if leftover > 0 && frac_stay >= frac_move then fl_stay + leftover
+      else fl_stay
+    end
+  in
+  {
+    stay_mass = !stay;
+    move_mass = !move;
+    stay_expect;
+    move_expect = remaining - stay_expect;
+  }
 
 let materialize (p : plan) shard =
   let s = sub_stream p shard in

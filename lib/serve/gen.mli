@@ -69,6 +69,39 @@ val peek : stream -> request option
 val next : stream -> request option
 (** Consume and return the next request ([None]: exhausted). *)
 
+(** {1 Elastic-topology helpers} *)
+
+val hottest : plan -> int
+(** The group with the largest key-probability mass (under Zipfian
+    skew, the one the hot keys hash to); ties break by index.  The
+    group a [Topology.Split] cuts and a [Topology.Merge] grows. *)
+
+val coldest : plan -> int
+(** The smallest-mass group other than {!hottest} (ties by index; the
+    sole group when there is only one).  The group a [Topology.Merge]
+    retires. *)
+
+val split_bit : int -> bool
+(** Which half of a split a key lands in: a salted SplitMix64 bit,
+    independent of the primary route, so a split cuts any group's key
+    space roughly in half.  Stable across runs and hosts. *)
+
+type split_info = {
+  stay_mass : float;  (** key mass staying on the warm machine *)
+  move_mass : float;  (** key mass migrating to the split child *)
+  stay_expect : int;
+  move_expect : int;
+      (** largest-remainder apportionment of the remaining request
+          count over the two new masses *)
+}
+
+val split_info : plan -> group:int -> remaining:int -> split_info
+(** Re-derive the plan's masses over the post-split map of [group]:
+    one O(key_range) pass splitting the group's key mass by
+    {!split_bit}, then largest-remainder apportionment of the
+    [remaining] (not yet served) request count — the same rule
+    {!plan} uses over whole shards. *)
+
 val materialize : plan -> int -> request array
 (** The shard's whole sub-stream as an array — the reference the
     streaming path is tested against; not used on the serve path. *)

@@ -1,40 +1,52 @@
-(** Cell orchestration: plan the stream, fan the shards out over an
-    optional domain pool, and merge their outcomes.
+(** Cell orchestration: plan the stream, fan the routing groups out
+    over an optional domain pool, and merge their outcomes under a
+    {!Fault.t} scenario.
 
-    Shards are independent simulations over disjoint lazily-generated
-    sub-streams ({!Gen.sub_stream}), and the merge is in shard order
-    (submission order on the pool), so a cell's result is
-    byte-identical at every [-j] and chunk size.  End to end the cell
-    is constant-memory: no request array, no retained latency
-    samples — per-shard {!Lat.t} sketches merge bucket-wise into the
+    Groups are independent simulations over disjoint lazily-generated
+    sub-streams ({!Gen.sub_stream}) — except a [Topology.Merge]'s hot
+    and cold groups, which share one pool task (a {!Shard.run_unit}
+    unit) because the cold lane rebinds to the hot station
+    mid-stream.  The merge of outcomes is in group order regardless
+    of completion order, so a cell's result is byte-identical at
+    every [-j] and chunk size, under every scenario.  End to end the
+    cell is constant-memory: no request array, no retained latency
+    samples — per-group {!Lat.t} sketches merge bucket-wise into the
     cell sketch. *)
 
 type cell = {
   config : Config.t;
+  fault : Fault.t;  (** the scenario this cell ran under *)
   stats : Lat.stats;  (** sketch-derived stats over served requests *)
-  makespan_ns : int;  (** max shard busy horizon, simulated wall ns *)
+  makespan_ns : int;  (** max group busy horizon, simulated wall ns *)
   mops : float;  (** served / makespan, Mops/s *)
-  shards : Shard.outcome list;  (** per-shard detail, shard order *)
-  oracle : (unit, string) result;  (** first shard oracle failure *)
+  shards : Shard.outcome list;  (** per-group detail, group order *)
+  replayed : int;  (** requests re-executed on promoted replicas *)
+  recovery_ns : int;  (** total in-place recovery time *)
+  unavail_ns : int;  (** total unavailability across groups *)
+  max_stall_ns : int;
+      (** the largest single stall anywhere in the cell — what the
+          SLA verdict compares against the p99 budget *)
+  oracle : (unit, string) result;  (** first group oracle failure *)
   consistency : (unit, string) result;
-      (** first shard obs-reconciliation failure *)
+      (** first group obs-reconciliation failure *)
 }
 
 val run_cell :
   ?pool:Ido_util.Pool.t ->
   ?chunk:int ->
   ?obs:bool ->
-  ?crash:Shard.crash_plan ->
+  ?fault:Fault.t ->
   Config.t ->
   cell
-(** [chunk] batches consecutive shards into one pool task ([1], the
-    default: one task per shard; [0]: auto-size).  The cell is
-    byte-identical at every [-j] and chunk size.
-    @raise Invalid_argument for a workload missing from the registry. *)
+(** Serve one cell under [fault] (default {!Fault.none}).  [chunk]
+    batches consecutive units into one pool task ([1], the default:
+    one task per unit; [0]: auto-size).  The cell is byte-identical
+    at every [-j] and chunk size.
+    @raise Invalid_argument for a workload missing from the registry
+    or a scenario naming a group outside the topology. *)
 
-val default_crash : Config.t -> Shard.crash_plan
-(** A deterministic mid-stream crash point: the shard is drawn from
-    the cell seed (falling back to the busiest shard if the drawn one
-    has no requests), the crash hits the batch containing the middle
-    request of that shard's sub-stream, 400 simulated ns in.  Uses
-    only the plan — no requests are generated. *)
+val default_crash : Config.t -> Fault.crash_plan
+(** @deprecated The PR-5 single-crash plan, now
+    [Fault.single_crash config] under the hood — kept so existing
+    callers (and the [serve-crash] check's output) are unchanged.
+    Prefer building a {!Fault.t} directly. *)

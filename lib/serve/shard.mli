@@ -1,58 +1,99 @@
-(** One shard: a private machine serving its key-partition of the
-    request stream under the configured scheme.
+(** The elastic group runner: one or two routing groups served to
+    completion on their stations (primary machine + warm replicas)
+    under a {!Fault.t} scenario, with optional mid-stream resharding.
 
-    Requests are pulled lazily from the shard's {!Gen.stream} — at
-    most [Config.batch] are in memory at once.  Each queued batch (up
-    to [Config.batch] arrived requests) is dispatched as one thread
-    per request via the workload's [request(dice, key, value)] entry
-    point; {!Ido_vm.Vm.reap} runs between batches, recycling the
-    finished threads' stacks and log arenas so both scheduling and
-    memory stay proportional to the batch size, not to the requests
-    served so far.  Latencies feed a constant-memory {!Lat.t} sketch.
-    Request latency is [finish - arrival] in simulated wall ns, where
-    a batch dispatched at wall time [max busy arrival] maps machine
-    clocks through a per-batch offset (the mapping survives
-    crash/recovery). *)
+    {2 Lanes and stations}
+
+    A {e station} is the machinery serving requests: a primary VM,
+    zero or more warm replica VMs (each a machine booted from a
+    replica-salted seed that applies every acknowledged batch), and a
+    busy horizon in simulated wall ns.  A {e lane} is a sub-stream of
+    a group's requests bound to a station: statically one lane per
+    group, but a [Topology.Split] forks the hot group into two lanes
+    (keys partitioned by {!Gen.split_bit}) and a [Topology.Merge]
+    rebinds the cold group's lane to the hot station mid-stream.  The
+    dispatch loop always serves the lane whose next batch starts
+    earliest (ties to the earlier lane), which for a single fault-free
+    static lane reduces exactly to the historical per-shard batch
+    loop — fault-free static cells are byte-identical to PR 5.
+
+    {2 Faults}
+
+    [Fault.Crash] fires on the first batch containing its request
+    index, [Fault.Crash_at] at its wall instant (mid-batch if a batch
+    spans it, between batches otherwise; [Replica_loss] applies at the
+    first batch boundary at or after its instant).  On a crash with no
+    replica the machine recovers in place — in-flight requests without
+    a recorded observation are dropped and the recovery horizon is
+    charged to the clock (the PR-5 semantics, unchanged).  With a warm
+    replica the dead primary is discarded, the replica is promoted
+    after [detect_ns], and only the unacknowledged batch tail is
+    replayed on it: those requests count as served {e and} replayed,
+    none are dropped.  Every stall (recovery, detection + replay,
+    migration pause) accumulates into the station's unavailability
+    window and its maximum single stall — the numbers the SLA verdict
+    in {!Report} is computed from.
+
+    Requests are still pulled lazily (at most [Config.batch] per lane
+    in memory), latencies still feed constant-memory {!Lat.t}
+    sketches, and every machine keeps the full observation-sink
+    reconciliation protocol, so a cell is byte-identical at every
+    [-j] and [--chunk] under any scenario. *)
 
 open Ido_workloads
 
-type crash_plan = {
-  shard : int;  (** which shard power-fails *)
-  at_request : int;
-      (** index {e within that shard's sub-stream}: the crash hits the
-          batch containing this request *)
-  after_ns : int;  (** simulated ns into that batch *)
-}
-
 type outcome = {
-  shard : int;
+  group : int;  (** the routing group this row aggregates *)
   served : int;
-  dropped : int;  (** requests in flight at the crash *)
+  replayed : int;
+      (** of [served]: re-executed on a promoted replica after a
+          primary crash (the unacknowledged batch tail) *)
+  dropped : int;
+      (** in flight at an unreplicated crash — always 0 when a warm
+          replica absorbed the failover *)
   lat : Lat.t;  (** latency sketch over the served requests *)
-  busy_until : int;  (** wall ns when the shard went idle *)
-  sim_ns : int;  (** machine time actually simulated (busy time) *)
-  crashed : bool;
-  recovery_ns : int;
+  busy_until : int;  (** wall ns when the group's stations went idle *)
+  sim_ns : int;  (** primary machine time simulated (busy time) *)
+  replica_ns : int;
+      (** machine time spent keeping replicas warm — off the serving
+          clock (replication is asynchronous) but real work *)
+  crashes : int;  (** primary power-failures that hit this group *)
+  failovers : int;  (** crashes absorbed by promoting a replica *)
+  replicas_lost : int;
+  split_off : bool;  (** a split child station was spun up *)
+  merged_away : bool;
+      (** the group's own station retired mid-stream and its tail was
+          served by the merge target's station *)
+  recovery_ns : int;  (** total in-place recovery charged to the clock *)
+  unavail_ns : int;
+      (** total unavailability: recovery + detection/replay +
+          migration pauses *)
+  max_stall_ns : int;
+      (** the largest single stall — what the SLA verdict compares
+          against the p99 budget *)
   oracle : (unit, string) result;
-      (** structure validation on the final image: [Atomic] for every
-          instrumented scheme, [Prefix] for Origin *)
+      (** first failure over every machine retired for this group:
+          [Atomic] for instrumented schemes, [Prefix] for Origin *)
   consistency : (unit, string) result;
-      (** {!Ido_obs.Obs.check} reconciliation; trivially [Ok] when the
-          shard ran without a sink *)
+      (** first {!Ido_obs.Obs.check} reconciliation failure over those
+          machines; trivially [Ok] without sinks *)
 }
 
-val run :
+val run_unit :
   ?obs:bool ->
-  ?crash:crash_plan ->
-  shard:int ->
+  fault:Fault.t ->
   config:Config.t ->
   program:Ido_ir.Ir.program ->
   oracle:Oracle.impl ->
-  Gen.stream ->
-  outcome
-(** Serve the (arrival-ordered) sub-stream to completion.  With
-    [?obs], an unbuffered sink watches everything after durable setup
-    and is reconciled against the pmem counters after the final flush.
-    A [crash] plan naming a different shard is ignored.  The caller
-    passes the already-forced [program] (lazy forcing is not
-    domain-safe) and the workload's oracle. *)
+  plan:Gen.plan ->
+  int list ->
+  outcome list
+(** [run_unit groups] serves the listed routing groups together to
+    completion and returns one outcome per group, in input order.
+    Groups that never interact are singleton units; [Serve.run_cell]
+    puts a [Topology.Merge]'s hot and cold groups in one unit because
+    the cold lane rebinds to the hot station mid-stream.  Only fault
+    events naming a member group apply.  The caller passes the
+    already-forced [program] (lazy forcing is not domain-safe), the
+    workload's oracle, and the cell [plan]; each lane's stream is
+    created here, on the consuming domain. *)

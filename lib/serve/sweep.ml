@@ -1,0 +1,43 @@
+open Ido_runtime
+
+type t = {
+  workload : string;
+  seed : int;
+  requests : int;
+  period_ns : int;
+  zipf : float option;
+  opt : bool;
+  schemes : Scheme.t list;
+  topologies : Topology.t list;
+  batches : int list;
+}
+
+let default ~workload =
+  {
+    workload;
+    seed = 42;
+    requests = 2000;
+    period_ns = 1500;
+    zipf = Some 0.99;
+    opt = false;
+    schemes = [ Scheme.Ido; Scheme.Justdo ];
+    topologies = [ Topology.static 1; Topology.static 4 ];
+    batches = [ 1; 8 ];
+  }
+
+let cells s =
+  if s.schemes = [] then invalid_arg "Sweep: schemes list is empty";
+  if s.topologies = [] then invalid_arg "Sweep: topologies list is empty";
+  if s.batches = [] then invalid_arg "Sweep: batches list is empty";
+  List.concat_map
+    (fun scheme ->
+      List.concat_map
+        (fun topology ->
+          List.map
+            (fun batch ->
+              Config.make ~seed:s.seed ~topology ~batch ~requests:s.requests
+                ~period_ns:s.period_ns ?zipf:s.zipf ~opt:s.opt
+                ~workload:s.workload ~scheme ())
+            s.batches)
+        s.topologies)
+    s.schemes

@@ -1,0 +1,35 @@
+(** A declarative serve sweep: the cross product of scheme, topology
+    and batch lists over one stream shape.
+
+    This replaces the grid that was hardcoded in the bench CLI — the
+    default sweep reproduces it exactly: [ido, justdo] x [s1, s4] x
+    [b1, b8].  The CLI's [--schemes]/[--topologies]/[--batches] flags
+    and the storm/full-scale variants all build values of this type,
+    so every consumer enumerates cells in the same deterministic
+    scheme -> topology -> batch order. *)
+
+open Ido_runtime
+
+type t = {
+  workload : string;
+  seed : int;
+  requests : int;
+  period_ns : int;
+  zipf : float option;
+  opt : bool;
+  schemes : Scheme.t list;
+  topologies : Topology.t list;
+  batches : int list;
+}
+
+val default : workload:string -> t
+(** The historical 8-cell grid over [workload]: schemes
+    [ido; justdo], topologies [s1; s4], batches [1; 8], seed 42,
+    2000 requests at 1500 ns mean interarrival, Zipf 0.99, optimizer
+    off.  Override fields with record update syntax. *)
+
+val cells : t -> Config.t list
+(** Every cell config, in scheme -> topology -> batch order.
+    @raise Invalid_argument if any list is empty or a parameter fails
+    {!Config.make} validation (bad Zipf exponent, non-positive
+    counts) — the CLIs surface this as exit 2. *)

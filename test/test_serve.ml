@@ -171,8 +171,11 @@ let gap_always_positive =
 (* Gen: streaming plan and per-shard iterator invariants. *)
 
 let config ?(workload = "queue") ?(scheme = Scheme.Ido) ?(seed = 7)
-    ?(shards = 4) ?(batch = 4) ?(requests = 200) ?zipf () =
-  Config.make ~seed ~shards ~batch ~requests ?zipf ~workload ~scheme ()
+    ?(shards = 4) ?(replicas = 0) ?reshard ?(batch = 4) ?(requests = 200)
+    ?zipf () =
+  Config.make ~seed
+    ~topology:(Topology.make ~replicas ?reshard shards)
+    ~batch ~requests ?zipf ~workload ~scheme ()
 
 let plan_conserves_requests () =
   List.iter
@@ -345,9 +348,9 @@ let crash_random_shard =
       let sub = Gen.shard_count (Gen.plan c ~key_range) crash_shard in
       QCheck.assume (sub > 0);
       let crash =
-        { Shard.shard = crash_shard; at_request = sub / 2; after_ns }
+        { Fault.shard = crash_shard; at_request = sub / 2; after_ns }
       in
-      let cell = Serve.run_cell ~obs:true ~crash c in
+      let cell = Serve.run_cell ~obs:true ~fault:(Fault.of_crash crash) c in
       let total =
         cell.Serve.stats.Lat.served + cell.Serve.stats.Lat.dropped
       in
@@ -358,7 +361,197 @@ let crash_random_shard =
       | Ok () -> ()
       | Error m -> QCheck.Test.fail_reportf "obs: %s" m);
       total = 120
-      && List.exists (fun o -> o.Shard.crashed) cell.Serve.shards)
+      && List.exists (fun o -> o.Shard.crashes > 0) cell.Serve.shards)
+
+(* ------------------------------------------------------------------ *)
+(* Elastic serving: topology naming, config validation, the sweep
+   grid, failover, resharding, and storm determinism. *)
+
+let topology_names () =
+  List.iter
+    (fun (t, n) ->
+      Alcotest.(check string) ("name of " ^ n) n (Topology.name t);
+      match Topology.of_name n with
+      | Ok t' -> Alcotest.(check bool) (n ^ " round-trips") true (t = t')
+      | Error m -> Alcotest.failf "%s did not parse: %s" n m)
+    [
+      (Topology.static 1, "s1");
+      (Topology.static 4, "s4");
+      (Topology.replicated ~replicas:1 4, "s4r1");
+      (Topology.replicated ~replicas:2 3, "s3r2");
+      (Topology.with_reshard Topology.Split (Topology.static 4), "s4sp");
+      ( Topology.with_reshard Topology.Merge
+          (Topology.replicated ~replicas:1 4),
+        "s4r1mg" );
+    ];
+  List.iter
+    (fun bad ->
+      match Topology.of_name bad with
+      | Ok _ -> Alcotest.failf "%S parsed" bad
+      | Error _ -> ())
+    [ ""; "s"; "4"; "s0"; "sr1"; "s4r"; "s4xx"; "s4sp1"; "s1mg" ]
+
+let config_validates_zipf () =
+  List.iter
+    (fun e ->
+      match config ~zipf:e () with
+      | _ -> Alcotest.failf "zipf %g accepted" e
+      | exception Invalid_argument _ -> ())
+    [ 0.0; -0.5; 1.0 ];
+  (* Valid exponents still construct. *)
+  ignore (config ~zipf:0.99 () : Config.t);
+  ignore (config ~zipf:1.2 () : Config.t)
+
+let sweep_default_grid () =
+  let cells = Sweep.cells (Sweep.default ~workload:"kvcache50") in
+  Alcotest.(check int) "8 cells" 8 (List.length cells);
+  (* scheme -> topology -> batch order, and the historical labels. *)
+  Alcotest.(check (list string))
+    "labels in grid order"
+    [
+      "kvcache50/ido s1 b1"; "kvcache50/ido s1 b8";
+      "kvcache50/ido s4 b1"; "kvcache50/ido s4 b8";
+      "kvcache50/justdo s1 b1"; "kvcache50/justdo s1 b8";
+      "kvcache50/justdo s4 b1"; "kvcache50/justdo s4 b8";
+    ]
+    (List.map Config.label cells)
+
+(* Failover: a replicated cell under the planned single crash must
+   serve the whole stream (zero dropped — the warm replica replays the
+   unacknowledged tail) with every oracle and reconciliation clean. *)
+let failover_gen =
+  QCheck.Gen.(
+    let* seed = int_range 0 10_000 in
+    let* shards = int_range 1 4 in
+    let* replicas = int_range 1 2 in
+    let* batch = int_range 1 4 in
+    let* scheme = oneofl [ Scheme.Ido; Scheme.Justdo ] in
+    return (seed, shards, replicas, batch, scheme))
+
+let failover_arb =
+  QCheck.make failover_gen ~print:(fun (seed, shards, replicas, batch, scheme) ->
+      Printf.sprintf "seed=%d shards=%d replicas=%d batch=%d scheme=%s" seed
+        shards replicas batch (Scheme.name scheme))
+
+let failover_absorbs_crash =
+  QCheck.Test.make ~name:"failover serves everything: 0 dropped, oracles ok"
+    ~count:10 failover_arb (fun (seed, shards, replicas, batch, scheme) ->
+      let c =
+        config ~workload:"queue" ~scheme ~seed ~shards ~replicas ~batch
+          ~requests:120 ()
+      in
+      let cell = Serve.run_cell ~obs:true ~fault:(Fault.single_crash c) c in
+      (match cell.Serve.oracle with
+      | Ok () -> ()
+      | Error m -> QCheck.Test.fail_reportf "oracle: %s" m);
+      (match cell.Serve.consistency with
+      | Ok () -> ()
+      | Error m -> QCheck.Test.fail_reportf "obs: %s" m);
+      if cell.Serve.stats.Lat.dropped <> 0 then
+        QCheck.Test.fail_reportf "dropped %d with a warm replica"
+          cell.Serve.stats.Lat.dropped;
+      if cell.Serve.stats.Lat.served <> 120 then
+        QCheck.Test.fail_reportf "served %d of 120"
+          cell.Serve.stats.Lat.served;
+      let failovers =
+        List.fold_left (fun a o -> a + o.Shard.failovers) 0 cell.Serve.shards
+      in
+      if failovers <> 1 then
+        QCheck.Test.fail_reportf "expected exactly 1 failover, got %d"
+          failovers;
+      cell.Serve.replayed > 0 && cell.Serve.max_stall_ns > 0)
+
+(* Split: the hot group forks mid-stream; the whole stream is still
+   served exactly once and both the warm parent and the split child
+   pass their final-image oracles. *)
+let split_preserves_stream () =
+  List.iter
+    (fun (scheme, batch) ->
+      let c =
+        config ~workload:"kvcache50" ~scheme ~seed:11 ~shards:4
+          ~reshard:Topology.Split ~batch ~requests:300 ~zipf:0.99 ()
+      in
+      let cell = Serve.run_cell ~obs:true c in
+      Alcotest.(check int) "served = requests" 300 cell.Serve.stats.Lat.served;
+      Alcotest.(check int) "nothing dropped" 0 cell.Serve.stats.Lat.dropped;
+      Alcotest.(check bool) "oracle ok" true (cell.Serve.oracle = Ok ());
+      Alcotest.(check bool) "obs reconciles" true
+        (cell.Serve.consistency = Ok ());
+      Alcotest.(check bool) "some group split" true
+        (List.exists (fun o -> o.Shard.split_off) cell.Serve.shards);
+      (* The split pause is charged as a stall. *)
+      Alcotest.(check bool) "migration stall recorded" true
+        (cell.Serve.max_stall_ns > 0))
+    [ (Scheme.Ido, 8); (Scheme.Justdo, 4) ]
+
+(* Merge: the coldest group retires mid-stream onto the hottest's
+   station; the cold image is validated at the handoff and the hot
+   station serves both tails. *)
+let merge_preserves_stream () =
+  let c =
+    config ~workload:"kvcache50" ~seed:11 ~shards:4 ~reshard:Topology.Merge
+      ~batch:8 ~requests:300 ~zipf:0.99 ()
+  in
+  let cell = Serve.run_cell ~obs:true c in
+  Alcotest.(check int) "served = requests" 300 cell.Serve.stats.Lat.served;
+  Alcotest.(check int) "nothing dropped" 0 cell.Serve.stats.Lat.dropped;
+  Alcotest.(check bool) "oracle ok" true (cell.Serve.oracle = Ok ());
+  Alcotest.(check bool) "obs reconciles" true (cell.Serve.consistency = Ok ());
+  Alcotest.(check bool) "some group merged away" true
+    (List.exists (fun o -> o.Shard.merged_away) cell.Serve.shards)
+
+(* Routing invariant under every elastic topology: each group's
+   outcome only aggregates its own sub-stream, so per-group serves
+   sum to the stream and no group exceeds its plan count. *)
+let elastic_routing_invariant () =
+  List.iter
+    (fun reshard ->
+      let c =
+        config ~workload:"kvcache50" ~seed:3 ~shards:4 ~replicas:1 ?reshard
+          ~batch:8 ~requests:250 ~zipf:0.99 ()
+      in
+      let module W = Ido_workloads.Workload in
+      let key_range = (W.get "kvcache50").W.request.W.key_range in
+      let plan = Gen.plan c ~key_range in
+      let cell = Serve.run_cell ~obs:true ~fault:(Fault.single_crash c) c in
+      List.iter
+        (fun (o : Shard.outcome) ->
+          Alcotest.(check int)
+            (Printf.sprintf "group %d serves its whole sub-stream"
+               o.Shard.group)
+            (Gen.shard_count plan o.Shard.group)
+            (o.Shard.served + o.Shard.dropped))
+        cell.Serve.shards)
+    [ None; Some Topology.Split; Some Topology.Merge ]
+
+(* Storm cells must stay byte-identical across -j and --chunk — the
+   cornerstone determinism invariant, now under correlated faults. *)
+let storm_pooled_identical () =
+  List.iter
+    (fun (replicas, reshard) ->
+      let c =
+        config ~workload:"kvcache50" ~seed:5 ~shards:4 ~replicas ?reshard
+          ~batch:8 ~requests:200 ~zipf:0.99 ()
+      in
+      let fault = Fault.storm c in
+      let serial = Serve.run_cell ~obs:true ~fault c in
+      let pooled =
+        Ido_util.Pool.with_pool 4 (fun pool ->
+            Serve.run_cell ~pool ~chunk:2 ~obs:true ~fault c)
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "storm cell identical at -j4 --chunk 2 (r%d)" replicas)
+        (Report.cell_json serial) (Report.cell_json pooled))
+    [ (0, None); (1, None); (1, Some Topology.Merge) ]
+
+let fault_validate_rejects () =
+  let c = config ~shards:2 () in
+  match
+    Fault.validate c
+      (Fault.of_crash { Fault.shard = 5; at_request = 0; after_ns = 10 })
+  with
+  | () -> Alcotest.fail "out-of-range group accepted"
+  | exception Invalid_argument _ -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Spec: JSON round-trip through the trace-header fragment. *)
@@ -473,6 +666,24 @@ let suites =
              (config ~workload:"kvcache50" ~scheme:Scheme.Justdo ~shards:2
                 ~batch:8 ~requests:150 ~zipf:0.99 ()));
         qtest crash_random_shard;
+      ] );
+    ( "serve-elastic",
+      [
+        Alcotest.test_case "topology names round-trip" `Quick topology_names;
+        Alcotest.test_case "config rejects bad zipf" `Quick
+          config_validates_zipf;
+        Alcotest.test_case "default sweep grid" `Quick sweep_default_grid;
+        qtest failover_absorbs_crash;
+        Alcotest.test_case "split serves whole stream" `Quick
+          split_preserves_stream;
+        Alcotest.test_case "merge serves whole stream" `Quick
+          merge_preserves_stream;
+        Alcotest.test_case "routing invariant under faults" `Quick
+          elastic_routing_invariant;
+        Alcotest.test_case "storm cells: -j4 --chunk 2 = serial" `Quick
+          storm_pooled_identical;
+        Alcotest.test_case "fault validation rejects bad groups" `Quick
+          fault_validate_rejects;
       ] );
     ( "serve-spec",
       [
